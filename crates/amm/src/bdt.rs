@@ -1,0 +1,476 @@
+//! The MADDNESS balanced binary decision tree (BDT) hash function.
+//!
+//! Encoding a subvector means walking a 4-level tree: at level `l` the
+//! element at `split_dims[l]` is compared against the current node's
+//! threshold, and the comparison steers left/right. The 15 node thresholds
+//! and 4 split indices are exactly what the paper's encoder stores in its 15
+//! dynamic-logic comparators (Fig. 4 A) — one DLC per node, one level per
+//! tournament round, with the compared element fixed per level.
+//!
+//! Training follows MADDNESS (Blalock & Guttag 2021): levels are grown
+//! greedily; at each level one split dimension is chosen *shared across all
+//! nodes of the level* (that is what makes the hardware's "compare element
+//! `a_l` at level `l`" layout possible), and each node gets its own optimal
+//! threshold, found by scanning the sorted candidate values with prefix-sum
+//! SSE bookkeeping.
+
+use crate::error::MaddnessError;
+use crate::linalg::Mat;
+use crate::quant::QuantScale;
+use core::fmt;
+
+/// A trained balanced binary decision tree encoder for one subspace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BdtEncoder {
+    levels: usize,
+    split_dims: Vec<usize>,
+    /// Heap-ordered node thresholds: node 0 is the root, node `i` has
+    /// children `2i+1` (left, `<`) and `2i+2` (right, `≥`).
+    thresholds: Vec<f32>,
+}
+
+impl BdtEncoder {
+    /// Trains a `levels`-deep tree on calibration rows (one subvector per
+    /// row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MaddnessError::EmptyCalibration`] for an empty matrix and
+    /// [`MaddnessError::BadConfig`] for zero levels or zero-width rows.
+    pub fn train(data: &Mat, levels: usize) -> Result<BdtEncoder, MaddnessError> {
+        if levels == 0 || levels > 8 {
+            return Err(MaddnessError::BadConfig(format!(
+                "BDT levels must be in 1..=8, got {levels}"
+            )));
+        }
+        if data.rows() == 0 {
+            return Err(MaddnessError::EmptyCalibration);
+        }
+        if data.cols() == 0 {
+            return Err(MaddnessError::BadConfig(
+                "subvectors must have at least one dimension".into(),
+            ));
+        }
+        let n = data.rows();
+        let d = data.cols();
+        let n_internal = (1usize << levels) - 1;
+        let mut thresholds = vec![0.0f32; n_internal];
+        let mut split_dims = Vec::with_capacity(levels);
+        // Node assignment of every row; starts at the root.
+        let mut assignment = vec![0usize; n];
+
+        for level in 0..levels {
+            let first = (1usize << level) - 1;
+            let count = 1usize << level;
+            // Gather row indices per node at this level.
+            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); count];
+            for (row, &node) in assignment.iter().enumerate() {
+                buckets[node - first].push(row);
+            }
+            // Choose the dimension that minimises the summed two-piece SSE
+            // across all buckets of this level.
+            let mut best_dim = 0usize;
+            let mut best_loss = f64::INFINITY;
+            let mut best_thresholds = vec![0.0f32; count];
+            for dim in 0..d {
+                let mut loss = 0.0f64;
+                let mut ts = vec![0.0f32; count];
+                for (b, rows) in buckets.iter().enumerate() {
+                    let (t, l) = optimal_split(data, rows, dim);
+                    ts[b] = t;
+                    loss += l;
+                }
+                if loss < best_loss {
+                    best_loss = loss;
+                    best_dim = dim;
+                    best_thresholds = ts;
+                }
+            }
+            split_dims.push(best_dim);
+            for (b, &t) in best_thresholds.iter().enumerate() {
+                thresholds[first + b] = t;
+            }
+            // Advance assignments one level down.
+            for (row, node) in assignment.iter_mut().enumerate() {
+                let t = thresholds[*node];
+                let go_right = data[(row, best_dim)] >= t;
+                *node = 2 * *node + 1 + usize::from(go_right);
+            }
+        }
+        Ok(BdtEncoder {
+            levels,
+            split_dims,
+            thresholds,
+        })
+    }
+
+    /// Builds an encoder from explicit parameters (e.g. when loading a
+    /// model trained elsewhere).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MaddnessError::BadConfig`] when the threshold count does
+    /// not equal `2^levels − 1` or the split-dimension count differs from
+    /// `levels`.
+    pub fn from_parts(
+        split_dims: Vec<usize>,
+        thresholds: Vec<f32>,
+    ) -> Result<BdtEncoder, MaddnessError> {
+        let levels = split_dims.len();
+        if levels == 0 || thresholds.len() != (1usize << levels) - 1 {
+            return Err(MaddnessError::BadConfig(format!(
+                "expected 2^{levels}-1 thresholds, got {}",
+                thresholds.len()
+            )));
+        }
+        Ok(BdtEncoder {
+            levels,
+            split_dims,
+            thresholds,
+        })
+    }
+
+    /// Tree depth.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Number of leaves / prototypes (`2^levels`).
+    pub fn num_leaves(&self) -> usize {
+        1 << self.levels
+    }
+
+    /// The element index compared at each level.
+    pub fn split_dims(&self) -> &[usize] {
+        &self.split_dims
+    }
+
+    /// Heap-ordered node thresholds.
+    pub fn thresholds(&self) -> &[f32] {
+        &self.thresholds
+    }
+
+    /// Encodes one subvector to its leaf index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subvector is shorter than the largest split dimension.
+    pub fn encode_one(&self, sub: &[f32]) -> usize {
+        let mut node = 0usize;
+        for level in 0..self.levels {
+            let x = sub[self.split_dims[level]];
+            let go_right = x >= self.thresholds[node];
+            node = 2 * node + 1 + usize::from(go_right);
+        }
+        node - (self.num_leaves() - 1)
+    }
+
+    /// Encodes every row of a matrix.
+    pub fn encode_batch(&self, data: &Mat) -> Vec<usize> {
+        (0..data.rows()).map(|r| self.encode_one(data.row(r))).collect()
+    }
+
+    /// Quantises the thresholds for 8-bit hardware deployment.
+    ///
+    /// The input scale must be the same scale used to quantise activations.
+    /// Thresholds use ceiling quantisation
+    /// ([`QuantScale::quantize_threshold`]) so that `x_q ≥ t_q ⇔ x ≥ t`
+    /// holds *exactly* for every activation on the quantisation lattice —
+    /// in particular for the zero atom that post-ReLU data carries.
+    pub fn quantize(&self, input_scale: QuantScale) -> QuantizedBdt {
+        QuantizedBdt {
+            levels: self.levels,
+            split_dims: self.split_dims.clone(),
+            thresholds: self
+                .thresholds
+                .iter()
+                .map(|&t| input_scale.quantize_threshold(t))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for BdtEncoder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BDT: {} levels, split dims {:?}, {} leaves",
+            self.levels,
+            self.split_dims,
+            self.num_leaves()
+        )
+    }
+}
+
+/// The deployed 8-bit form of a [`BdtEncoder`]: integer thresholds compared
+/// against integer activations, exactly as the DLC hardware does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedBdt {
+    levels: usize,
+    split_dims: Vec<usize>,
+    thresholds: Vec<i8>,
+}
+
+impl QuantizedBdt {
+    /// Tree depth.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Number of leaves (`2^levels`).
+    pub fn num_leaves(&self) -> usize {
+        1 << self.levels
+    }
+
+    /// The element index compared at each level.
+    pub fn split_dims(&self) -> &[usize] {
+        &self.split_dims
+    }
+
+    /// Heap-ordered integer thresholds (what gets programmed into the DLCs).
+    pub fn thresholds(&self) -> &[i8] {
+        &self.thresholds
+    }
+
+    /// Encodes one quantised subvector; mirrors the DLC tournament bit for
+    /// bit: at each level, compare and descend.
+    pub fn encode_one(&self, sub: &[i8]) -> usize {
+        let mut node = 0usize;
+        for level in 0..self.levels {
+            let x = sub[self.split_dims[level]];
+            let go_right = x >= self.thresholds[node];
+            node = 2 * node + 1 + usize::from(go_right);
+        }
+        node - (self.num_leaves() - 1)
+    }
+
+    /// The sequence of `(dim, threshold, went_right)` decisions for one
+    /// input — the activation path through the DLC tree, used by the RTL
+    /// model to know which comparators fire.
+    pub fn decision_path(&self, sub: &[i8]) -> Vec<(usize, i8, bool)> {
+        let mut node = 0usize;
+        let mut path = Vec::with_capacity(self.levels);
+        for level in 0..self.levels {
+            let dim = self.split_dims[level];
+            let t = self.thresholds[node];
+            let go_right = sub[dim] >= t;
+            path.push((dim, t, go_right));
+            node = 2 * node + 1 + usize::from(go_right);
+        }
+        path
+    }
+}
+
+/// Finds the threshold that best splits `rows` of `data` along `dim`,
+/// returning `(threshold, resulting_sse)`.
+///
+/// The SSE is evaluated over *all* dimensions of the subvector (the split
+/// steers whole rows), using prefix sums over the rows sorted by the split
+/// dimension — O(n·d) after the sort.
+fn optimal_split(data: &Mat, rows: &[usize], dim: usize) -> (f32, f64) {
+    let n = rows.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let d = data.cols();
+    if n == 1 {
+        // A single row: any threshold ≤ its value keeps it in the right
+        // child; SSE is zero either way.
+        return (data[(rows[0], dim)], 0.0);
+    }
+    let mut order: Vec<usize> = rows.to_vec();
+    order.sort_by(|&a, &b| {
+        data[(a, dim)]
+            .partial_cmp(&data[(b, dim)])
+            .unwrap_or(core::cmp::Ordering::Equal)
+    });
+    // Prefix sums: per-dimension value sums and the scalar sum of squared
+    // norms. SSE of a group = Σ‖x‖² − Σ_d (Σ x_d)²/n.
+    let mut prefix_sum = vec![0.0f64; (n + 1) * d];
+    let mut prefix_sq = vec![0.0f64; n + 1];
+    for (i, &row) in order.iter().enumerate() {
+        let base = i * d;
+        let next = (i + 1) * d;
+        let mut sq = 0.0f64;
+        for c in 0..d {
+            let v = data[(row, c)] as f64;
+            prefix_sum[next + c] = prefix_sum[base + c] + v;
+            sq += v * v;
+        }
+        prefix_sq[i + 1] = prefix_sq[i] + sq;
+    }
+    let group_sse = |lo: usize, hi: usize| -> f64 {
+        // Rows order[lo..hi].
+        let count = (hi - lo) as f64;
+        if count == 0.0 {
+            return 0.0;
+        }
+        let sq = prefix_sq[hi] - prefix_sq[lo];
+        let mut mean_term = 0.0f64;
+        for c in 0..d {
+            let s = prefix_sum[hi * d + c] - prefix_sum[lo * d + c];
+            mean_term += s * s;
+        }
+        (sq - mean_term / count).max(0.0)
+    };
+    let mut best_loss = f64::INFINITY;
+    let mut best_split = n / 2;
+    for i in 1..n {
+        // Cannot split between equal values: the comparison x ≥ t cannot
+        // separate them.
+        if data[(order[i - 1], dim)] == data[(order[i], dim)] {
+            continue;
+        }
+        let loss = group_sse(0, i) + group_sse(i, n);
+        if loss < best_loss {
+            best_loss = loss;
+            best_split = i;
+        }
+    }
+    if best_loss.is_infinite() {
+        // All values equal along this dim: no split possible; threshold
+        // above the value keeps everything in the left child.
+        let v = data[(order[0], dim)];
+        return (v + 1.0, group_sse(0, n));
+    }
+    let lo = data[(order[best_split - 1], dim)];
+    let hi = data[(order[best_split], dim)];
+    (0.5 * (lo + hi), best_loss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Training data with an obvious two-cluster structure along dim 1.
+    fn clustered() -> Mat {
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        for i in 0..32 {
+            let c = if i % 2 == 0 { -4.0 } else { 4.0 };
+            rows.push(vec![0.1 * (i as f32 % 5.0), c + 0.01 * i as f32, 0.0]);
+        }
+        let slices: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        Mat::from_rows(&slices)
+    }
+
+    #[test]
+    fn training_picks_the_informative_dimension() {
+        let enc = BdtEncoder::train(&clustered(), 1).unwrap();
+        assert_eq!(enc.split_dims(), &[1], "dim 1 carries all the variance");
+        // The two clusters land in different leaves.
+        let a = enc.encode_one(&[0.0, -4.0, 0.0]);
+        let b = enc.encode_one(&[0.0, 4.0, 0.0]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn four_levels_give_sixteen_leaves() {
+        // Spread data across dim 0 so every level can split.
+        let rows: Vec<Vec<f32>> = (0..256).map(|i| vec![i as f32, 0.0]).collect();
+        let slices: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let data = Mat::from_rows(&slices);
+        let enc = BdtEncoder::train(&data, 4).unwrap();
+        assert_eq!(enc.num_leaves(), 16);
+        let codes = enc.encode_batch(&data);
+        let mut counts = [0usize; 16];
+        for c in codes {
+            counts[c] += 1;
+        }
+        // Uniform data ⇒ roughly balanced leaves (16 each ±tolerance).
+        for (leaf, &c) in counts.iter().enumerate() {
+            assert!((8..=32).contains(&c), "leaf {leaf} holds {c} rows");
+        }
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_in_range() {
+        let data = clustered();
+        let enc = BdtEncoder::train(&data, 3).unwrap();
+        let once = enc.encode_batch(&data);
+        let twice = enc.encode_batch(&data);
+        assert_eq!(once, twice);
+        assert!(once.iter().all(|&c| c < enc.num_leaves()));
+    }
+
+    #[test]
+    fn constant_data_trains_without_panic() {
+        let data = Mat::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]);
+        let enc = BdtEncoder::train(&data, 2).unwrap();
+        // Everything hashes somewhere consistent.
+        let c = enc.encode_one(&[1.0, 1.0]);
+        assert!(c < 4);
+    }
+
+    #[test]
+    fn single_row_trains() {
+        let data = Mat::from_rows(&[&[2.0, -1.0]]);
+        let enc = BdtEncoder::train(&data, 2).unwrap();
+        let _ = enc.encode_one(&[2.0, -1.0]);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let data = Mat::from_rows(&[&[1.0]]);
+        assert!(matches!(
+            BdtEncoder::train(&data, 0),
+            Err(MaddnessError::BadConfig(_))
+        ));
+        assert!(matches!(
+            BdtEncoder::train(&Mat::zeros(0, 3), 2),
+            Err(MaddnessError::EmptyCalibration)
+        ));
+        assert!(matches!(
+            BdtEncoder::from_parts(vec![0, 1], vec![0.0]),
+            Err(MaddnessError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn from_parts_reproduces_manual_tree() {
+        // Depth 2: root splits dim 0 at 0.0; level 1 splits dim 1 at -1.0 / 1.0.
+        let enc = BdtEncoder::from_parts(vec![0, 1], vec![0.0, -1.0, 1.0]).unwrap();
+        assert_eq!(enc.encode_one(&[-5.0, -5.0]), 0); // left, left
+        assert_eq!(enc.encode_one(&[-5.0, 0.0]), 1); // left, right (0 ≥ −1)
+        assert_eq!(enc.encode_one(&[5.0, 0.0]), 2); // right, left (0 < 1)
+        assert_eq!(enc.encode_one(&[5.0, 2.0]), 3); // right, right
+    }
+
+    #[test]
+    fn quantized_tree_matches_float_tree_off_boundary() {
+        let data = clustered();
+        let enc = BdtEncoder::train(&data, 2).unwrap();
+        let scale = QuantScale::fit(data.data());
+        let qenc = enc.quantize(scale);
+        let mut agree = 0usize;
+        for r in 0..data.rows() {
+            let f = enc.encode_one(data.row(r));
+            let q_in: Vec<i8> = data.row(r).iter().map(|&x| scale.quantize(x)).collect();
+            let q = qenc.encode_one(&q_in);
+            if f == q {
+                agree += 1;
+            }
+        }
+        // Quantisation can flip rows that sit exactly on a threshold; the
+        // overwhelming majority must agree.
+        assert!(agree * 10 >= data.rows() * 9, "{agree}/{}", data.rows());
+    }
+
+    #[test]
+    fn decision_path_has_one_entry_per_level() {
+        let enc = BdtEncoder::from_parts(vec![0, 1, 0], vec![0.0; 7]).unwrap();
+        let q = enc.quantize(QuantScale::UNIT);
+        let path = q.decision_path(&[5, -3]);
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0], (0, 0, true));
+        assert_eq!(path[1].0, 1);
+    }
+
+    #[test]
+    fn optimal_split_separates_two_clusters_exactly() {
+        let data = Mat::from_rows(&[&[-3.0], &[-2.9], &[3.0], &[3.1]]);
+        let rows = [0usize, 1, 2, 3];
+        let (t, loss) = optimal_split(&data, &rows, 0);
+        assert!((-2.9..=3.0).contains(&t), "threshold {t}");
+        assert!(loss < 0.02, "two tight clusters ⇒ tiny SSE, got {loss}");
+    }
+}

@@ -1,0 +1,180 @@
+//! The family of product-quantisation encoding functions.
+//!
+//! The paper's §II-B surveys the MADDNESS-inspired encoders: the balanced
+//! BDT (MADDNESS, Stella Nera, and the paper's own DLC hardware), Euclidean
+//! nearest-centroid (LUT-NN), and Manhattan nearest-centroid (PECAN and the
+//! analog DTC accelerator \[21\]). All are exposed behind one trait so the
+//! operator and the accuracy experiments can swap them freely.
+
+use crate::bdt::BdtEncoder;
+use crate::kmeans::{kmeans, Distance};
+use crate::linalg::Mat;
+use core::fmt;
+
+/// An encoding function `enc : ℝ^(d/M) → {0, …, K−1}` for one subspace.
+pub trait SubspaceEncoder: fmt::Debug {
+    /// Number of prototypes `K` this encoder can select among.
+    fn num_prototypes(&self) -> usize;
+
+    /// Encodes one subvector to a prototype index in `0..K`.
+    fn encode_one(&self, sub: &[f32]) -> usize;
+
+    /// Encodes every row of a matrix of subvectors.
+    fn encode_batch(&self, data: &Mat) -> Vec<usize> {
+        (0..data.rows()).map(|r| self.encode_one(data.row(r))).collect()
+    }
+
+    /// Short display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+impl SubspaceEncoder for BdtEncoder {
+    fn num_prototypes(&self) -> usize {
+        self.num_leaves()
+    }
+
+    fn encode_one(&self, sub: &[f32]) -> usize {
+        BdtEncoder::encode_one(self, sub)
+    }
+
+    fn name(&self) -> &'static str {
+        "bdt"
+    }
+}
+
+/// Nearest-centroid encoder under a configurable metric.
+///
+/// With [`Distance::L2`] this is LUT-NN's encoder; with [`Distance::L1`]
+/// it is PECAN's (and the functional model of the analog accelerator
+/// \[21\], which computes Manhattan distances as delay).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentroidEncoder {
+    centroids: Mat,
+    metric: Distance,
+}
+
+impl CentroidEncoder {
+    /// Trains `k` centroids on calibration subvectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `data` has no rows (delegated to
+    /// [`kmeans`]).
+    pub fn train(data: &Mat, k: usize, metric: Distance, seed: u64) -> CentroidEncoder {
+        let result = kmeans(data, k, metric, 25, seed);
+        CentroidEncoder {
+            centroids: result.centroids,
+            metric,
+        }
+    }
+
+    /// Builds an encoder from explicit centroids.
+    pub fn from_centroids(centroids: Mat, metric: Distance) -> CentroidEncoder {
+        CentroidEncoder { centroids, metric }
+    }
+
+    /// The `K × d` centroid matrix.
+    pub fn centroids(&self) -> &Mat {
+        &self.centroids
+    }
+
+    /// The distance metric used for encoding.
+    pub fn metric(&self) -> Distance {
+        self.metric
+    }
+
+    /// Distances from `sub` to every centroid (exposed so noise-injection
+    /// models can perturb them before the argmin — the analog accelerator's
+    /// failure mode).
+    pub fn distances(&self, sub: &[f32]) -> Vec<f64> {
+        (0..self.centroids.rows())
+            .map(|c| self.metric.between(sub, self.centroids.row(c)))
+            .collect()
+    }
+}
+
+impl SubspaceEncoder for CentroidEncoder {
+    fn num_prototypes(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    fn encode_one(&self, sub: &[f32]) -> usize {
+        let dists = self.distances(sub);
+        let mut best = 0usize;
+        for (i, &d) in dists.iter().enumerate() {
+            if d < dists[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        match self.metric {
+            Distance::L2 => "euclidean",
+            Distance::L1 => "manhattan",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Mat {
+        let mut rows = Vec::new();
+        for i in 0..16 {
+            let eps = (i % 4) as f32 * 0.05;
+            rows.push(vec![-2.0 + eps, 0.0]);
+            rows.push(vec![2.0 - eps, 0.0]);
+        }
+        let slices: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        Mat::from_rows(&slices)
+    }
+
+    #[test]
+    fn centroid_encoder_separates_blobs() {
+        let enc = CentroidEncoder::train(&blobs(), 2, Distance::L2, 1);
+        let a = enc.encode_one(&[-2.0, 0.0]);
+        let b = enc.encode_one(&[2.0, 0.0]);
+        assert_ne!(a, b);
+        assert_eq!(enc.num_prototypes(), 2);
+    }
+
+    #[test]
+    fn l1_and_l2_encoders_have_names() {
+        let e2 = CentroidEncoder::train(&blobs(), 2, Distance::L2, 1);
+        let e1 = CentroidEncoder::train(&blobs(), 2, Distance::L1, 1);
+        assert_eq!(e2.name(), "euclidean");
+        assert_eq!(e1.name(), "manhattan");
+    }
+
+    #[test]
+    fn bdt_implements_the_trait() {
+        let enc = BdtEncoder::train(&blobs(), 2).unwrap();
+        let codes = SubspaceEncoder::encode_batch(&enc, &blobs());
+        assert!(codes.iter().all(|&c| c < enc.num_prototypes()));
+        assert_eq!(SubspaceEncoder::name(&enc), "bdt");
+    }
+
+    #[test]
+    fn distances_expose_the_pre_argmin_view() {
+        let enc = CentroidEncoder::from_centroids(
+            Mat::from_rows(&[&[0.0, 0.0], &[10.0, 0.0]]),
+            Distance::L1,
+        );
+        let d = enc.distances(&[1.0, 0.0]);
+        assert!((d[0] - 1.0).abs() < 1e-9);
+        assert!((d[1] - 9.0).abs() < 1e-9);
+        assert_eq!(enc.encode_one(&[1.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn ties_resolve_to_lowest_index() {
+        let enc = CentroidEncoder::from_centroids(
+            Mat::from_rows(&[&[-1.0], &[1.0]]),
+            Distance::L2,
+        );
+        assert_eq!(enc.encode_one(&[0.0]), 0, "equidistant picks index 0");
+    }
+}

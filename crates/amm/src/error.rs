@@ -1,0 +1,67 @@
+//! Error types for MADDNESS training and execution.
+
+use core::fmt;
+
+/// Errors produced while training or running a MADDNESS operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaddnessError {
+    /// The calibration matrix had no rows.
+    EmptyCalibration,
+    /// Incompatible shapes between inputs, weights or configuration.
+    DimensionMismatch {
+        /// What was being checked.
+        context: &'static str,
+        /// The value that was expected.
+        expected: usize,
+        /// The value that was found.
+        found: usize,
+    },
+    /// A configuration value is out of its valid range.
+    BadConfig(String),
+    /// The ridge prototype refit failed (system not positive definite even
+    /// with the requested regularisation).
+    RidgeFailed(String),
+}
+
+impl fmt::Display for MaddnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaddnessError::EmptyCalibration => {
+                write!(f, "calibration data contains no rows")
+            }
+            MaddnessError::DimensionMismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "{context}: expected {expected}, found {found}"),
+            MaddnessError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MaddnessError::RidgeFailed(msg) => {
+                write!(f, "prototype optimisation failed: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MaddnessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = MaddnessError::DimensionMismatch {
+            context: "weight rows vs input columns",
+            expected: 9,
+            found: 8,
+        };
+        assert_eq!(e.to_string(), "weight rows vs input columns: expected 9, found 8");
+        assert!(MaddnessError::EmptyCalibration.to_string().contains("no rows"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(MaddnessError::EmptyCalibration);
+    }
+}

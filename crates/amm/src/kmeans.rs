@@ -1,0 +1,223 @@
+//! Seeded k-means clustering for the centroid-based encoders
+//! (LUT-NN's Euclidean encoder and PECAN's Manhattan encoder).
+
+use crate::linalg::Mat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Distance metric used for assignment (and for the deployed encoder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Distance {
+    /// Squared Euclidean distance (LUT-NN).
+    #[default]
+    L2,
+    /// Manhattan distance (PECAN and the analog DTC accelerator \[21\]).
+    L1,
+}
+
+impl Distance {
+    /// Distance between two vectors under this metric.
+    pub fn between(self, a: &[f32], b: &[f32]) -> f64 {
+        match self {
+            Distance::L2 => a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| {
+                    let d = (x - y) as f64;
+                    d * d
+                })
+                .sum(),
+            Distance::L1 => a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| ((x - y) as f64).abs())
+                .sum(),
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    /// `k × d` centroid matrix.
+    pub centroids: Mat,
+    /// Assignment of each input row to its centroid.
+    pub assignment: Vec<usize>,
+    /// Final within-cluster distance sum.
+    pub inertia: f64,
+}
+
+/// Runs seeded k-means++ with `iters` Lloyd iterations.
+///
+/// Under [`Distance::L1`] the centroid update uses the coordinate-wise
+/// median (the L1 Fréchet mean); under [`Distance::L2`] the mean.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `data` has no rows.
+#[allow(clippy::needless_range_loop)] // several parallel index walks over data/assignment/dist2
+pub fn kmeans(data: &Mat, k: usize, metric: Distance, iters: usize, seed: u64) -> KMeans {
+    assert!(k > 0, "k must be positive");
+    assert!(data.rows() > 0, "cannot cluster zero rows");
+    let n = data.rows();
+    let d = data.cols();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centroids = Mat::zeros(k, d);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+    let mut dist2: Vec<f64> = (0..n)
+        .map(|r| metric.between(data.row(r), centroids.row(0)))
+        .collect();
+    for c in 1..k {
+        let total: f64 = dist2.iter().sum();
+        let chosen = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut idx = n - 1;
+            for (i, &w) in dist2.iter().enumerate() {
+                if target < w {
+                    idx = i;
+                    break;
+                }
+                target -= w;
+            }
+            idx
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(chosen));
+        for r in 0..n {
+            let nd = metric.between(data.row(r), centroids.row(c));
+            if nd < dist2[r] {
+                dist2[r] = nd;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    let mut inertia = f64::INFINITY;
+    for _ in 0..iters {
+        // Assign.
+        let mut new_inertia = 0.0f64;
+        for r in 0..n {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let dist = metric.between(data.row(r), centroids.row(c));
+                if dist < best_d {
+                    best_d = dist;
+                    best = c;
+                }
+            }
+            assignment[r] = best;
+            new_inertia += best_d;
+        }
+        // Update.
+        match metric {
+            Distance::L2 => {
+                let mut sums = Mat::zeros(k, d);
+                let mut counts = vec![0usize; k];
+                for r in 0..n {
+                    let c = assignment[r];
+                    counts[c] += 1;
+                    for j in 0..d {
+                        sums[(c, j)] += data[(r, j)];
+                    }
+                }
+                for c in 0..k {
+                    if counts[c] > 0 {
+                        for j in 0..d {
+                            centroids[(c, j)] = sums[(c, j)] / counts[c] as f32;
+                        }
+                    }
+                }
+            }
+            Distance::L1 => {
+                for c in 0..k {
+                    let members: Vec<usize> =
+                        (0..n).filter(|&r| assignment[r] == c).collect();
+                    if members.is_empty() {
+                        continue;
+                    }
+                    for j in 0..d {
+                        let mut vals: Vec<f32> =
+                            members.iter().map(|&r| data[(r, j)]).collect();
+                        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                        centroids[(c, j)] = vals[vals.len() / 2];
+                    }
+                }
+            }
+        }
+        if (inertia - new_inertia).abs() < 1e-9 {
+            inertia = new_inertia;
+            break;
+        }
+        inertia = new_inertia;
+    }
+    KMeans {
+        centroids,
+        assignment,
+        inertia,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Mat {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let eps = (i % 5) as f32 * 0.01;
+            rows.push(vec![-5.0 + eps, -5.0 - eps]);
+            rows.push(vec![5.0 - eps, 5.0 + eps]);
+        }
+        let slices: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        Mat::from_rows(&slices)
+    }
+
+    #[test]
+    fn recovers_two_blobs() {
+        let result = kmeans(&two_blobs(), 2, Distance::L2, 20, 7);
+        // The two centroids must land near (−5,−5) and (5,5).
+        let mut xs: Vec<f32> = (0..2).map(|c| result.centroids[(c, 0)]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((xs[0] + 5.0).abs() < 0.5, "{xs:?}");
+        assert!((xs[1] - 5.0).abs() < 0.5, "{xs:?}");
+        assert!(result.inertia < 1.0);
+    }
+
+    #[test]
+    fn l1_metric_also_recovers_blobs() {
+        let result = kmeans(&two_blobs(), 2, Distance::L1, 20, 9);
+        let mut xs: Vec<f32> = (0..2).map(|c| result.centroids[(c, 0)]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((xs[0] + 5.0).abs() < 0.5 && (xs[1] - 5.0).abs() < 0.5, "{xs:?}");
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = kmeans(&two_blobs(), 4, Distance::L2, 10, 42);
+        let b = kmeans(&two_blobs(), 4, Distance::L2, 10, 42);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_larger_than_distinct_points_is_tolerated() {
+        let data = Mat::from_rows(&[&[1.0], &[1.0], &[2.0]]);
+        let result = kmeans(&data, 8, Distance::L2, 5, 3);
+        assert_eq!(result.centroids.rows(), 8);
+        assert!(result.assignment.iter().all(|&a| a < 8));
+    }
+
+    #[test]
+    fn distances_are_metrics() {
+        let a = [0.0f32, 3.0];
+        let b = [4.0f32, 0.0];
+        assert!((Distance::L2.between(&a, &b) - 25.0).abs() < 1e-9);
+        assert!((Distance::L1.between(&a, &b) - 7.0).abs() < 1e-9);
+        assert_eq!(Distance::L1.between(&a, &a), 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! # maddpipe-amm
+//!
+//! The MADDNESS approximate-matrix-multiplication algorithm (Blalock &
+//! Guttag 2021) and its relatives, as used by the DAC 2025 accelerator
+//! paper this workspace reproduces.
+//!
+//! * [`linalg`] — minimal dense matrices + Cholesky solve.
+//! * [`quant`] — symmetric INT8 quantisation.
+//! * [`bdt`] — the balanced binary-decision-tree hash function (training
+//!   and the deployed 8-bit form that mirrors the DLC hardware).
+//! * [`kmeans`] / [`encoders`] — the alternative encoding functions of
+//!   LUT-NN (Euclidean) and PECAN (Manhattan).
+//! * [`maddness`] — the full operator: train → encode → LUT decode, with a
+//!   float algorithm path and a bit-exact hardware (INT8/i16-wrap) path.
+//! * [`metrics`] — NMSE, argmax agreement, etc.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use maddpipe_amm::prelude::*;
+//!
+//! # fn main() -> Result<(), MaddnessError> {
+//! // Calibration inputs (n × d) and weights (d × n_out).
+//! let rows: Vec<Vec<f32>> = (0..128)
+//!     .map(|i| (0..8).map(|j| ((i + 2 * j) % 10) as f32 - 5.0).collect())
+//!     .collect();
+//! let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+//! let x = Mat::from_rows(&refs);
+//! let mut w = Mat::zeros(8, 4);
+//! for r in 0..8 { for c in 0..4 { w[(r, c)] = (r as f32 - c as f32) / 8.0; } }
+//!
+//! let params = MaddnessParams { levels: 3, subspace_len: 4, ..Default::default() };
+//! let op = MaddnessMatmul::train(&x, &w, params)?;
+//! let approx = op.matmul(&x);
+//! let exact = x.matmul(&w);
+//! assert!(nmse(&exact, &approx) < 0.2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bdt;
+pub mod encoders;
+pub mod error;
+pub mod kmeans;
+pub mod linalg;
+pub mod maddness;
+pub mod metrics;
+pub mod quant;
+
+pub use bdt::{BdtEncoder, QuantizedBdt};
+pub use error::MaddnessError;
+pub use linalg::Mat;
+pub use maddness::{AmmOperator, Encoding, ExactMatmul, Int8Lut, MaddnessMatmul, MaddnessParams};
+pub use quant::QuantScale;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::bdt::{BdtEncoder, QuantizedBdt};
+    pub use crate::encoders::{CentroidEncoder, SubspaceEncoder};
+    pub use crate::error::MaddnessError;
+    pub use crate::kmeans::{kmeans, Distance};
+    pub use crate::linalg::Mat;
+    pub use crate::maddness::{
+        AmmOperator, Encoding, ExactMatmul, Int8Lut, MaddnessMatmul, MaddnessParams,
+    };
+    pub use crate::metrics::{argmax, argmax_agreement, max_abs_error, nmse};
+    pub use crate::quant::QuantScale;
+}

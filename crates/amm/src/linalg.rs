@@ -1,0 +1,399 @@
+//! Minimal dense linear algebra: row-major `f32` matrices, products, and a
+//! Cholesky solver for the ridge-regression prototype optimisation.
+//!
+//! Deliberately small — just what MADDNESS training needs — and written for
+//! clarity over peak FLOPS; the accelerator itself never multiplies.
+
+use core::fmt;
+use core::ops::{Index, IndexMut};
+
+/// A dense row-major `f32` matrix.
+///
+/// ```
+/// use maddpipe_amm::linalg::Mat;
+///
+/// let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Mat::identity(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c[(1, 0)], 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Mat {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Mat {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix.
+    pub fn identity(n: usize) -> Mat {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Mat {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer of {} elements cannot be a {rows}×{cols} matrix",
+            data.len()
+        );
+        Mat { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths or no rows are given.
+    pub fn from_rows(rows: &[&[f32]]) -> Mat {
+        assert!(!rows.is_empty(), "cannot build a matrix from zero rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "row {i} has length {} ≠ {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Mat {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the flat row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable borrow of the flat row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One column, copied out.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Matrix product `self · rhs` with `f64` accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Mat) -> Mat {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "cannot multiply {}×{} by {}×{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)] as f64;
+                if a == 0.0 {
+                    continue;
+                }
+                let lhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(lhs_row) {
+                    *o = ((*o as f64) + a * b as f64) as f32;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Element-wise difference `self - rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, rhs: &Mat) -> Mat {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch in subtraction"
+        );
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// Copies a column range into a new matrix (used to slice subspaces).
+    pub fn col_range(&self, start: usize, end: usize) -> Mat {
+        assert!(start <= end && end <= self.cols, "bad column range");
+        let mut out = Mat::zeros(self.rows, end - start);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}×{}", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        for r in 0..show_rows {
+            let cells: Vec<String> = self.row(r)[..self.cols.min(8)]
+                .iter()
+                .map(|x| format!("{x:>9.4}"))
+                .collect();
+            writeln!(f, "  [{}{}]", cells.join(", "), if self.cols > 8 { ", …" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        Ok(())
+    }
+}
+
+/// Solves the symmetric positive-definite system `A·X = B` by Cholesky
+/// decomposition (`A = L·Lᵀ`), in `f64`.
+///
+/// Used for the ridge-regression prototype refit, where
+/// `A = GᵀG + λI` is SPD by construction for `λ > 0`.
+///
+/// # Errors
+///
+/// Returns [`NotSpdError`] if a non-positive pivot is encountered.
+///
+/// ```
+/// use maddpipe_amm::linalg::{cholesky_solve, Mat};
+///
+/// let a = Mat::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let b = Mat::from_rows(&[&[2.0], &[1.0]]);
+/// let x = cholesky_solve(&a, &b).unwrap();
+/// // Verify A·x = b.
+/// let r = a.matmul(&x);
+/// assert!((r[(0, 0)] - 2.0).abs() < 1e-5 && (r[(1, 0)] - 1.0).abs() < 1e-5);
+/// ```
+pub fn cholesky_solve(a: &Mat, b: &Mat) -> Result<Mat, NotSpdError> {
+    assert_eq!(a.rows(), a.cols(), "A must be square");
+    assert_eq!(a.rows(), b.rows(), "A and B row counts must agree");
+    let n = a.rows();
+    // Factor A = L·Lᵀ in f64.
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)] as f64;
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(NotSpdError { pivot: i, value: sum });
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Solve L·Y = B (forward), then Lᵀ·X = Y (backward), per column of B.
+    let mut x = Mat::zeros(n, b.cols());
+    for c in 0..b.cols() {
+        let mut y = vec![0.0f64; n];
+        for i in 0..n {
+            let mut sum = b[(i, c)] as f64;
+            for k in 0..i {
+                sum -= l[i * n + k] * y[k];
+            }
+            y[i] = sum / l[i * n + i];
+        }
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= l[k * n + i] * (x[(k, c)] as f64);
+            }
+            x[(i, c)] = (sum / l[i * n + i]) as f32;
+        }
+    }
+    Ok(x)
+}
+
+/// Error returned by [`cholesky_solve`] when the matrix is not positive
+/// definite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NotSpdError {
+    /// Index of the failing pivot.
+    pub pivot: usize,
+    /// The (non-positive) pivot value encountered.
+    pub value: f64,
+}
+
+impl fmt::Display for NotSpdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite (pivot {} = {:.3e})",
+            self.pivot, self.value
+        )
+    }
+}
+
+impl std::error::Error for NotSpdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let i = Mat::identity(3);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Mat::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn col_range_slices_subspaces() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0]]);
+        let s = a.col_range(1, 3);
+        assert_eq!(s, Mat::from_rows(&[&[2.0, 3.0], &[6.0, 7.0]]));
+    }
+
+    #[test]
+    fn frobenius_norm() {
+        let a = Mat::from_rows(&[&[3.0, 4.0]]);
+        assert!((a.frobenius() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // Build SPD A = MᵀM + I for a random-ish M.
+        let m = Mat::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, -1.0], &[2.0, 0.0, 1.0]]);
+        let mut a = m.transpose().matmul(&m);
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        let b = Mat::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let x = cholesky_solve(&a, &b).unwrap();
+        let r = a.matmul(&x).sub(&b);
+        assert!(r.frobenius() < 1e-4, "residual {}", r.frobenius());
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let b = Mat::from_rows(&[&[1.0], &[1.0]]);
+        let err = cholesky_solve(&a, &b).unwrap_err();
+        assert!(err.to_string().contains("not positive definite"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot multiply")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = Mat::identity(2);
+        assert!(a.to_string().contains("Mat 2×2"));
+    }
+}

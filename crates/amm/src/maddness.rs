@@ -1,0 +1,864 @@
+//! The MADDNESS approximate-matmul operator: train, encode, decode.
+//!
+//! Pipeline (paper §II-B):
+//!
+//! 1. **Train** — slice the input space into `M` subspaces, learn one BDT
+//!    hash per subspace, optionally refit the prototypes by global ridge
+//!    regression (MADDNESS §4.3), and precompute the LUTs
+//!    `lut[m][k][j] = ⟨prototype_{m,k}, W[:,j]⟩`, quantised to INT8 with a
+//!    per-output-column scale (the scale must be shared along `m` because
+//!    the hardware accumulates raw LUT bytes across subspaces).
+//! 2. **Encode** — map each input row to `M` 4-bit codes (the one-hot LUT
+//!    addresses of the paper's encoder).
+//! 3. **Decode** — gather `M` LUT entries per output and accumulate; in
+//!    hardware this is the 10T-SRAM read plus the carry-save adder chain.
+//!
+//! Two execution paths are provided: a float "algorithm" path, and the
+//! integer "deployed" path that matches the hardware bit for bit (INT8
+//! activations and LUT entries, 16-bit wrapping accumulation).
+
+use crate::bdt::{BdtEncoder, QuantizedBdt};
+use crate::error::MaddnessError;
+use crate::linalg::{cholesky_solve, Mat};
+use crate::quant::QuantScale;
+use core::fmt;
+
+/// Training-time configuration of a [`MaddnessMatmul`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaddnessParams {
+    /// BDT depth; the prototype count is `2^levels` (paper: 4 → 16).
+    pub levels: usize,
+    /// Input dimensions per subspace (paper's CNN mapping: 9, one 3×3
+    /// kernel patch per input channel).
+    pub subspace_len: usize,
+    /// Refit prototypes by global ridge regression after hashing.
+    pub optimize_prototypes: bool,
+    /// Ridge regularisation strength (only used when optimising).
+    pub ridge_lambda: f32,
+}
+
+impl Default for MaddnessParams {
+    /// The paper's configuration: 4 levels (16 prototypes), 9-dimensional
+    /// subspaces, ridge-optimised prototypes.
+    fn default() -> MaddnessParams {
+        MaddnessParams {
+            levels: 4,
+            subspace_len: 9,
+            optimize_prototypes: true,
+            ridge_lambda: 1.0,
+        }
+    }
+}
+
+/// Encoded inputs: one `u8` prototype index per (row, subspace).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Encoding {
+    codes: Vec<u8>,
+    rows: usize,
+    m: usize,
+}
+
+impl Encoding {
+    /// Number of encoded input rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of subspaces.
+    pub fn num_subspaces(&self) -> usize {
+        self.m
+    }
+
+    /// Code of `row` in subspace `m`.
+    #[inline]
+    pub fn code(&self, row: usize, m: usize) -> u8 {
+        self.codes[row * self.m + m]
+    }
+
+    /// All codes of one row.
+    pub fn row(&self, row: usize) -> &[u8] {
+        &self.codes[row * self.m..(row + 1) * self.m]
+    }
+}
+
+/// INT8 lookup tables with per-output-column scales.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Int8Lut {
+    m: usize,
+    k: usize,
+    n_out: usize,
+    entries: Vec<i8>,
+    scales: Vec<f32>,
+    biases: Vec<f32>,
+}
+
+impl Int8Lut {
+    /// Number of subspaces.
+    pub fn num_subspaces(&self) -> usize {
+        self.m
+    }
+
+    /// Prototypes per subspace.
+    pub fn num_prototypes(&self) -> usize {
+        self.k
+    }
+
+    /// Output features.
+    pub fn out_features(&self) -> usize {
+        self.n_out
+    }
+
+    /// One LUT entry.
+    #[inline]
+    pub fn entry(&self, m: usize, k: usize, j: usize) -> i8 {
+        self.entries[(m * self.k + k) * self.n_out + j]
+    }
+
+    /// The `K` entries a single hardware decoder stores: subspace `m`
+    /// (pipeline stage), output `j` (decoder column). This is the image
+    /// written into one 16×8 SRAM LUT.
+    pub fn table(&self, m: usize, j: usize) -> Vec<i8> {
+        (0..self.k).map(|k| self.entry(m, k, j)).collect()
+    }
+
+    /// Dequantisation scale of output column `j`.
+    pub fn scale(&self, j: usize) -> f32 {
+        self.scales[j]
+    }
+
+    /// Dequantisation bias of output column `j`.
+    ///
+    /// Exactly one entry per subspace is always selected, so each
+    /// per-subspace table can be shifted by a constant with the sum of
+    /// those constants re-added after accumulation — this keeps the INT8
+    /// entries centred (small) even when the ridge-refit tables carry
+    /// large common offsets that cancel across subspaces. The hardware
+    /// applies it in the output stage together with the scale:
+    /// `y = raw_sum · scale + bias`.
+    pub fn bias(&self, j: usize) -> f32 {
+        self.biases[j]
+    }
+}
+
+/// A trained MADDNESS approximate matrix-multiply operator.
+///
+/// ```
+/// use maddpipe_amm::linalg::Mat;
+/// use maddpipe_amm::maddness::{MaddnessMatmul, MaddnessParams};
+///
+/// # fn main() -> Result<(), maddpipe_amm::error::MaddnessError> {
+/// // 8-dimensional inputs, 2 subspaces of 4 dims, 4 prototypes each.
+/// let params = MaddnessParams { levels: 2, subspace_len: 4, ..Default::default() };
+/// let x: Vec<Vec<f32>> = (0..64)
+///     .map(|i| (0..8).map(|j| ((i * 7 + j * 13) % 11) as f32 - 5.0).collect())
+///     .collect();
+/// let rows: Vec<&[f32]> = x.iter().map(|r| r.as_slice()).collect();
+/// let x = Mat::from_rows(&rows);
+/// let w = Mat::from_rows(&[
+///     &[1.0, 0.0], &[0.5, -0.5], &[0.0, 1.0], &[-1.0, 0.25],
+///     &[0.75, 0.0], &[0.0, -0.75], &[0.25, 0.5], &[-0.25, 1.0],
+/// ]);
+/// let op = MaddnessMatmul::train(&x, &w, params)?;
+/// let approx = op.matmul(&x);
+/// assert_eq!(approx.rows(), 64);
+/// assert_eq!(approx.cols(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaddnessMatmul {
+    params: MaddnessParams,
+    d_in: usize,
+    n_out: usize,
+    encoders: Vec<BdtEncoder>,
+    qencoders: Vec<QuantizedBdt>,
+    input_scale: QuantScale,
+    /// Full-dimensional prototypes, `(M·K) × d` (ridge refit lets a
+    /// prototype extend beyond its own subspace, exactly as in MADDNESS).
+    prototypes: Mat,
+    lut_f32: Vec<Mat>,
+    lut_i8: Int8Lut,
+}
+
+impl MaddnessMatmul {
+    /// Trains the operator on calibration inputs `x` (`n × d`) for the
+    /// weight matrix `w` (`d × n_out`).
+    ///
+    /// # Errors
+    ///
+    /// * [`MaddnessError::DimensionMismatch`] — `x`/`w` shapes disagree or
+    ///   `d` is not a multiple of `subspace_len`;
+    /// * [`MaddnessError::EmptyCalibration`] — no calibration rows;
+    /// * errors from BDT training propagate.
+    pub fn train(x: &Mat, w: &Mat, params: MaddnessParams) -> Result<MaddnessMatmul, MaddnessError> {
+        if x.rows() == 0 {
+            return Err(MaddnessError::EmptyCalibration);
+        }
+        if x.cols() != w.rows() {
+            return Err(MaddnessError::DimensionMismatch {
+                context: "weight rows vs input columns",
+                expected: x.cols(),
+                found: w.rows(),
+            });
+        }
+        if params.subspace_len == 0 || !x.cols().is_multiple_of(params.subspace_len) {
+            return Err(MaddnessError::BadConfig(format!(
+                "input width {} is not a multiple of subspace length {}",
+                x.cols(),
+                params.subspace_len
+            )));
+        }
+        let d = x.cols();
+        let n_out = w.cols();
+        let m = d / params.subspace_len;
+        let k = 1usize << params.levels;
+
+        // 1. Hash functions, one per subspace.
+        let mut encoders = Vec::with_capacity(m);
+        let mut assignments: Vec<Vec<usize>> = Vec::with_capacity(m);
+        for s in 0..m {
+            let sub = x.col_range(s * params.subspace_len, (s + 1) * params.subspace_len);
+            let enc = BdtEncoder::train(&sub, params.levels)?;
+            assignments.push(enc.encode_batch(&sub));
+            encoders.push(enc);
+        }
+
+        // 2. Prototypes: bucket means, optionally ridge-refit globally.
+        let prototypes = if params.optimize_prototypes && m * k <= 4096 {
+            ridge_prototypes(x, &assignments, m, k, params.ridge_lambda)?
+        } else {
+            bucket_mean_prototypes(x, &assignments, m, k, params.subspace_len)
+        };
+
+        // 3. LUTs: lut[m] = P_m · W, K × n_out per subspace.
+        let mut lut_f32 = Vec::with_capacity(m);
+        for s in 0..m {
+            let mut block = Mat::zeros(k, d);
+            for kk in 0..k {
+                block
+                    .row_mut(kk)
+                    .copy_from_slice(prototypes.row(s * k + kk));
+            }
+            lut_f32.push(block.matmul(w));
+        }
+
+        // 4. INT8 LUT with per-output-column scale shared across
+        // subspaces (the hardware accumulates raw bytes along `m`, so the
+        // scale cannot vary per subspace). Two measures keep the 8-bit
+        // resolution where the information is:
+        //
+        // * **centring** — each per-subspace table is shifted to zero
+        //   mean, with the summed shifts re-added as a per-column bias
+        //   after accumulation (exactly one entry per subspace is always
+        //   selected, so this is lossless); without it, the ridge-refit
+        //   tables' large mutually-cancelling offsets dominate the range;
+        // * **MSE-optimal clipping** — the scale is chosen to minimise
+        //   quantisation MSE, saturating rare outliers instead of
+        //   coarsening every entry.
+        let mut centred = lut_f32.clone();
+        let mut biases = vec![0.0f32; n_out];
+        for table in centred.iter_mut() {
+            for j in 0..n_out {
+                let mean: f32 =
+                    (0..k).map(|kk| table[(kk, j)]).sum::<f32>() / k as f32;
+                for kk in 0..k {
+                    table[(kk, j)] -= mean;
+                }
+                biases[j] += mean;
+            }
+        }
+        let mut scales = vec![1.0f32; n_out];
+        for (j, slot) in scales.iter_mut().enumerate() {
+            let column: Vec<f32> = centred
+                .iter()
+                .flat_map(|table| (0..k).map(move |kk| table[(kk, j)]))
+                .collect();
+            *slot = mse_optimal_scale(&column);
+        }
+        let mut entries = Vec::with_capacity(m * k * n_out);
+        for table in &centred {
+            for kk in 0..k {
+                for j in 0..n_out {
+                    let q = (table[(kk, j)] / scales[j]).round().clamp(-127.0, 127.0);
+                    entries.push(q as i8);
+                }
+            }
+        }
+        let lut_i8 = Int8Lut {
+            m,
+            k,
+            n_out,
+            entries,
+            scales,
+            biases,
+        };
+
+        // 5. Input quantiser and hardware-form encoders.
+        let input_scale = QuantScale::fit_clipped(x.data());
+        let qencoders = encoders.iter().map(|e| e.quantize(input_scale)).collect();
+
+        Ok(MaddnessMatmul {
+            params,
+            d_in: d,
+            n_out,
+            encoders,
+            qencoders,
+            input_scale,
+            prototypes,
+            lut_f32,
+            lut_i8,
+        })
+    }
+
+    /// Input feature count `d`.
+    pub fn in_features(&self) -> usize {
+        self.d_in
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.n_out
+    }
+
+    /// Number of subspaces `M`.
+    pub fn num_subspaces(&self) -> usize {
+        self.encoders.len()
+    }
+
+    /// Prototypes per subspace `K`.
+    pub fn num_prototypes(&self) -> usize {
+        1 << self.params.levels
+    }
+
+    /// The training parameters.
+    pub fn params(&self) -> &MaddnessParams {
+        &self.params
+    }
+
+    /// The float hash functions.
+    pub fn encoders(&self) -> &[BdtEncoder] {
+        &self.encoders
+    }
+
+    /// The 8-bit deployed hash functions (programmed into the DLC trees).
+    pub fn quantized_encoders(&self) -> &[QuantizedBdt] {
+        &self.qencoders
+    }
+
+    /// The INT8 LUTs (programmed into the decoder SRAMs).
+    pub fn lut_i8(&self) -> &Int8Lut {
+        &self.lut_i8
+    }
+
+    /// The activation quantisation scale.
+    pub fn input_scale(&self) -> QuantScale {
+        self.input_scale
+    }
+
+    /// The full-dimensional prototype matrix (`(M·K) × d`).
+    pub fn prototypes(&self) -> &Mat {
+        &self.prototypes
+    }
+
+    /// Float-path encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    pub fn encode(&self, x: &Mat) -> Encoding {
+        self.check_width(x);
+        let m = self.num_subspaces();
+        let sl = self.params.subspace_len;
+        let mut codes = Vec::with_capacity(x.rows() * m);
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            for (s, enc) in self.encoders.iter().enumerate() {
+                codes.push(enc.encode_one(&row[s * sl..(s + 1) * sl]) as u8);
+            }
+        }
+        Encoding {
+            codes,
+            rows: x.rows(),
+            m,
+        }
+    }
+
+    /// Hardware-path encoding: rows are quantised to INT8 first, then
+    /// hashed with the integer-threshold trees (bit-exact DLC behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    pub fn encode_quantized(&self, x: &Mat) -> Encoding {
+        self.check_width(x);
+        let m = self.num_subspaces();
+        let sl = self.params.subspace_len;
+        let mut codes = Vec::with_capacity(x.rows() * m);
+        let mut qrow = vec![0i8; self.d_in];
+        for r in 0..x.rows() {
+            for (q, &v) in qrow.iter_mut().zip(x.row(r)) {
+                *q = self.input_scale.quantize(v);
+            }
+            for (s, enc) in self.qencoders.iter().enumerate() {
+                codes.push(enc.encode_one(&qrow[s * sl..(s + 1) * sl]) as u8);
+            }
+        }
+        Encoding {
+            codes,
+            rows: x.rows(),
+            m,
+        }
+    }
+
+    /// Float-path decode: gather + sum the float LUTs.
+    pub fn decode_f32(&self, enc: &Encoding) -> Mat {
+        self.check_encoding(enc);
+        let mut out = Mat::zeros(enc.rows(), self.n_out);
+        for r in 0..enc.rows() {
+            let out_row = out.row_mut(r);
+            for (s, table) in self.lut_f32.iter().enumerate() {
+                let k = enc.code(r, s) as usize;
+                for (o, &v) in out_row.iter_mut().zip(table.row(k)) {
+                    *o += v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Integer decode with exact 32-bit accumulation of raw LUT bytes —
+    /// the reference the RTL simulation is checked against.
+    pub fn decode_i32(&self, enc: &Encoding) -> Vec<Vec<i32>> {
+        self.check_encoding(enc);
+        let mut out = vec![vec![0i32; self.n_out]; enc.rows()];
+        for (r, out_row) in out.iter_mut().enumerate() {
+            for s in 0..enc.num_subspaces() {
+                let k = enc.code(r, s) as usize;
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o += self.lut_i8.entry(s, k, j) as i32;
+                }
+            }
+        }
+        out
+    }
+
+    /// Integer decode with *wrapping 16-bit* accumulation — the exact
+    /// semantics of the hardware's 16-bit carry-save chain and ripple-carry
+    /// adder.
+    pub fn decode_i16_wrapping(&self, enc: &Encoding) -> Vec<Vec<i16>> {
+        self.check_encoding(enc);
+        let mut out = vec![vec![0i16; self.n_out]; enc.rows()];
+        for (r, out_row) in out.iter_mut().enumerate() {
+            for s in 0..enc.num_subspaces() {
+                let k = enc.code(r, s) as usize;
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o = o.wrapping_add(self.lut_i8.entry(s, k, j) as i16);
+                }
+            }
+        }
+        out
+    }
+
+    /// The deployed approximate matmul: INT8 encode, integer decode,
+    /// dequantise by the per-column LUT scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    pub fn matmul(&self, x: &Mat) -> Mat {
+        let enc = self.encode_quantized(x);
+        let ints = self.decode_i32(&enc);
+        let mut out = Mat::zeros(x.rows(), self.n_out);
+        for (r, int_row) in ints.iter().enumerate() {
+            for (j, &v) in int_row.iter().enumerate() {
+                out[(r, j)] = v as f32 * self.lut_i8.scale(j) + self.lut_i8.bias(j);
+            }
+        }
+        out
+    }
+
+    /// The float "algorithm" path (no quantisation anywhere).
+    pub fn matmul_f32(&self, x: &Mat) -> Mat {
+        let enc = self.encode(x);
+        self.decode_f32(&enc)
+    }
+
+    fn check_width(&self, x: &Mat) {
+        assert_eq!(
+            x.cols(),
+            self.d_in,
+            "input width {} does not match operator ({})",
+            x.cols(),
+            self.d_in
+        );
+    }
+
+    fn check_encoding(&self, enc: &Encoding) {
+        assert_eq!(
+            enc.num_subspaces(),
+            self.num_subspaces(),
+            "encoding subspace count mismatch"
+        );
+    }
+}
+
+/// Finds the symmetric-INT8 scale minimising the quantisation MSE of
+/// `values`, sweeping clipping factors from the max-abs scale downwards.
+fn mse_optimal_scale(values: &[f32]) -> f32 {
+    let max = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if max == 0.0 || !max.is_finite() {
+        return 1.0;
+    }
+    let base = max / 127.0;
+    let mut best_scale = base;
+    let mut best_mse = f64::INFINITY;
+    for factor in [1.0f32, 0.8, 0.6, 0.5, 0.4, 0.3, 0.25, 0.2, 0.15, 0.1] {
+        let scale = base * factor;
+        let mse: f64 = values
+            .iter()
+            .map(|&v| {
+                let q = (v / scale).round().clamp(-127.0, 127.0);
+                let err = (v - q * scale) as f64;
+                err * err
+            })
+            .sum();
+        if mse < best_mse {
+            best_mse = mse;
+            best_scale = scale;
+        }
+    }
+    best_scale
+}
+
+/// Plain bucket-mean prototypes (no ridge): the mean of each hash bucket,
+/// embedded in the full `d`-dimensional space (zero outside the subspace).
+fn bucket_mean_prototypes(
+    x: &Mat,
+    assignments: &[Vec<usize>],
+    m: usize,
+    k: usize,
+    subspace_len: usize,
+) -> Mat {
+    let d = x.cols();
+    let mut protos = Mat::zeros(m * k, d);
+    for (s, assign) in assignments.iter().enumerate() {
+        let lo = s * subspace_len;
+        let mut counts = vec![0usize; k];
+        for (r, &code) in assign.iter().enumerate() {
+            counts[code] += 1;
+            for c in 0..subspace_len {
+                protos[(s * k + code, lo + c)] += x[(r, lo + c)];
+            }
+        }
+        for (code, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                for c in 0..subspace_len {
+                    protos[(s * k + code, lo + c)] /= count as f32;
+                }
+            }
+        }
+    }
+    protos
+}
+
+/// Global ridge-regression prototype refit (MADDNESS §4.3): solve
+/// `(GᵀG + λI)·P = Gᵀ·X`, where `G` is the `n × (M·K)` one-hot bucket
+/// indicator. The refit prototypes may extend outside their subspace,
+/// compensating quantisation error elsewhere; LUT construction absorbs
+/// them offline, so hardware cost is unchanged.
+fn ridge_prototypes(
+    x: &Mat,
+    assignments: &[Vec<usize>],
+    m: usize,
+    k: usize,
+    lambda: f32,
+) -> Result<Mat, MaddnessError> {
+    let n = x.rows();
+    let mk = m * k;
+    let lambda = if lambda > 0.0 { lambda } else { 1e-4 };
+    // GᵀG: co-occurrence counts of bucket pairs. Build densely — mk ≤ 4096.
+    let mut gtg = Mat::zeros(mk, mk);
+    for r in 0..n {
+        // Indices of the M active buckets of row r.
+        for (s1, a1) in assignments.iter().enumerate() {
+            let i = s1 * k + a1[r];
+            for (s2, a2) in assignments.iter().enumerate() {
+                let j = s2 * k + a2[r];
+                gtg[(i, j)] += 1.0;
+            }
+        }
+    }
+    for i in 0..mk {
+        gtg[(i, i)] += lambda;
+    }
+    // GᵀX.
+    let mut gtx = Mat::zeros(mk, x.cols());
+    for r in 0..n {
+        for (s, assign) in assignments.iter().enumerate() {
+            let i = s * k + assign[r];
+            for c in 0..x.cols() {
+                gtx[(i, c)] += x[(r, c)];
+            }
+        }
+    }
+    cholesky_solve(&gtg, &gtx).map_err(|e| MaddnessError::RidgeFailed(e.to_string()))
+}
+
+/// A matrix-multiply operator: either exact or approximate. The benchmark
+/// harness and the CNN substrate treat all implementations uniformly.
+pub trait AmmOperator: fmt::Debug {
+    /// Input feature count.
+    fn in_features(&self) -> usize;
+
+    /// Output feature count.
+    fn out_features(&self) -> usize;
+
+    /// Computes (an approximation of) `x · W`.
+    fn apply(&self, x: &Mat) -> Mat;
+
+    /// Short display name for reports.
+    fn op_name(&self) -> &'static str;
+}
+
+impl AmmOperator for MaddnessMatmul {
+    fn in_features(&self) -> usize {
+        self.in_features()
+    }
+
+    fn out_features(&self) -> usize {
+        self.out_features()
+    }
+
+    fn apply(&self, x: &Mat) -> Mat {
+        self.matmul(x)
+    }
+
+    fn op_name(&self) -> &'static str {
+        "maddness-int8"
+    }
+}
+
+/// The exact floating-point matmul baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactMatmul {
+    w: Mat,
+}
+
+impl ExactMatmul {
+    /// Wraps a weight matrix (`d × n_out`).
+    pub fn new(w: Mat) -> ExactMatmul {
+        ExactMatmul { w }
+    }
+
+    /// The wrapped weights.
+    pub fn weights(&self) -> &Mat {
+        &self.w
+    }
+}
+
+impl AmmOperator for ExactMatmul {
+    fn in_features(&self) -> usize {
+        self.w.rows()
+    }
+
+    fn out_features(&self) -> usize {
+        self.w.cols()
+    }
+
+    fn apply(&self, x: &Mat) -> Mat {
+        x.matmul(&self.w)
+    }
+
+    fn op_name(&self) -> &'static str {
+        "exact-f32"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::nmse;
+
+    /// Structured calibration data: rows cluster along each subspace.
+    fn calib(n: usize, d: usize) -> Mat {
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|j| {
+                        let cluster = ((i * (j + 3)) % 7) as f32;
+                        cluster - 3.0 + 0.05 * ((i + j) % 5) as f32
+                    })
+                    .collect()
+            })
+            .collect();
+        let slices: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        Mat::from_rows(&slices)
+    }
+
+    fn weights(d: usize, n_out: usize) -> Mat {
+        let mut w = Mat::zeros(d, n_out);
+        for r in 0..d {
+            for c in 0..n_out {
+                w[(r, c)] = (((r * 5 + c * 3) % 9) as f32 - 4.0) / 4.0;
+            }
+        }
+        w
+    }
+
+    fn small_params() -> MaddnessParams {
+        MaddnessParams {
+            levels: 3,
+            subspace_len: 4,
+            optimize_prototypes: true,
+            ridge_lambda: 1.0,
+        }
+    }
+
+    #[test]
+    fn train_and_shapes() {
+        let x = calib(128, 8);
+        let w = weights(8, 3);
+        let op = MaddnessMatmul::train(&x, &w, small_params()).unwrap();
+        assert_eq!(op.num_subspaces(), 2);
+        assert_eq!(op.num_prototypes(), 8);
+        assert_eq!(op.in_features(), 8);
+        assert_eq!(op.out_features(), 3);
+        let y = op.matmul(&x);
+        assert_eq!((y.rows(), y.cols()), (128, 3));
+    }
+
+    #[test]
+    fn approximation_beats_zero_baseline_decisively() {
+        let x = calib(256, 8);
+        let w = weights(8, 4);
+        let op = MaddnessMatmul::train(&x, &w, small_params()).unwrap();
+        let exact = x.matmul(&w);
+        let approx = op.matmul(&x);
+        let e = nmse(&exact, &approx);
+        assert!(e < 0.15, "nmse {e} too high — approximation broken");
+    }
+
+    #[test]
+    fn ridge_refit_improves_over_bucket_means() {
+        let x = calib(256, 8);
+        let w = weights(8, 4);
+        let exact = x.matmul(&w);
+        let plain = MaddnessMatmul::train(
+            &x,
+            &w,
+            MaddnessParams {
+                optimize_prototypes: false,
+                ..small_params()
+            },
+        )
+        .unwrap();
+        let ridge = MaddnessMatmul::train(&x, &w, small_params()).unwrap();
+        let e_plain = nmse(&exact, &plain.matmul_f32(&x));
+        let e_ridge = nmse(&exact, &ridge.matmul_f32(&x));
+        assert!(
+            e_ridge <= e_plain + 1e-9,
+            "ridge {e_ridge} must not be worse than means {e_plain}"
+        );
+    }
+
+    #[test]
+    fn int_path_tracks_float_path() {
+        let x = calib(128, 8);
+        let w = weights(8, 3);
+        let op = MaddnessMatmul::train(&x, &w, small_params()).unwrap();
+        let f = op.matmul_f32(&x);
+        let q = op.matmul(&x);
+        let e = nmse(&f, &q);
+        assert!(e < 0.05, "int8 path diverges from float path: nmse {e}");
+    }
+
+    #[test]
+    fn decode_i16_equals_i32_when_in_range() {
+        let x = calib(64, 8);
+        let w = weights(8, 3);
+        let op = MaddnessMatmul::train(&x, &w, small_params()).unwrap();
+        let enc = op.encode_quantized(&x);
+        let i32s = op.decode_i32(&enc);
+        let i16s = op.decode_i16_wrapping(&enc);
+        for (r32, r16) in i32s.iter().zip(&i16s) {
+            for (&a, &b) in r32.iter().zip(r16) {
+                // M = 2 subspaces × |entry| ≤ 127 → always in i16 range.
+                assert_eq!(a, b as i32);
+            }
+        }
+    }
+
+    #[test]
+    fn lut_table_matches_entries() {
+        let x = calib(64, 8);
+        let w = weights(8, 3);
+        let op = MaddnessMatmul::train(&x, &w, small_params()).unwrap();
+        let lut = op.lut_i8();
+        let t = lut.table(1, 2);
+        assert_eq!(t.len(), lut.num_prototypes());
+        for (k, &v) in t.iter().enumerate() {
+            assert_eq!(v, lut.entry(1, k, 2));
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        let x = calib(16, 8);
+        let w = weights(9, 2); // wrong row count
+        assert!(matches!(
+            MaddnessMatmul::train(&x, &w, small_params()),
+            Err(MaddnessError::DimensionMismatch { .. })
+        ));
+        let w = weights(8, 2);
+        let bad = MaddnessParams {
+            subspace_len: 3, // 8 % 3 ≠ 0
+            ..small_params()
+        };
+        assert!(matches!(
+            MaddnessMatmul::train(&x, &w, bad),
+            Err(MaddnessError::BadConfig(_))
+        ));
+        assert!(matches!(
+            MaddnessMatmul::train(&Mat::zeros(0, 8), &w, small_params()),
+            Err(MaddnessError::EmptyCalibration)
+        ));
+    }
+
+    #[test]
+    fn exact_operator_is_exact() {
+        let x = calib(16, 8);
+        let w = weights(8, 2);
+        let op = ExactMatmul::new(w.clone());
+        assert_eq!(op.apply(&x), x.matmul(&w));
+        assert_eq!(op.op_name(), "exact-f32");
+        assert_eq!(op.in_features(), 8);
+        assert_eq!(op.out_features(), 2);
+    }
+
+    #[test]
+    fn encoding_accessors() {
+        let x = calib(8, 8);
+        let w = weights(8, 2);
+        let op = MaddnessMatmul::train(&x, &w, small_params()).unwrap();
+        let enc = op.encode_quantized(&x);
+        assert_eq!(enc.rows(), 8);
+        assert_eq!(enc.num_subspaces(), 2);
+        assert_eq!(enc.row(3).len(), 2);
+        assert_eq!(enc.row(3)[1], enc.code(3, 1));
+        assert!(enc.row(3).iter().all(|&c| (c as usize) < op.num_prototypes()));
+    }
+
+    #[test]
+    fn amm_trait_object_safety() {
+        let x = calib(32, 8);
+        let w = weights(8, 2);
+        let ops: Vec<Box<dyn AmmOperator>> = vec![
+            Box::new(ExactMatmul::new(w.clone())),
+            Box::new(MaddnessMatmul::train(&x, &w, small_params()).unwrap()),
+        ];
+        for op in &ops {
+            let y = op.apply(&x);
+            assert_eq!(y.cols(), 2, "{}", op.op_name());
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Approximation-quality metrics used across the evaluation.
+
+use crate::linalg::Mat;
+
+/// Normalised mean squared error `‖A − B‖² / ‖A‖²` between a reference and
+/// an approximation.
+///
+/// Returns 0 for two all-zero matrices (a perfect, if degenerate, match).
+///
+/// ```
+/// use maddpipe_amm::linalg::Mat;
+/// use maddpipe_amm::metrics::nmse;
+///
+/// let a = Mat::from_rows(&[&[1.0, 0.0]]);
+/// assert_eq!(nmse(&a, &a), 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn nmse(reference: &Mat, approx: &Mat) -> f64 {
+    assert_eq!(
+        (reference.rows(), reference.cols()),
+        (approx.rows(), approx.cols()),
+        "nmse shape mismatch"
+    );
+    let err: f64 = reference
+        .data()
+        .iter()
+        .zip(approx.data())
+        .map(|(&a, &b)| {
+            let d = (a - b) as f64;
+            d * d
+        })
+        .sum();
+    let norm: f64 = reference.data().iter().map(|&a| (a as f64) * (a as f64)).sum();
+    if norm == 0.0 {
+        if err == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        err / norm
+    }
+}
+
+/// Largest absolute element-wise error.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn max_abs_error(reference: &Mat, approx: &Mat) -> f32 {
+    assert_eq!(
+        (reference.rows(), reference.cols()),
+        (approx.rows(), approx.cols()),
+        "max_abs_error shape mismatch"
+    );
+    reference
+        .data()
+        .iter()
+        .zip(approx.data())
+        .map(|(&a, &b)| (a - b).abs())
+        .fold(0.0, f32::max)
+}
+
+/// Fraction of rows whose argmax matches between reference and
+/// approximation — "classification agreement", the metric behind the
+/// paper's Table II accuracy row (identical accuracy ⇔ agreement ≈ 1).
+///
+/// # Panics
+///
+/// Panics on shape mismatch or zero-width matrices.
+pub fn argmax_agreement(reference: &Mat, approx: &Mat) -> f64 {
+    assert_eq!(
+        (reference.rows(), reference.cols()),
+        (approx.rows(), approx.cols()),
+        "argmax_agreement shape mismatch"
+    );
+    assert!(reference.cols() > 0, "argmax of empty rows is undefined");
+    let mut same = 0usize;
+    for r in 0..reference.rows() {
+        if argmax(reference.row(r)) == argmax(approx.row(r)) {
+            same += 1;
+        }
+    }
+    same as f64 / reference.rows().max(1) as f64
+}
+
+/// Index of the maximum element (first on ties).
+pub fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nmse_zero_for_identical() {
+        let a = Mat::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        assert_eq!(nmse(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn nmse_one_for_zero_approximation() {
+        let a = Mat::from_rows(&[&[1.0, 2.0]]);
+        let z = Mat::zeros(1, 2);
+        assert!((nmse(&a, &z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmse_zero_reference_edge_cases() {
+        let z = Mat::zeros(1, 2);
+        assert_eq!(nmse(&z, &z), 0.0);
+        let nz = Mat::from_rows(&[&[1.0, 0.0]]);
+        assert!(nmse(&z, &nz).is_infinite());
+    }
+
+    #[test]
+    fn max_abs_error_finds_worst() {
+        let a = Mat::from_rows(&[&[1.0, 2.0]]);
+        let b = Mat::from_rows(&[&[1.5, -1.0]]);
+        assert!((max_abs_error(&a, &b) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn agreement_counts_matching_argmax() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[5.0, 0.0]]);
+        let b = Mat::from_rows(&[&[0.0, 9.0], &[0.0, 1.0]]);
+        // Row 0 agrees (argmax 1), row 1 does not.
+        assert!((argmax_agreement(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 1.0, 0.0]), 0);
+        assert_eq!(argmax(&[0.0, 2.0, 2.0]), 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # maddpipe-baselines
+//!
+//! Models of the two prior accelerators the paper compares against in
+//! Table II:
+//!
+//! * [`analog_dtc`] — Fuketa, TCAS-I 2023 (\[21\]): analog time-domain
+//!   Manhattan-distance encoder with thermometer-coded delay chains.
+//!   Provides both the PPA model (including the paper's digital-only area
+//!   normalisation) and the noisy functional encoder that reproduces the
+//!   analog accuracy penalty.
+//! * [`stella_nera`] — Schönleber et al. (\[22\]): fully-synthesizable
+//!   clocked MADDNESS with standard-cell-memory LUTs. Same algorithm as
+//!   the proposed macro (hence identical accuracy), ~3× decoder and ~20×
+//!   encoder energy.
+//!
+//! ```
+//! use maddpipe_baselines::prelude::*;
+//!
+//! let analog = AnalogDtcPpa::published();
+//! let digital = StellaNeraPpa::published();
+//! assert!(digital.tops > analog.tops());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analog_dtc;
+pub mod stella_nera;
+
+pub use analog_dtc::{AnalogDtcEncoder, AnalogDtcPpa};
+pub use stella_nera::StellaNeraPpa;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::analog_dtc::{AnalogDtcEncoder, AnalogDtcPpa};
+    pub use crate::stella_nera::StellaNeraPpa;
+}

@@ -1,0 +1,202 @@
+//! Model of Stella Nera (Schönleber et al., reference \[22\]) — the
+//! fully-synthesizable all-digital MADDNESS accelerator the paper compares
+//! against at 14 nm.
+//!
+//! Architecturally Stella Nera runs the *same* algorithm as the proposed
+//! macro (balanced BDT encode + LUT decode), so its accuracy is identical
+//! by construction — the Table II accuracy row shows 92.6 % for both. The
+//! differences are circuit-level, and the paper quantifies them:
+//!
+//! * **LUTs in standard-cell memory** (latch arrays) instead of 10T-SRAM:
+//!   the paper attributes a 66 % read-energy reduction to the SRAM, i.e.
+//!   the SCM LUT costs ≈ 3× per read.
+//! * **Clocked encoder with threshold readout**: thresholds live in a
+//!   memory that is read every classification, plus pipeline registers and
+//!   a global clock — the proposed dynamic encoder "reduced energy
+//!   consumption by 95 %", i.e. Stella Nera's encoder costs ≈ 20×.
+//!
+//! Those two ratios, applied to the proposed macro's calibrated decoder /
+//! encoder energies, *predict* Stella Nera's published energy split
+//! (16.47 fJ/op decoder, 1.27 fJ/op encoder) — the consistency test below
+//! checks that prediction against the published values.
+
+use maddpipe_tech::process::scale_area;
+use maddpipe_tech::units::{Area, Hertz, Joules, Volts};
+use core::fmt;
+
+/// Published / derived PPA of Stella Nera (14 nm FinFET, synthesis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StellaNeraPpa {
+    /// Drawn process node.
+    pub node_nm: f64,
+    /// Effective-density node used for planar-vs-FinFET area
+    /// normalisation: a 14 nm FinFET library's routed density corresponds
+    /// to roughly a 16 nm planar equivalent, which is what reproduces the
+    /// paper's 5.1 → 2.70 TOPS/mm² normalisation.
+    pub effective_node_nm: f64,
+    /// Supply voltage.
+    pub vdd: Volts,
+    /// Macro area.
+    pub area: Area,
+    /// Clock frequency.
+    pub frequency: Hertz,
+    /// Throughput.
+    pub tops: f64,
+    /// Encoder energy per op.
+    pub energy_encoder_per_op: Joules,
+    /// Decoder (SCM LUT) energy per op.
+    pub energy_decoder_per_op: Joules,
+    /// Peripheral energy per op (clock tree, weight/threshold memories,
+    /// interconnect): the headline 43.1 TOPS/W implies 23.2 fJ/op total,
+    /// of which only 17.7 fJ is the encoder+decoder pair the paper
+    /// itemises — the remainder is accounted here.
+    pub energy_other_per_op: Joules,
+    /// ResNet9 / CIFAR-10 accuracy.
+    pub resnet9_accuracy: f64,
+}
+
+impl StellaNeraPpa {
+    /// The Table II configuration.
+    pub fn published() -> StellaNeraPpa {
+        StellaNeraPpa {
+            node_nm: 14.0,
+            effective_node_nm: 16.0,
+            vdd: Volts(0.55),
+            area: Area::from_mm2(0.57),
+            frequency: Hertz::from_mega_hertz(624.0),
+            tops: 2.9,
+            energy_encoder_per_op: Joules::from_femtos(1.27),
+            energy_decoder_per_op: Joules::from_femtos(16.47),
+            energy_other_per_op: Joules::from_femtos(5.46),
+            resnet9_accuracy: 0.926,
+        }
+    }
+
+    /// Total energy per op (encoder + decoder + peripherals).
+    pub fn energy_per_op(&self) -> Joules {
+        self.energy_encoder_per_op + self.energy_decoder_per_op + self.energy_other_per_op
+    }
+
+    /// Energy efficiency in TOPS/W — evaluates to the published
+    /// 43.1 TOPS/W (the gap to the proposed macro's 174 comes almost
+    /// entirely from the decoder's standard-cell memory).
+    pub fn tops_per_watt(&self) -> f64 {
+        1e3 / self.energy_per_op().as_femtos()
+    }
+
+    /// Raw area efficiency.
+    pub fn area_efficiency(&self) -> f64 {
+        self.tops / self.area.as_mm2()
+    }
+
+    /// Area efficiency normalised to `node_nm` using the effective-density
+    /// node (FinFET libraries do not follow drawn-node² scaling).
+    pub fn area_efficiency_scaled_to(&self, node_nm: f64) -> f64 {
+        let scaled = scale_area(self.area, self.effective_node_nm, node_nm);
+        self.tops / scaled.as_mm2()
+    }
+
+    /// Predicts this design's per-op energies from the *proposed* macro's
+    /// calibrated components and the paper's two stated ratios (decoder
+    /// ×3 for SCM vs SRAM, encoder ×20 for clocked vs dynamic), after
+    /// normalising for supply and node. Used as a consistency check that
+    /// the comparison in Table II is internally coherent.
+    pub fn predicted_from_proposed(
+        proposed_decoder_fj_per_op: f64,
+        proposed_encoder_fj_per_op: f64,
+    ) -> (Joules, Joules) {
+        // Normalise 22 nm @0.5 V → 14 nm @0.55 V: energy ≈ C·V²; C scales
+        // ~linearly with node for a fixed function.
+        let node_scale = 14.0 / 22.0;
+        let v_scale = (0.55f64 / 0.5).powi(2);
+        let decoder = proposed_decoder_fj_per_op * (1.0 / (1.0 - 0.66)) * node_scale * v_scale;
+        let encoder = proposed_encoder_fj_per_op * 20.0 * node_scale * v_scale;
+        (
+            Joules::from_femtos(decoder),
+            Joules::from_femtos(encoder),
+        )
+    }
+}
+
+impl fmt::Display for StellaNeraPpa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Stella Nera [22]: {:.1} TOPS, {:.1} TOPS/W, {:.1} TOPS/mm² ({:.2} @22nm)",
+            self.tops,
+            self.tops_per_watt(),
+            self.area_efficiency(),
+            self.area_efficiency_scaled_to(22.0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_ppa_matches_table2() {
+        let p = StellaNeraPpa::published();
+        assert!(
+            (p.tops_per_watt() - 43.1).abs() < 1.0,
+            "TOPS/W {}",
+            p.tops_per_watt()
+        );
+        assert!(
+            (p.area_efficiency() - 5.1).abs() < 0.1,
+            "raw {}",
+            p.area_efficiency()
+        );
+        assert!(
+            (p.area_efficiency_scaled_to(22.0) - 2.70).abs() < 0.05,
+            "scaled {}",
+            p.area_efficiency_scaled_to(22.0)
+        );
+    }
+
+    /// The paper's stated component ratios (×3 SCM LUT, ×20 clocked
+    /// encoder) applied to the proposed macro's calibrated energies must
+    /// land near Stella Nera's published per-op energies — the three
+    /// documents (our calibration, the ratios, the published numbers) have
+    /// to agree with each other.
+    #[test]
+    fn component_ratios_are_internally_consistent() {
+        // Proposed at 0.5 V: decoder 5.6 fJ/op, encoder 0.054 fJ/op
+        // (paper Table II).
+        let (dec, enc) = StellaNeraPpa::predicted_from_proposed(5.6, 0.054);
+        let p = StellaNeraPpa::published();
+        let dec_err =
+            (dec.as_femtos() - p.energy_decoder_per_op.as_femtos()).abs()
+                / p.energy_decoder_per_op.as_femtos();
+        assert!(
+            dec_err < 0.35,
+            "decoder prediction {} vs published {}",
+            dec.as_femtos(),
+            p.energy_decoder_per_op.as_femtos()
+        );
+        let enc_err =
+            (enc.as_femtos() - p.energy_encoder_per_op.as_femtos()).abs()
+                / p.energy_encoder_per_op.as_femtos();
+        assert!(
+            enc_err < 0.45,
+            "encoder prediction {} vs published {}",
+            enc.as_femtos(),
+            p.energy_encoder_per_op.as_femtos()
+        );
+    }
+
+    #[test]
+    fn same_algorithm_same_accuracy() {
+        // Stella Nera and the proposed macro run the identical BDT
+        // algorithm — the model must carry the same accuracy (92.6 %).
+        let p = StellaNeraPpa::published();
+        assert_eq!(p.resnet9_accuracy, 0.926);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let s = StellaNeraPpa::published().to_string();
+        assert!(s.contains("TOPS/W"), "{s}");
+    }
+}

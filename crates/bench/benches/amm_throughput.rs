@@ -1,0 +1,62 @@
+//! Criterion benchmark: MADDNESS encode/decode throughput vs exact GEMM on
+//! the CPU — the software-side view of the paper's premise that table
+//! lookups replace multiplications.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use maddpipe_amm::prelude::*;
+
+fn calibration(n: usize, d: usize) -> Mat {
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|j| (((i * 31 + j * 17) % 23) as f32 - 11.0) / 11.0)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+    Mat::from_rows(&refs)
+}
+
+fn weights(d: usize, n_out: usize) -> Mat {
+    let mut w = Mat::zeros(d, n_out);
+    for r in 0..d {
+        for c in 0..n_out {
+            w[(r, c)] = (((r * 7 + c * 13) % 19) as f32 - 9.0) / 9.0;
+        }
+    }
+    w
+}
+
+fn bench_amm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("amm_vs_gemm");
+    // The flagship macro shape: d = 32 channels × 9, 16 outputs.
+    let d = 32 * 9;
+    let n_out = 16;
+    let x = calibration(512, d);
+    let w = weights(d, n_out);
+    let op = MaddnessMatmul::train(&x, &w, MaddnessParams::default()).expect("train");
+    let exact = ExactMatmul::new(w);
+    group.throughput(Throughput::Elements((x.rows() * d * n_out) as u64));
+    group.bench_with_input(BenchmarkId::new("exact_gemm", d), &x, |b, x| {
+        b.iter(|| exact.apply(x))
+    });
+    group.bench_with_input(BenchmarkId::new("maddness_int8", d), &x, |b, x| {
+        b.iter(|| op.matmul(x))
+    });
+    group.bench_with_input(BenchmarkId::new("maddness_encode_only", d), &x, |b, x| {
+        b.iter(|| op.encode_quantized(x))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("bdt_train");
+    for &n in &[256usize, 1024] {
+        let sub = calibration(n, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sub, |b, sub| {
+            b.iter(|| BdtEncoder::train(sub, 4).expect("train"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_amm);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmark: full-macro RTL simulation — tokens per second of
+//! host time through the event-driven netlist at two macro sizes, plus the
+//! analytic-model evaluation cost (the fast path used for sweeps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maddpipe_core::macro_rtl::{AcceleratorRtl, MacroProgram};
+use maddpipe_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_token(ns: usize, rng: &mut StdRng) -> Vec<[i8; SUBVECTOR_LEN]> {
+    (0..ns)
+        .map(|_| {
+            let mut x = [0i8; SUBVECTOR_LEN];
+            for v in x.iter_mut() {
+                *v = rng.gen_range(-128i32..=127) as i8;
+            }
+            x
+        })
+        .collect()
+}
+
+fn bench_macro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("macro_rtl");
+    group.sample_size(20);
+    for &(ndec, ns) in &[(2usize, 2usize), (4, 8)] {
+        group.bench_with_input(
+            BenchmarkId::new("run_token", format!("ndec{ndec}_ns{ns}")),
+            &(ndec, ns),
+            |bencher, &(ndec, ns)| {
+                let cfg = MacroConfig::new(ndec, ns)
+                    .with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
+                let program = MacroProgram::random(ndec, ns, 1);
+                let mut rtl = AcceleratorRtl::build(&cfg, &program);
+                let mut rng = StdRng::seed_from_u64(2);
+                bencher.iter(|| {
+                    let token = random_token(ns, &mut rng);
+                    rtl.run_token(&token).expect("token")
+                });
+            },
+        );
+    }
+    group.bench_function("analytic_model_evaluate", |bencher| {
+        let cfg = MacroConfig::paper_flagship();
+        bencher.iter(|| MacroModel::new(cfg.clone()).evaluate());
+    });
+    group.bench_function("netlist_build_ndec4_ns8", |bencher| {
+        let program = MacroProgram::random(4, 8, 3);
+        bencher.iter(|| {
+            let cfg = MacroConfig::new(4, 8)
+                .with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
+            AcceleratorRtl::build(&cfg, &program)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_macro);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benchmark: raw event-kernel throughput of the simulator —
+//! events per second through gate chains and completion trees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use maddpipe_sim::prelude::*;
+use maddpipe_sram::rcd::build_completion_tree;
+
+fn inverter_chain(n: usize) -> (Simulator, NetId, NetId) {
+    let lib = CellLibrary::new(Technology::n22(), OperatingPoint::default());
+    let mut b = CircuitBuilder::new(lib);
+    let input = b.input("in");
+    let mut node = input;
+    for i in 0..n {
+        node = b.inv(&format!("u{i}"), node);
+    }
+    (Simulator::new(b.build()), input, node)
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_kernel");
+    for &n in &[64usize, 512] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("inverter_chain", n),
+            &n,
+            |bencher, &n| {
+                let (mut sim, input, _) = inverter_chain(n);
+                sim.poke(input, Logic::Low);
+                sim.run_to_quiescence().expect("settle");
+                let mut level = Logic::High;
+                bencher.iter(|| {
+                    sim.poke(input, level);
+                    level = !level;
+                    sim.run_to_quiescence().expect("propagate")
+                });
+            },
+        );
+    }
+    group.bench_function("completion_tree_128", |bencher| {
+        let lib = CellLibrary::new(Technology::n22(), OperatingPoint::default());
+        let mut b = CircuitBuilder::new(lib);
+        let inputs: Vec<NetId> = (0..128).map(|i| b.input(format!("i{i}"))).collect();
+        let _out = build_completion_tree(&mut b, "rcd", &inputs);
+        let mut sim = Simulator::new(b.build());
+        for &i in &inputs {
+            sim.poke(i, Logic::Low);
+        }
+        sim.run_to_quiescence().expect("settle");
+        let mut high = true;
+        bencher.iter(|| {
+            for &i in &inputs {
+                sim.poke(i, Logic::from_bool(high));
+            }
+            high = !high;
+            sim.run_to_quiescence().expect("propagate")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

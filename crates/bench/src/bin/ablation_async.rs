@@ -1,0 +1,58 @@
+//! Ablation for the **self-synchronous pipeline** claim (§III-A): the same
+//! datapath under a margined global clock vs the paper's asynchronous
+//! handshake, across corners and supplies.
+//!
+//! The clocked design must sign off at the slowest corner's worst-case
+//! data, pays clock-tree/register energy every cycle, and cannot exploit
+//! fast silicon; the asynchronous design runs at actual-silicon,
+//! actual-data speed.
+
+use maddpipe_bench::{emit, render_table};
+use maddpipe_core::prelude::*;
+use maddpipe_core::sync_baseline::SyncPipelineModel;
+
+fn main() {
+    let mut rows = Vec::new();
+    for vdd in [0.5, 0.8] {
+        for corner in [Corner::Ssg, Corner::Ttg, Corner::Ffg] {
+            let cfg = MacroConfig::paper_flagship()
+                .with_op(OperatingPoint::new(Volts(vdd), corner));
+            let sync = SyncPipelineModel::new(cfg).evaluate();
+            let async_r = SyncPipelineModel::new(
+                MacroConfig::paper_flagship()
+                    .with_op(OperatingPoint::new(Volts(vdd), corner)),
+            )
+            .async_counterpart();
+            rows.push(vec![
+                format!("{vdd:.1}"),
+                corner.to_string(),
+                format!("{:.3}", sync.tops),
+                format!("{:.3}", async_r.tops_avg()),
+                format!("{:.2}×", async_r.tops_avg() / sync.tops),
+                format!("{:.1}", sync.tops_per_watt),
+                format!("{:.1}", async_r.tops_per_watt),
+                format!("{:.2}×", async_r.tops_per_watt / sync.tops_per_watt),
+            ]);
+        }
+    }
+    let mut out = render_table(
+        "Ablation — clocked pipeline vs self-synchronous (Ndec=16, NS=32)",
+        &[
+            "VDD [V]",
+            "corner",
+            "sync TOPS",
+            "async TOPS",
+            "speedup",
+            "sync TOPS/W",
+            "async TOPS/W",
+            "gain",
+        ],
+        &rows,
+    );
+    out.push_str(
+        "\nthe clocked baseline signs off at SSG worst-case data + 10% margin and\n\
+         burns ~150 fF of clock/register capacitance per block per cycle; the\n\
+         asynchronous pipeline tracks actual silicon and actual data (paper §III-A).\n",
+    );
+    emit("ablation_async", &out);
+}

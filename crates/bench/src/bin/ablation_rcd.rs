@@ -1,0 +1,43 @@
+//! Ablation for the **per-column read-completion detection** claim
+//! (§III-C): Monte-Carlo comparison against the conventional replica-column
+//! timing scheme under growing local (column-to-column) variability — the
+//! failure mode the paper cites as the reason to give every column its own
+//! RCD circuit.
+
+use maddpipe_bench::{emit, render_table};
+use maddpipe_sram::replica::ReplicaStudy;
+
+fn main() {
+    let columns = 8 * 16; // one block of the flagship macro: 8 cols × Ndec=16
+    let mut rows = Vec::new();
+    for sigma in [0.02, 0.04, 0.06, 0.08, 0.12] {
+        for margin in [1.05, 1.15, 1.30] {
+            let out = ReplicaStudy::new(sigma, margin, columns).run(20_000, 42);
+            rows.push(vec![
+                format!("{:.0}%", sigma * 100.0),
+                format!("{margin:.2}×"),
+                format!("{:.3}%", out.replica_failure_rate * 100.0),
+                format!("{:.3}", out.replica_mean_slack),
+                format!("{:.1}%", out.rcd_failure_rate * 100.0),
+            ]);
+        }
+    }
+    let mut out = render_table(
+        "Ablation — replica-column timing vs per-column RCD (128 columns/block)",
+        &[
+            "column σ",
+            "replica margin",
+            "replica failures",
+            "replica wasted slack",
+            "RCD failures",
+        ],
+        &rows,
+    );
+    out.push_str(
+        "\na replica column is one sample of the same mismatch distribution as the\n\
+         live columns: at realistic σ it either corrupts reads (thin margin) or\n\
+         wastes latency (fat margin). The per-column RCD derives each latch strobe\n\
+         from the completing column itself and cannot be outrun (paper §III-C).\n",
+    );
+    emit("ablation_rcd", &out);
+}

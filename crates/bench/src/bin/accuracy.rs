@@ -1,0 +1,95 @@
+//! Regenerates the **accuracy row of Table II**: trains a float ResNet9 on
+//! the synthetic CIFAR-like task, then evaluates three deployments —
+//! float, digital BDT MADDNESS (the proposed macro / Stella Nera
+//! algorithm), and the analog noisy Manhattan encoder of \[21\].
+//!
+//! The reproduced claim is the *ordering* (float ≈ digital > analog) and
+//! the fact that the proposed macro is bit-identical to Stella Nera; see
+//! DESIGN.md §2 for the dataset substitution rationale.
+//!
+//! Usage: `cargo run -p maddpipe-bench --bin accuracy --release [--quick]`
+
+use maddpipe_bench::{emit, render_table};
+use maddpipe_nn::prelude::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (train_per_class, test_per_class, width, epochs) =
+        if quick { (16, 8, 4, 3) } else { (48, 24, 8, 8) };
+
+    println!(
+        "training float ResNet9 (width {width}) on synthetic CIFAR \
+         ({train_per_class}/class train, {test_per_class}/class test)…"
+    );
+    let (train_set, test_set) = synthetic_cifar(train_per_class, test_per_class, 16, 2026);
+    let mut net = ResNet9::new(width, 16, 10, 7);
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 40,
+        lr: 0.08,
+        momentum: 0.9,
+    };
+    let stats = train(&mut net, &train_set, &cfg);
+    println!("{stats}");
+
+    let float_acc = evaluate(&mut net, &test_set, 40);
+    let calib_len = train_set.len().min(120);
+    let (calib, _) = train_set.batch(0, calib_len);
+
+    // Digital (proposed macro == Stella Nera algorithm).
+    let mut digital = net.clone();
+    let replaced = substitute_digital(&mut digital, &calib, true).expect("substitution");
+    let digital_acc = evaluate(&mut digital, &test_set, 40);
+
+    // Analog with increasing delay noise; σ is in L1-distance steps of the
+    // thermometer-coded DTC.
+    let mut analog_rows = Vec::new();
+    let mut analog_headline = 0.0f64;
+    for sigma in [0.0, 1.0, 3.0, 6.0] {
+        let mut analog = net.clone();
+        let _ = substitute_analog(&mut analog, &calib, sigma, 17);
+        let acc = evaluate(&mut analog, &test_set, 40);
+        if sigma == 3.0 {
+            analog_headline = acc;
+        }
+        analog_rows.push(vec![format!("{sigma:.1}"), format!("{:.1}%", acc * 100.0)]);
+    }
+
+    let rows = vec![
+        vec!["float (fp32)".into(), format!("{:.1}%", float_acc * 100.0), "–".into()],
+        vec![
+            "digital MADDNESS (proposed & [22])".into(),
+            format!("{:.1}%", digital_acc * 100.0),
+            format!("{replaced} layers substituted"),
+        ],
+        vec![
+            "analog MADDNESS ([21], σ=3)".into(),
+            format!("{:.1}%", analog_headline * 100.0),
+            "noisy time-domain encoder".into(),
+        ],
+    ];
+    let mut out = render_table(
+        "Table II accuracy row — ResNet9 on the synthetic CIFAR task",
+        &["deployment", "top-1 accuracy", "notes"],
+        &rows,
+    );
+    out.push('\n');
+    out.push_str(&render_table(
+        "analog accuracy vs delay-noise σ",
+        &["σ [L1 steps]", "top-1 accuracy"],
+        &analog_rows,
+    ));
+    out.push_str(&format!(
+        "\npaper (CIFAR-10): analog [21] 89.0% < digital 92.6% (proposed ≡ [22]).\n\
+         reproduced ordering: analog {:.1}% << digital {:.1}% < float {:.1}%.\n\
+         the proposed macro is bit-identical to [22] by construction (verified in\n\
+         tests/rtl_equivalence.rs), so their accuracies coincide exactly. the\n\
+         digital-vs-float gap here is larger than the paper's because codebooks\n\
+         are learned post hoc; the paper inherits [22]'s training-aware codebooks\n\
+         (backprop through the BDT) — see EXPERIMENTS.md.\n",
+        analog_headline * 100.0,
+        digital_acc * 100.0,
+        float_acc * 100.0
+    ));
+    emit("accuracy", &out);
+}

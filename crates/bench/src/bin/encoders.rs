@@ -1,0 +1,95 @@
+//! Extension experiment — the encoder-family comparison of §II-B: the
+//! paper surveys BDT (MADDNESS / Stella Nera / this work), Euclidean
+//! nearest-centroid (LUT-NN) and Manhattan nearest-centroid (PECAN /
+//! \[21\]) encoding functions. This harness measures their approximation
+//! quality on structured data and the hardware cost asymmetry that
+//! motivates the BDT choice: a tree evaluates 4 comparators per
+//! classification, a nearest-centroid encoder must evaluate all 16
+//! distances over all 9 dimensions.
+
+use maddpipe_amm::prelude::*;
+use maddpipe_bench::{emit, render_table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn clustered(n: usize, d: usize, clusters: usize, noise: f32, seed: u64) -> Mat {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f32>> = (0..clusters)
+        .map(|_| (0..d).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect();
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|i| {
+            centers[i % clusters]
+                .iter()
+                .map(|&v| v + rng.gen_range(-noise..noise))
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+    Mat::from_rows(&refs)
+}
+
+fn main() {
+    let d = 18; // 2 subspaces × 9
+    let w = {
+        let mut w = Mat::zeros(d, 8);
+        let mut rng = StdRng::seed_from_u64(5);
+        for v in w.data_mut() {
+            *v = rng.gen_range(-0.5..0.5);
+        }
+        w
+    };
+    let mut rows = Vec::new();
+    for (label, noise) in [("tight clusters", 0.15f32), ("loose clusters", 0.6), ("diffuse", 1.5)] {
+        let x = clustered(600, d, 24, noise, 11);
+        let exact = x.matmul(&w);
+
+        // BDT (this work / MADDNESS): train the full operator, measure the
+        // deployed INT8 path.
+        let op = MaddnessMatmul::train(&x, &w, MaddnessParams::default()).expect("train");
+        let bdt_nmse = nmse(&exact, &op.matmul(&x));
+
+        // Centroid encoders (L2 = LUT-NN, L1 = PECAN/[21]): encode per
+        // subspace, decode through float LUTs built from the centroids.
+        let mut centroid_nmse = [0.0f64; 2];
+        for (mi, metric) in [Distance::L2, Distance::L1].iter().enumerate() {
+            let mut approx = Mat::zeros(x.rows(), w.cols());
+            for s in 0..2 {
+                let sub = x.col_range(s * 9, (s + 1) * 9);
+                let enc = CentroidEncoder::train(&sub, 16, *metric, 7);
+                let mut w_block = Mat::zeros(9, w.cols());
+                for r in 0..9 {
+                    w_block.row_mut(r).copy_from_slice(w.row(s * 9 + r));
+                }
+                let lut = enc.centroids().matmul(&w_block);
+                for r in 0..x.rows() {
+                    let code = enc.encode_one(sub.row(r));
+                    for (o, &v) in approx.row_mut(r).iter_mut().zip(lut.row(code)) {
+                        *o += v;
+                    }
+                }
+            }
+            centroid_nmse[mi] = nmse(&exact, &approx);
+        }
+        rows.push(vec![
+            label.into(),
+            format!("{bdt_nmse:.4}"),
+            format!("{:.4}", centroid_nmse[0]),
+            format!("{:.4}", centroid_nmse[1]),
+        ]);
+    }
+    let mut out = render_table(
+        "Encoding functions (§II-B): output NMSE on 2×9-dim data, K=16",
+        &["data regime", "BDT int8 (this work)", "Euclidean (LUT-NN)", "Manhattan (PECAN/[21])"],
+        &rows,
+    );
+    out.push_str(
+        "\nhardware cost per classification: BDT touches 4 of 15 comparators (4 \n\
+         subtractions-equivalent); nearest-centroid evaluates 16 distances × 9 dims\n\
+         (≈144 subtract-accumulate) — a ~36× arithmetic gap, which is the reason\n\
+         the paper (and MADDNESS) accept the tree's slightly coarser partitions.\n\
+         The BDT column includes full INT8 deployment error (quantised inputs,\n\
+         thresholds and LUTs); the centroid columns are float, i.e. optimistic.\n",
+    );
+    emit("encoders", &out);
+}

@@ -1,0 +1,92 @@
+//! Regenerates **Fig. 7**: energy, latency and area breakdowns of the
+//! macro for Ndec = 4 and Ndec = 16 (NS = 32, 0.5 V, TTG), from the
+//! analytic model — and cross-checks the energy split against the
+//! event-driven RTL netlist's per-domain energy meter.
+
+use maddpipe_bench::{emit, render_table};
+use maddpipe_core::macro_rtl::{AcceleratorRtl, MacroProgram};
+use maddpipe_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut out = String::new();
+    let mut energy_rows = Vec::new();
+    let mut latency_rows = Vec::new();
+    let mut area_rows = Vec::new();
+    for ndec in [4usize, 16] {
+        let cfg = MacroConfig::new(ndec, 32)
+            .with_op(OperatingPoint::new(Volts(0.5), Corner::Ttg));
+        let model = MacroModel::new(cfg);
+        let r = model.evaluate();
+        let e = r.block_energy;
+        energy_rows.push(vec![
+            format!("{ndec}"),
+            format!("{:.1}", e.total().as_femtos()),
+            format!("{:.1}%", e.decoder_fraction() * 100.0),
+            format!("{:.1}%", e.encoder / e.total() * 100.0),
+            format!("{:.1}%", e.ctrl / e.total() * 100.0),
+        ]);
+        for (case, l) in [("best", r.latency_best), ("worst", r.latency_worst)] {
+            latency_rows.push(vec![
+                format!("{ndec}"),
+                case.into(),
+                format!("{:.1}", l.total().as_nanos()),
+                format!("{:.1}%", l.encoder_fraction() * 100.0),
+                format!("{:.1}%", l.decoder / l.total() * 100.0),
+                format!("{:.1}%", l.ctrl / l.total() * 100.0),
+            ]);
+        }
+        let a = r.area;
+        area_rows.push(vec![
+            format!("{ndec}"),
+            format!("{:.3}", a.total().as_mm2()),
+            format!("{:.1}%", a.decoder_fraction() * 100.0),
+            format!("{:.1}%", a.encoder / a.total() * 100.0),
+            format!("{:.1}%", (a.ctrl + a.global) / a.total() * 100.0),
+        ]);
+    }
+    out.push_str(&render_table(
+        "Fig. 7 A — energy breakdown per block-token (0.5 V, NS=32)",
+        &["Ndec", "total [fJ]", "decoder", "encoder", "ctrl"],
+        &energy_rows,
+    ));
+    out.push('\n');
+    out.push_str(&render_table(
+        "Fig. 7 B — block latency breakdown (0.5 V, NS=32)",
+        &["Ndec", "case", "total [ns]", "encoder", "decoder", "ctrl"],
+        &latency_rows,
+    ));
+    out.push('\n');
+    out.push_str(&render_table(
+        "Fig. 7 C — area breakdown (NS=32)",
+        &["Ndec", "total [mm²]", "decoder", "encoder", "ctrl+global"],
+        &area_rows,
+    ));
+
+    // RTL cross-check: run tokens through a reduced netlist and read the
+    // per-domain energy meter. (Reduced NS keeps the event count sane; the
+    // per-block split is NS-independent.)
+    let cfg = MacroConfig::new(4, 4).with_op(OperatingPoint::new(Volts(0.5), Corner::Ttg));
+    let program = MacroProgram::random(cfg.ndec, cfg.ns, 99);
+    let mut rtl = AcceleratorRtl::build(&cfg, &program);
+    rtl.simulator_mut().reset_energy();
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..6 {
+        let token: Vec<[i8; SUBVECTOR_LEN]> = (0..cfg.ns)
+            .map(|_| {
+                let mut x = [0i8; SUBVECTOR_LEN];
+                for v in x.iter_mut() {
+                    *v = rng.gen_range(-128i32..=127) as i8;
+                }
+                x
+            })
+            .collect();
+        rtl.run_token(&token).expect("token must complete");
+    }
+    let report = rtl.simulator().energy_report();
+    out.push_str(&format!(
+        "\nRTL cross-check (Ndec=4, NS=4, gate-level event energies):\n{report}\n"
+    ));
+    emit("fig7", &out);
+}

@@ -1,0 +1,135 @@
+//! Regenerates **Table II**: the comparison of the proposed macro
+//! (Ndec = 16, NS = 32, at 0.5 V and 0.8 V) against the analog DTC
+//! accelerator \[21\] and Stella Nera \[22\], including the 22 nm area
+//! normalisation and the per-component energies. Accuracy rows are
+//! produced by the separate `accuracy` binary (they require training).
+
+use maddpipe_baselines::prelude::*;
+use maddpipe_bench::{emit, render_table};
+use maddpipe_core::prelude::*;
+
+fn main() {
+    let analog = AnalogDtcPpa::published();
+    let stella = StellaNeraPpa::published();
+    let p05 = MacroModel::new(
+        MacroConfig::paper_flagship().with_op(OperatingPoint::new(Volts(0.5), Corner::Ttg)),
+    )
+    .evaluate();
+    let p08 = MacroModel::new(
+        MacroConfig::paper_flagship().with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg)),
+    )
+    .evaluate();
+
+    let enc_dec_fj = |r: &PpaReport| {
+        let ops = (maddpipe_core::OPS_PER_LOOKUP * r.ndec) as f64;
+        (
+            r.block_energy.encoder.as_femtos() / ops,
+            (r.block_energy.decoder.as_femtos()) / ops,
+        )
+    };
+    let (enc05, dec05) = enc_dec_fj(&p05);
+    let (enc08, dec08) = enc_dec_fj(&p08);
+
+    let rows = vec![
+        vec![
+            "process [nm]".into(),
+            "65 (planar, analog)".into(),
+            "14 (FinFET)".into(),
+            "22 (planar)".into(),
+            "22 (planar)".into(),
+        ],
+        vec![
+            "supply [V]".into(),
+            format!("{:.2}", analog.vdd.0),
+            format!("{:.2}", stella.vdd.0),
+            "0.50".into(),
+            "0.80".into(),
+        ],
+        vec![
+            "area [mm²]".into(),
+            format!("{:.2}", analog.area.as_mm2()),
+            format!("{:.2}", stella.area.as_mm2()),
+            format!("{:.2}", p05.area.total().as_mm2()),
+            format!("{:.2}", p08.area.total().as_mm2()),
+        ],
+        vec![
+            "frequency [MHz]".into(),
+            format!("{:.0}", analog.frequency.as_mega_hertz()),
+            format!("{:.0}", stella.frequency.as_mega_hertz()),
+            format!(
+                "{:.1}–{:.1}",
+                p05.freq_min.as_mega_hertz(),
+                p05.freq_max.as_mega_hertz()
+            ),
+            format!(
+                "{:.0}–{:.0}",
+                p08.freq_min.as_mega_hertz(),
+                p08.freq_max.as_mega_hertz()
+            ),
+        ],
+        vec![
+            "throughput [TOPS]".into(),
+            format!("{:.3}", analog.tops()),
+            format!("{:.1}", stella.tops),
+            format!("{:.2}–{:.2}", p05.tops_min, p05.tops_max),
+            format!("{:.2}–{:.2}", p08.tops_min, p08.tops_max),
+        ],
+        vec![
+            "energy eff. [TOPS/W]".into(),
+            format!("{:.0}", analog.tops_per_watt()),
+            format!("{:.1}", stella.tops_per_watt()),
+            format!("{:.0}", p05.tops_per_watt),
+            format!("{:.1}", p08.tops_per_watt),
+        ],
+        vec![
+            "area eff. [TOPS/mm²]".into(),
+            format!(
+                "{:.2} ({:.2})",
+                analog.area_efficiency(),
+                analog.area_efficiency_scaled_to(22.0)
+            ),
+            format!(
+                "{:.1} ({:.2})",
+                stella.area_efficiency(),
+                stella.area_efficiency_scaled_to(22.0)
+            ),
+            format!("{:.2}", p05.tops_per_mm2),
+            format!("{:.2}", p08.tops_per_mm2),
+        ],
+        vec![
+            "encoder [fJ/op]".into(),
+            format!("{:.2}", analog.energy_encoder_per_op.as_femtos()),
+            format!("{:.2}", stella.energy_encoder_per_op.as_femtos()),
+            format!("{enc05:.3}"),
+            format!("{enc08:.2}"),
+        ],
+        vec![
+            "decoder [fJ/op]".into(),
+            format!("{:.2}", analog.energy_decoder_per_op.as_femtos()),
+            format!("{:.2}", stella.energy_decoder_per_op.as_femtos()),
+            format!("{dec05:.1}"),
+            format!("{dec08:.1}"),
+        ],
+        vec![
+            "ResNet9 accuracy".into(),
+            format!("{:.1}% (noisy analog)", analog.resnet9_accuracy * 100.0),
+            format!("{:.1}%", stella.resnet9_accuracy * 100.0),
+            "= [22] (same algo)".into(),
+            "= [22] (same algo)".into(),
+        ],
+    ];
+    let mut out = render_table(
+        "Table II — comparison to prior accelerators (proposed: Ndec=16, NS=32)",
+        &["metric", "[21] TCAS-I'23", "[22] Stella Nera", "proposed @0.5V", "proposed @0.8V"],
+        &rows,
+    );
+    out.push_str(&format!(
+        "\nheadline ratios at 0.5 V: {:.1}× energy efficiency and {:.1}× area efficiency vs [21]\n\
+         (paper: 2.5× and 5×); {:.1}× energy efficiency vs [22] (paper: 4.0×).\n\
+         accuracy rows are reproduced by `cargo run -p maddpipe-bench --bin accuracy --release`.\n",
+        p05.tops_per_watt / analog.tops_per_watt(),
+        p05.tops_per_mm2 / analog.area_efficiency_scaled_to(22.0),
+        p05.tops_per_watt / stella.tops_per_watt(),
+    ));
+    emit("table2", &out);
+}

@@ -1,0 +1,111 @@
+//! # maddpipe-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (run them with `cargo run -p maddpipe-bench --bin <name>
+//! --release`), plus Criterion micro-benchmarks.
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `fig6` | energy vs area efficiency across VDD × corner |
+//! | `fig7` | energy / latency / area breakdowns, Ndec = 4 vs 16 |
+//! | `table1` | Ndec sweep of both efficiencies at 0.5 V and 0.8 V |
+//! | `table2` | comparison against \[21\] and \[22\] |
+//! | `accuracy` | the ResNet9 accuracy row of Table II |
+//! | `dlc_latency` | Fig. 4 D/E data-dependent comparator delay |
+//! | `ablation_async` | self-synchronous vs clocked pipeline (§III-A) |
+//! | `ablation_rcd` | per-column RCD vs replica timing (§III-C) |
+//!
+//! Every binary prints its table and appends it to `results/<name>.txt`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// Renders an aligned text table.
+///
+/// ```
+/// let s = maddpipe_bench::render_table(
+///     "demo",
+///     &["a", "b"],
+///     &[vec!["1".into(), "2".into()]],
+/// );
+/// assert!(s.contains("demo") && s.contains('1'));
+/// ```
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ", w = w);
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:>w$}  ", w = w);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// Prints a report section and records it under `results/<name>.txt`
+/// (best-effort: printing always succeeds even if the filesystem write
+/// does not).
+pub fn emit(name: &str, content: &str) {
+    println!("{content}");
+    let dir = results_dir();
+    if fs::create_dir_all(&dir).is_ok() {
+        let _ = fs::write(dir.join(format!("{name}.txt")), content);
+    }
+}
+
+/// The `results/` directory at the workspace root (falls back to the
+/// current directory when the workspace root cannot be located).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    let base = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    base.parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let s = render_table(
+            "t",
+            &["col", "value"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer".into(), "2".into()],
+            ],
+        );
+        assert!(s.contains("== t =="));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].contains("col") && lines[1].contains("value"));
+    }
+
+    #[test]
+    fn results_dir_points_at_workspace() {
+        let d = results_dir();
+        assert!(d.ends_with("results"), "{d:?}");
+    }
+}

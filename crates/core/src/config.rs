@@ -1,0 +1,176 @@
+//! Macro configuration: the paper's two architectural knobs plus the
+//! electrical operating point.
+
+use crate::calib::Calibration;
+use maddpipe_tech::corner::{Corner, OperatingPoint};
+use maddpipe_tech::units::Volts;
+use maddpipe_tech::variation::Mismatch;
+use core::fmt;
+
+/// BDT depth of the hardware encoder (fixed by the paper: 4 levels).
+pub const LEVELS: usize = 4;
+
+/// Prototypes per subspace / rows per LUT (2^LEVELS = 16).
+pub const K: usize = 1 << LEVELS;
+
+/// Subvector length consumed per compute block (a 3×3 kernel patch).
+pub const SUBVECTOR_LEN: usize = 9;
+
+/// Accumulator width in bits (16-bit CSA chain + 16-bit RCA).
+pub const ACC_BITS: usize = 16;
+
+/// Equivalent arithmetic operations performed by one LUT read + accumulate:
+/// a 9-element dot product = 9 multiplies + 9 adds.
+pub const OPS_PER_LOOKUP: usize = 2 * SUBVECTOR_LEN;
+
+/// Configuration of one accelerator macro.
+///
+/// `ndec` (decoders per compute block = weight kernels processed in
+/// parallel) and `ns` (pipeline stages = input channels processed in
+/// parallel) are the two adjustable parameters of §III-A; the paper's
+/// flagship configuration is `ndec = 16`, `ns = 32`.
+///
+/// ```
+/// use maddpipe_core::config::MacroConfig;
+///
+/// let cfg = MacroConfig::paper_flagship();
+/// assert_eq!((cfg.ndec, cfg.ns), (16, 32));
+/// assert_eq!(cfg.sram_bits(), 64 * 1024); // "including 64kb SRAM"
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroConfig {
+    /// Decoders per compute block (`Ndec`).
+    pub ndec: usize,
+    /// Serially connected compute blocks (`NS`).
+    pub ns: usize,
+    /// Electrical operating point.
+    pub op: OperatingPoint,
+    /// Local-mismatch model used when sampling per-instance delays.
+    pub mismatch: Mismatch,
+    /// Model constants (defaults to the paper calibration).
+    pub calibration: Calibration,
+}
+
+impl MacroConfig {
+    /// Creates a configuration at the given sizes and the paper's headline
+    /// operating point (0.5 V / TTG / 25 °C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ndec` or `ns` is zero.
+    pub fn new(ndec: usize, ns: usize) -> MacroConfig {
+        assert!(ndec > 0, "ndec must be at least 1");
+        assert!(ns > 0, "ns must be at least 1");
+        MacroConfig {
+            ndec,
+            ns,
+            op: OperatingPoint::new(Volts(0.5), Corner::Ttg),
+            mismatch: Mismatch::none(),
+            calibration: Calibration::paper(),
+        }
+    }
+
+    /// The paper's flagship macro: `Ndec = 16`, `NS = 32`.
+    pub fn paper_flagship() -> MacroConfig {
+        MacroConfig::new(16, 32)
+    }
+
+    /// The Fig. 6 sweep configuration: `Ndec = 4`, `NS = 4`.
+    pub fn fig6() -> MacroConfig {
+        MacroConfig::new(4, 4)
+    }
+
+    /// Replaces the operating point.
+    #[must_use]
+    pub fn with_op(mut self, op: OperatingPoint) -> MacroConfig {
+        self.op = op;
+        self
+    }
+
+    /// Replaces the mismatch model.
+    #[must_use]
+    pub fn with_mismatch(mut self, mm: Mismatch) -> MacroConfig {
+        self.mismatch = mm;
+        self
+    }
+
+    /// Replaces the calibration constants.
+    #[must_use]
+    pub fn with_calibration(mut self, calibration: Calibration) -> MacroConfig {
+        self.calibration = calibration;
+        self
+    }
+
+    /// Total SRAM capacity in bits: `ndec · ns` LUTs of 16×8.
+    pub fn sram_bits(&self) -> usize {
+        self.ndec * self.ns * K * 8
+    }
+
+    /// Equivalent operations per pipeline beat (one token traversing one
+    /// block performs `ndec` lookups; the macro completes `ndec · ns`
+    /// lookups per token).
+    pub fn ops_per_token(&self) -> usize {
+        OPS_PER_LOOKUP * self.ndec * self.ns
+    }
+}
+
+impl Default for MacroConfig {
+    fn default() -> MacroConfig {
+        MacroConfig::paper_flagship()
+    }
+}
+
+impl fmt::Display for MacroConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "macro Ndec={} NS={} @ {} ({} kb SRAM)",
+            self.ndec,
+            self.ns,
+            self.op,
+            self.sram_bits() / 1024
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_flagship_matches_headline_numbers() {
+        let cfg = MacroConfig::paper_flagship();
+        assert_eq!(cfg.sram_bits(), 65_536);
+        assert_eq!(cfg.ops_per_token(), 18 * 16 * 32);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = MacroConfig::new(4, 4)
+            .with_op(OperatingPoint::new(Volts(0.8), Corner::Ffg))
+            .with_mismatch(Mismatch::new(0.02, 9));
+        assert_eq!(cfg.op.vdd, Volts(0.8));
+        assert_eq!(cfg.mismatch.sigma(), 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "ndec must be at least 1")]
+    fn zero_ndec_rejected() {
+        let _ = MacroConfig::new(0, 4);
+    }
+
+    #[test]
+    fn ops_constants_match_paper_arithmetic() {
+        // 56.2 MHz × 18·16·32 ops = 0.518 TOPS — the paper's best-case
+        // 0.5 V throughput of 0.51 TOPS.
+        let cfg = MacroConfig::paper_flagship();
+        let tops = 56.2e6 * cfg.ops_per_token() as f64 / 1e12;
+        assert!((tops - 0.518).abs() < 0.002, "{tops}");
+    }
+
+    #[test]
+    fn display_mentions_the_knobs() {
+        let s = MacroConfig::fig6().to_string();
+        assert!(s.contains("Ndec=4") && s.contains("NS=4"), "{s}");
+    }
+}

@@ -1,0 +1,291 @@
+//! The dual-rail dynamic-logic comparator (DLC) — Fig. 4 of the paper.
+//!
+//! Eight 1-bit dynamic comparator stages in series compare an 8-bit input
+//! `x` against a stored threshold `t`. During precharge (`clk = 0`) both
+//! output rails `YP`/`YN` sit at VDD; on evaluation (`clk = 1`) exactly one
+//! rail discharges: `YN` for `x ≥ t`, `YP` for `x < t`.
+//!
+//! The defining property reproduced here is the **data-dependent delay**:
+//! a stage can resolve the comparison as soon as its bit pair differs, so
+//! the discharge path length equals the index of the first differing bit
+//! from the MSB (Fig. 4 D/E — best case decided at the MSB, worst case
+//! `x = t` rippling through all eight stages). That spread is what makes
+//! the encoder latency input-dependent and motivates the self-synchronous
+//! pipeline.
+//!
+//! Signedness: activations are signed INT8, but a chain of unsigned bit
+//! comparators orders by raw bit pattern. The standard fix — used here and
+//! noted for the hardware — is offset-binary coding (`x ⊕ 0x80`), under
+//! which unsigned comparison of codes equals signed comparison of values.
+
+use maddpipe_sim::cell::{Cell, EvalCtx};
+use maddpipe_sim::logic::Logic;
+use maddpipe_sim::time::SimTime;
+
+/// Converts a signed activation/threshold to its offset-binary code.
+///
+/// ```
+/// use maddpipe_core::dlc::to_offset_binary;
+/// assert_eq!(to_offset_binary(0), 0x80);
+/// assert_eq!(to_offset_binary(-128), 0x00);
+/// assert_eq!(to_offset_binary(127), 0xFF);
+/// ```
+#[inline]
+pub fn to_offset_binary(x: i8) -> u8 {
+    (x as u8) ^ 0x80
+}
+
+/// Number of comparator stages that conduct before the comparison
+/// resolves: the 1-based index of the first differing bit from the MSB,
+/// or 8 when `x == t` (the Fig. 4 E worst case).
+///
+/// ```
+/// use maddpipe_core::dlc::ripple_depth;
+/// assert_eq!(ripple_depth(0b1000_0000, 0b0000_0000), 1); // MSB differs
+/// assert_eq!(ripple_depth(0b0101_0101, 0b0101_0100), 8); // LSB decides
+/// assert_eq!(ripple_depth(0x7F, 0x7F), 8);               // equal: full walk
+/// ```
+#[inline]
+pub fn ripple_depth(x: u8, t: u8) -> usize {
+    let diff = x ^ t;
+    if diff == 0 {
+        8
+    } else {
+        diff.leading_zeros() as usize + 1
+    }
+}
+
+/// The DLC as an event-driven cell.
+///
+/// * Inputs: pin 0 = `clk` (low → precharge, high → evaluate), pins
+///   `1..=8` = the offset-binary input bits, LSB first.
+/// * Outputs: pin 0 = `YP` (discharges for `x < t`), pin 1 = `YN`
+///   (discharges for `x ≥ t`).
+///
+/// The threshold is programmed at construction (the hardware stores it in
+/// per-stage 6T cells).
+#[derive(Debug)]
+pub struct DlcCell {
+    threshold: u8,
+    t_base: SimTime,
+    t_per_bit: SimTime,
+    t_precharge: SimTime,
+}
+
+impl DlcCell {
+    /// Creates a comparator holding offset-binary threshold `threshold`.
+    pub fn new(threshold: u8, t_base: SimTime, t_per_bit: SimTime, t_precharge: SimTime) -> DlcCell {
+        DlcCell {
+            threshold,
+            t_base,
+            t_per_bit,
+            t_precharge,
+        }
+    }
+
+    /// The stored offset-binary threshold.
+    pub fn threshold(&self) -> u8 {
+        self.threshold
+    }
+}
+
+impl Cell for DlcCell {
+    fn num_inputs(&self) -> usize {
+        9
+    }
+
+    fn num_outputs(&self) -> usize {
+        2
+    }
+
+    fn eval(&mut self, ctx: &mut EvalCtx<'_>) {
+        let clk = ctx.input(0);
+        match clk {
+            Logic::Low => {
+                // Precharge both rails.
+                ctx.drive(0, Logic::High, self.t_precharge);
+                ctx.drive(1, Logic::High, self.t_precharge);
+            }
+            Logic::High => {
+                // Evaluate only on the clock edge: input wiggles while
+                // evaluated are ignored (the rails already discharged).
+                if !ctx.is_edge(0, Logic::High) && ctx.trigger().is_some() {
+                    return;
+                }
+                let mut x = 0u8;
+                for bit in 0..8 {
+                    match ctx.input(1 + bit).to_bool() {
+                        Some(true) => x |= 1 << bit,
+                        Some(false) => {}
+                        None => {
+                            // Unknown operand: both rails unknown.
+                            ctx.drive(0, Logic::X, self.t_base);
+                            ctx.drive(1, Logic::X, self.t_base);
+                            return;
+                        }
+                    }
+                }
+                let depth = ripple_depth(x, self.threshold);
+                let delay = self.t_base
+                    + SimTime::from_femtos(self.t_per_bit.as_femtos() * depth as u64);
+                let ge = x >= self.threshold;
+                let pin = if ge { 1 } else { 0 };
+                ctx.drive(pin, Logic::Low, delay);
+            }
+            Logic::X => {
+                ctx.drive(0, Logic::X, self.t_precharge);
+                ctx.drive(1, Logic::X, self.t_precharge);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maddpipe_sim::circuit::{CircuitBuilder, NetId};
+    use maddpipe_sim::engine::Simulator;
+    use maddpipe_sim::library::CellLibrary;
+    use maddpipe_sim::logic::u64_to_bits;
+    use maddpipe_tech::corner::OperatingPoint;
+    use maddpipe_tech::process::Technology;
+
+    struct Dut {
+        sim: Simulator,
+        clk: NetId,
+        x_bits: Vec<NetId>,
+        yp: NetId,
+        yn: NetId,
+    }
+
+    fn dut(threshold: u8) -> Dut {
+        let lib = CellLibrary::new(Technology::n22(), OperatingPoint::default());
+        let mut b = CircuitBuilder::new(lib);
+        let clk = b.input("clk");
+        let x_bits = b.bus("x", 8);
+        let yp = b.net("yp");
+        let yn = b.net("yn");
+        let cell = DlcCell::new(
+            threshold,
+            SimTime::from_picos(142.0),
+            SimTime::from_picos(91.0),
+            SimTime::from_picos(120.0),
+        );
+        let mut inputs = vec![clk];
+        inputs.extend(&x_bits);
+        b.add_cell("dlc", Box::new(cell), &inputs, &[yp, yn]);
+        let sim = Simulator::new(b.build());
+        Dut {
+            sim,
+            clk,
+            x_bits,
+            yp,
+            yn,
+        }
+    }
+
+    /// Runs one precharge→evaluate cycle; returns (yp, yn, eval_latency).
+    fn compare(d: &mut Dut, x: u8) -> (Logic, Logic, SimTime) {
+        d.sim.poke(d.clk, Logic::Low);
+        for (net, bit) in d.x_bits.iter().zip(u64_to_bits(x as u64, 8)) {
+            d.sim.poke(*net, bit);
+        }
+        d.sim.run_to_quiescence().unwrap();
+        let t0 = d.sim.now();
+        d.sim.poke(d.clk, Logic::High);
+        d.sim.run_to_quiescence().unwrap();
+        (
+            d.sim.value(d.yp),
+            d.sim.value(d.yn),
+            d.sim.now().since(t0),
+        )
+    }
+
+    #[test]
+    fn exhaustive_comparison_against_integers() {
+        // Sampled exhaustively over a grid (full 65k cross product would be
+        // slow in debug builds; the grid covers every ripple depth).
+        let thresholds = [0u8, 1, 0x7F, 0x80, 0x81, 0xAA, 0xFE, 0xFF];
+        let xs = [0u8, 1, 2, 0x3F, 0x7E, 0x7F, 0x80, 0x81, 0xAA, 0xAB, 0xFF];
+        for &t in &thresholds {
+            let mut d = dut(t);
+            for &x in &xs {
+                let (yp, yn, _) = compare(&mut d, x);
+                if x >= t {
+                    assert_eq!((yp, yn), (Logic::High, Logic::Low), "x={x} t={t}");
+                } else {
+                    assert_eq!((yp, yn), (Logic::Low, Logic::High), "x={x} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delay_tracks_first_differing_bit() {
+        let t = 0b0111_1111u8;
+        let mut d = dut(t);
+        // x = 0xFF differs at the MSB: fastest.
+        let (.., fast) = compare(&mut d, 0xFF);
+        // x = t: equal, slowest (8 stages).
+        let (.., slow) = compare(&mut d, t);
+        assert!(slow > fast, "equal operands must be slowest");
+        let delta = slow.as_picos() - fast.as_picos();
+        // 7 extra stages × 91 ps nominal (scaled to the default op ≈ 1.0).
+        assert!((delta - 7.0 * 91.0).abs() < 20.0, "delta {delta} ps");
+    }
+
+    #[test]
+    fn ripple_depth_edge_cases() {
+        assert_eq!(ripple_depth(0, 0), 8);
+        assert_eq!(ripple_depth(0xFF, 0xFF), 8);
+        assert_eq!(ripple_depth(0x80, 0x7F), 1);
+        assert_eq!(ripple_depth(0x01, 0x00), 8);
+        for x in 0..=255u8 {
+            for t in [0u8, 0x7F, 0x80, 0xFF] {
+                let d = ripple_depth(x, t);
+                assert!((1..=8).contains(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn offset_binary_preserves_signed_order() {
+        let mut prev = None;
+        for v in -128i8..=127 {
+            let code = to_offset_binary(v);
+            if let Some(p) = prev {
+                assert!(code > p, "offset-binary must be strictly increasing");
+            }
+            prev = Some(code);
+        }
+    }
+
+    #[test]
+    fn rails_precharge_between_cycles() {
+        let mut d = dut(0x42);
+        let (_, yn, _) = compare(&mut d, 0xF0);
+        assert_eq!(yn, Logic::Low);
+        d.sim.poke(d.clk, Logic::Low);
+        d.sim.run_to_quiescence().unwrap();
+        assert_eq!(d.sim.value(d.yp), Logic::High);
+        assert_eq!(d.sim.value(d.yn), Logic::High);
+    }
+
+    #[test]
+    fn unknown_operand_poisons_rails() {
+        let mut d = dut(0x42);
+        d.sim.poke(d.clk, Logic::Low);
+        d.sim.run_to_quiescence().unwrap();
+        // Leave bit 3 at X.
+        for (i, net) in d.x_bits.iter().enumerate() {
+            if i != 3 {
+                d.sim.poke(*net, Logic::Low);
+            }
+        }
+        d.sim.run_to_quiescence().unwrap();
+        d.sim.poke(d.clk, Logic::High);
+        d.sim.run_to_quiescence().unwrap();
+        assert_eq!(d.sim.value(d.yp), Logic::X);
+        assert_eq!(d.sim.value(d.yn), Logic::X);
+    }
+}

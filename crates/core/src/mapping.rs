@@ -1,0 +1,198 @@
+//! Mapping CNN layers onto the macro (paper Fig. 3).
+//!
+//! A 3×3 convolution with `C_in` input channels and `C_out` kernels maps
+//! directly: each compute block consumes the 9-element patch of one input
+//! channel (`NS` channels in parallel), each decoder accumulates for one
+//! kernel (`Ndec` kernels in parallel), and every output pixel is one
+//! token through the pipeline. Layers larger than the macro are tiled.
+
+use crate::config::{MacroConfig, SUBVECTOR_LEN};
+use crate::model::MacroModel;
+use maddpipe_tech::units::Seconds;
+use core::fmt;
+
+/// Geometry of one convolutional layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvShape {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels (kernels).
+    pub out_channels: usize,
+    /// Output feature-map height.
+    pub out_h: usize,
+    /// Output feature-map width.
+    pub out_w: usize,
+}
+
+impl ConvShape {
+    /// Creates a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(in_channels: usize, out_channels: usize, out_h: usize, out_w: usize) -> ConvShape {
+        assert!(
+            in_channels > 0 && out_channels > 0 && out_h > 0 && out_w > 0,
+            "all convolution dimensions must be positive"
+        );
+        ConvShape {
+            in_channels,
+            out_channels,
+            out_h,
+            out_w,
+        }
+    }
+
+    /// Output pixels per image.
+    pub fn pixels(&self) -> usize {
+        self.out_h * self.out_w
+    }
+
+    /// Exact multiply–accumulate operation count of the layer (3×3
+    /// kernels), counted as 2 ops per MAC.
+    pub fn ops(&self) -> usize {
+        2 * SUBVECTOR_LEN * self.in_channels * self.out_channels * self.pixels()
+    }
+}
+
+impl fmt::Display for ConvShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conv3x3 {}→{} @ {}×{}",
+            self.in_channels, self.out_channels, self.out_h, self.out_w
+        )
+    }
+}
+
+/// How one layer tiles onto one macro configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvMapping {
+    /// Channel tiles: `ceil(C_in / NS)`.
+    pub tiles_in: usize,
+    /// Kernel tiles: `ceil(C_out / Ndec)`.
+    pub tiles_out: usize,
+    /// Tokens through the macro per image (`pixels × tiles`).
+    pub tokens: usize,
+    /// Fraction of the macro's lookups that do useful work (1.0 when the
+    /// layer dimensions divide the macro dimensions exactly).
+    pub utilization: f64,
+}
+
+impl ConvMapping {
+    /// Computes the tiling of `shape` on `cfg`.
+    pub fn new(shape: ConvShape, cfg: &MacroConfig) -> ConvMapping {
+        let tiles_in = shape.in_channels.div_ceil(cfg.ns);
+        let tiles_out = shape.out_channels.div_ceil(cfg.ndec);
+        let tokens = shape.pixels() * tiles_in * tiles_out;
+        let useful = shape.ops() as f64;
+        let issued = (tokens * cfg.ops_per_token()) as f64;
+        ConvMapping {
+            tiles_in,
+            tiles_out,
+            tokens,
+            utilization: useful / issued,
+        }
+    }
+
+    /// Wall-clock time for one image at the model's average beat.
+    pub fn image_latency(&self, model: &MacroModel) -> Seconds {
+        let best = model.block_latency_best().total();
+        let worst = model.block_latency_worst().total();
+        let beat = (best + worst) * 0.5;
+        // Pipelined: one beat per token plus the fill of NS stages.
+        beat * (self.tokens as f64 + model.config().ns as f64)
+    }
+
+    /// Effective useful throughput in TOPS for this layer (utilization-
+    /// corrected).
+    pub fn effective_tops(&self, model: &MacroModel) -> f64 {
+        let report = model.evaluate();
+        report.tops_avg() * self.utilization
+    }
+}
+
+impl fmt::Display for ConvMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}×{} tiles, {} tokens/image, {:.0}% utilised",
+            self.tiles_in,
+            self.tiles_out,
+            self.tokens,
+            self.utilization * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_has_full_utilization() {
+        let cfg = MacroConfig::new(16, 32);
+        let shape = ConvShape::new(32, 16, 8, 8);
+        let m = ConvMapping::new(shape, &cfg);
+        assert_eq!(m.tiles_in, 1);
+        assert_eq!(m.tiles_out, 1);
+        assert_eq!(m.tokens, 64);
+        assert!((m.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_layers_tile() {
+        let cfg = MacroConfig::new(16, 32);
+        let shape = ConvShape::new(128, 64, 16, 16);
+        let m = ConvMapping::new(shape, &cfg);
+        assert_eq!(m.tiles_in, 4);
+        assert_eq!(m.tiles_out, 4);
+        assert_eq!(m.tokens, 256 * 16);
+        assert!((m.utilization - 1.0).abs() < 1e-12, "exact multiples stay full");
+    }
+
+    #[test]
+    fn ragged_layers_lose_utilization() {
+        let cfg = MacroConfig::new(16, 32);
+        let shape = ConvShape::new(33, 17, 4, 4); // 1 past each boundary
+        let m = ConvMapping::new(shape, &cfg);
+        assert_eq!(m.tiles_in, 2);
+        assert_eq!(m.tiles_out, 2);
+        assert!(m.utilization < 0.5, "ragged tiling wastes lookups");
+        // Ops accounting stays conserved: useful = issued × utilization.
+        let issued = m.tokens * cfg.ops_per_token();
+        let useful = (issued as f64 * m.utilization).round() as usize;
+        assert_eq!(useful, shape.ops());
+    }
+
+    #[test]
+    fn image_latency_scales_with_tokens() {
+        let cfg = MacroConfig::new(16, 32);
+        let model = MacroModel::new(cfg.clone());
+        let small = ConvMapping::new(ConvShape::new(32, 16, 4, 4), &cfg);
+        let large = ConvMapping::new(ConvShape::new(32, 16, 16, 16), &cfg);
+        assert!(large.image_latency(&model) > small.image_latency(&model));
+    }
+
+    #[test]
+    fn effective_tops_never_exceeds_peak() {
+        let cfg = MacroConfig::new(16, 32);
+        let model = MacroModel::new(cfg.clone());
+        let peak = model.evaluate().tops_avg();
+        let m = ConvMapping::new(ConvShape::new(33, 17, 4, 4), &cfg);
+        assert!(m.effective_tops(&model) <= peak);
+    }
+
+    #[test]
+    fn ops_match_hand_count() {
+        // conv3x3, 2→3 channels, 5×5 output: 2·9·2·3·25 = 2700 ops.
+        let shape = ConvShape::new(2, 3, 5, 5);
+        assert_eq!(shape.ops(), 2 * 9 * 2 * 3 * 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_rejected() {
+        let _ = ConvShape::new(0, 1, 1, 1);
+    }
+}

@@ -1,0 +1,505 @@
+//! The analytic PPA model of the proposed macro.
+//!
+//! Fast closed-form latency / energy / area evaluation used for the
+//! paper-scale sweeps (Fig. 6, Fig. 7, Table I, Table II). The model is
+//! *structural*: every term corresponds to a circuit component of Fig. 2,
+//! with nominal constants from [`Calibration`] scaled to the operating
+//! point by the technology model. Its agreement with the event-driven RTL
+//! netlist is enforced by integration tests (`tests/model_vs_rtl.rs`).
+//!
+//! Timing convention: the pipeline beat is the forward latency of one
+//! compute block (encoder walk + LUT read + completion + latch strobe +
+//! control), matching the paper's frequency arithmetic — e.g. the 0.5 V
+//! worst case of 32.1 ns ↔ 31.2 MHz in Table II. Handshake return and
+//! precharge overlap the neighbour's evaluation.
+
+use crate::calib::Calibration;
+use crate::config::{MacroConfig, LEVELS};
+use maddpipe_sram::rcd::completion_tree_depth;
+use maddpipe_tech::process::DriveKind;
+use maddpipe_tech::units::{Area, Hertz, Joules, Seconds, Watts};
+use core::fmt;
+
+/// Per-block latency decomposition (Fig. 7 B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyBreakdown {
+    /// BDT encoder (4 DLC levels).
+    pub encoder: Seconds,
+    /// Decoder read path: RWL, bitline, CSA, RCD trees, GE pulse, latch.
+    pub decoder: Seconds,
+    /// Handshake controller overhead.
+    pub ctrl: Seconds,
+}
+
+impl LatencyBreakdown {
+    /// Total block latency.
+    pub fn total(&self) -> Seconds {
+        self.encoder + self.decoder + self.ctrl
+    }
+
+    /// Encoder's share of the block latency (0–1).
+    pub fn encoder_fraction(&self) -> f64 {
+        self.encoder / self.total()
+    }
+}
+
+/// Per-block-token energy decomposition (Fig. 7 A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// All `Ndec` decoders: SRAM read cycles, CSA, latches, RCD, RWL wire.
+    pub decoder: Joules,
+    /// Encoder classification (4 active DLCs).
+    pub encoder: Joules,
+    /// Control, handshake, input buffer.
+    pub ctrl: Joules,
+}
+
+impl EnergyBreakdown {
+    /// Total energy of one token traversing one block.
+    pub fn total(&self) -> Joules {
+        self.decoder + self.encoder + self.ctrl
+    }
+
+    /// Decoder share (0–1) — the paper reports > 94 %.
+    pub fn decoder_fraction(&self) -> f64 {
+        self.decoder / self.total()
+    }
+}
+
+/// Macro area decomposition (Fig. 7 C).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// All decoders (`ndec · ns`).
+    pub decoder: Area,
+    /// All encoders (`ns`).
+    pub encoder: Area,
+    /// Per-block control and buffers (`ns`).
+    pub ctrl: Area,
+    /// Global: write drivers, per-chain RCAs, output registers.
+    pub global: Area,
+}
+
+impl AreaBreakdown {
+    /// Total macro area.
+    pub fn total(&self) -> Area {
+        self.decoder + self.encoder + self.ctrl + self.global
+    }
+
+    /// Decoder share (0–1) — the paper reports 50–80 % depending on Ndec.
+    pub fn decoder_fraction(&self) -> f64 {
+        self.decoder / self.total()
+    }
+}
+
+/// Complete PPA evaluation of one configuration at one operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PpaReport {
+    /// The evaluated configuration.
+    pub ndec: usize,
+    /// The evaluated configuration.
+    pub ns: usize,
+    /// Best-case block latency (all DLC levels decide at the MSB).
+    pub latency_best: LatencyBreakdown,
+    /// Worst-case block latency (all DLC levels ripple through 8 bits).
+    pub latency_worst: LatencyBreakdown,
+    /// Pipeline beat frequency range (worst-case latency → min frequency).
+    pub freq_min: Hertz,
+    /// Best-case beat frequency.
+    pub freq_max: Hertz,
+    /// Throughput at worst-case latency.
+    pub tops_min: f64,
+    /// Throughput at best-case latency.
+    pub tops_max: f64,
+    /// Energy of one token traversing one block.
+    pub block_energy: EnergyBreakdown,
+    /// Energy per equivalent operation.
+    pub energy_per_op: Joules,
+    /// Energy efficiency in TOPS/W.
+    pub tops_per_watt: f64,
+    /// Macro area.
+    pub area: AreaBreakdown,
+    /// Area efficiency in TOPS/mm², using the best/worst average
+    /// throughput (the paper's black-dashed-line convention in Fig. 6).
+    pub tops_per_mm2: f64,
+    /// Static leakage power of the whole macro (reported separately; the
+    /// paper's efficiency numbers are dynamic-dominated).
+    pub leakage: Watts,
+}
+
+impl PpaReport {
+    /// Average of best- and worst-case throughput (paper's Fig. 6 dashed
+    /// line).
+    pub fn tops_avg(&self) -> f64 {
+        0.5 * (self.tops_min + self.tops_max)
+    }
+}
+
+impl fmt::Display for PpaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Ndec={} NS={}", self.ndec, self.ns)?;
+        writeln!(
+            f,
+            "  latency  best {} / worst {}  ({:.1}–{:.1} MHz)",
+            self.latency_best.total(),
+            self.latency_worst.total(),
+            self.freq_min.as_mega_hertz(),
+            self.freq_max.as_mega_hertz()
+        )?;
+        writeln!(
+            f,
+            "  throughput {:.3}–{:.3} TOPS (avg {:.3})",
+            self.tops_min,
+            self.tops_max,
+            self.tops_avg()
+        )?;
+        writeln!(
+            f,
+            "  energy {:.3} fJ/op → {:.1} TOPS/W",
+            self.energy_per_op.as_femtos(),
+            self.tops_per_watt
+        )?;
+        write!(
+            f,
+            "  area {:.3} mm² → {:.2} TOPS/mm²",
+            self.area.total().as_mm2(),
+            self.tops_per_mm2
+        )
+    }
+}
+
+/// The analytic model, bound to one [`MacroConfig`].
+#[derive(Debug, Clone)]
+pub struct MacroModel {
+    cfg: MacroConfig,
+}
+
+impl MacroModel {
+    /// Creates a model for the configuration.
+    pub fn new(cfg: MacroConfig) -> MacroModel {
+        MacroModel { cfg }
+    }
+
+    /// The bound configuration.
+    pub fn config(&self) -> &MacroConfig {
+        &self.cfg
+    }
+
+    fn cal(&self) -> &Calibration {
+        &self.cfg.calibration
+    }
+
+    fn scale(&self, kind: DriveKind) -> f64 {
+        let tech = maddpipe_tech::Technology::n22();
+        tech.delay_scale(self.cfg.op, kind)
+    }
+
+    /// Encoder latency for the given per-level DLC ripple depths (number
+    /// of comparator bit stages traversed, 1–8 each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a ripple depth is outside `1..=8`.
+    pub fn encoder_latency(&self, ripples: &[usize]) -> Seconds {
+        assert_eq!(ripples.len(), LEVELS, "one ripple depth per tree level");
+        let c = self.cal();
+        let s = self.scale(DriveKind::PullDown);
+        let mut t = Seconds::ZERO;
+        for &r in ripples {
+            assert!((1..=8).contains(&r), "ripple depth {r} out of 1..=8");
+            t += (c.dlc_base + c.dlc_per_bit * r as f64) * s;
+        }
+        t
+    }
+
+    /// Decoder-path latency (RWL driver + WL wire across `ndec` decoders +
+    /// bitline discharge + CSA + RCD trees + GE pulse + latch).
+    pub fn decoder_latency(&self) -> Seconds {
+        let c = self.cal();
+        let s_n = self.scale(DriveKind::PullDown);
+        let s_c = self.scale(DriveKind::Complementary);
+        let rcd_levels = completion_tree_depth(8) + completion_tree_depth(self.cfg.ndec);
+        let gates = c.rwl_driver
+            + c.rwl_wire_per_decoder * self.cfg.ndec as f64
+            + c.fa_delay
+            + c.rcd_col
+            + c.rcd_tree_level * rcd_levels as f64
+            + c.ge_pulse_delay
+            + c.latch_dq;
+        gates * s_c + c.bl_discharge * s_n
+    }
+
+    /// Handshake-control overhead.
+    pub fn ctrl_latency(&self) -> Seconds {
+        self.cal().ctrl_overhead * self.scale(DriveKind::Complementary)
+    }
+
+    /// Block latency for explicit DLC ripple depths.
+    pub fn block_latency(&self, ripples: &[usize]) -> LatencyBreakdown {
+        LatencyBreakdown {
+            encoder: self.encoder_latency(ripples),
+            decoder: self.decoder_latency(),
+            ctrl: self.ctrl_latency(),
+        }
+    }
+
+    /// Best-case block latency (every level decides at the first bit).
+    pub fn block_latency_best(&self) -> LatencyBreakdown {
+        self.block_latency(&[1; LEVELS])
+    }
+
+    /// Worst-case block latency (every level ripples through all 8 bits).
+    pub fn block_latency_worst(&self) -> LatencyBreakdown {
+        self.block_latency(&[8; LEVELS])
+    }
+
+    /// Energy of one token traversing one block.
+    pub fn block_energy(&self) -> EnergyBreakdown {
+        let c = self.cal();
+        let tech = maddpipe_tech::Technology::n22();
+        let e = |cap| tech.switching_energy(cap, self.cfg.op);
+        let per_decoder = e(c.cap_decoder_read) + e(c.cap_rwl_per_decoder);
+        EnergyBreakdown {
+            decoder: per_decoder * self.cfg.ndec as f64,
+            encoder: e(c.cap_encoder_classify),
+            ctrl: e(c.cap_ctrl_token),
+        }
+    }
+
+    /// Macro area.
+    pub fn area(&self) -> AreaBreakdown {
+        let c = self.cal();
+        let ns = self.cfg.ns as f64;
+        let ndec = self.cfg.ndec as f64;
+        AreaBreakdown {
+            decoder: c.area_decoder * (ndec * ns),
+            encoder: c.area_encoder * ns,
+            ctrl: c.area_ctrl * ns,
+            global: c.area_global + c.area_global_per_decoder * ndec,
+        }
+    }
+
+    /// Full PPA evaluation.
+    pub fn evaluate(&self) -> PpaReport {
+        let best = self.block_latency_best();
+        let worst = self.block_latency_worst();
+        let ops = self.cfg.ops_per_token() as f64;
+        let tops_max = ops / best.total().value() / 1e12;
+        let tops_min = ops / worst.total().value() / 1e12;
+        let block_energy = self.block_energy();
+        let ops_per_block = (crate::config::OPS_PER_LOOKUP * self.cfg.ndec) as f64;
+        let energy_per_op = block_energy.total() / ops_per_block;
+        let tops_per_watt = 1.0 / energy_per_op.as_femtos() * 1e3;
+        let area = self.area();
+        let tops_avg = 0.5 * (tops_min + tops_max);
+        let tech = maddpipe_tech::Technology::n22();
+        // Leakage: approximate the macro as its transistor population.
+        let transistor_units =
+            area.total().value() / tech.area_per_transistor.value() / 4.0;
+        let leakage = tech.leakage_power(transistor_units, self.cfg.op);
+        PpaReport {
+            ndec: self.cfg.ndec,
+            ns: self.cfg.ns,
+            latency_best: best,
+            latency_worst: worst,
+            freq_min: worst.total().to_frequency(),
+            freq_max: best.total().to_frequency(),
+            tops_min,
+            tops_max,
+            block_energy,
+            energy_per_op,
+            tops_per_watt,
+            tops_per_mm2: tops_avg / area.total().as_mm2(),
+            area,
+            leakage,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maddpipe_tech::corner::{Corner, OperatingPoint};
+    use maddpipe_tech::units::Volts;
+
+    fn at(ndec: usize, ns: usize, vdd: f64, corner: Corner) -> PpaReport {
+        MacroModel::new(
+            MacroConfig::new(ndec, ns).with_op(OperatingPoint::new(Volts(vdd), corner)),
+        )
+        .evaluate()
+    }
+
+    /// Paper Fig. 7 / Table II: block latency at 0.5 V TTG, Ndec=16 is
+    /// best 17.8 ns / worst 32.1 ns (31.2–56.2 MHz).
+    #[test]
+    fn flagship_block_latency_matches_paper() {
+        let r = at(16, 32, 0.5, Corner::Ttg);
+        let best = r.latency_best.total().as_nanos();
+        let worst = r.latency_worst.total().as_nanos();
+        assert!((best - 17.8).abs() < 1.0, "best {best} ns (paper 17.8)");
+        assert!((worst - 32.1).abs() < 1.5, "worst {worst} ns (paper 32.1)");
+    }
+
+    /// Paper Table II: 0.28–0.51 TOPS and 174 TOPS/W at 0.5 V;
+    /// 2.01 TOPS/mm² on a 0.20 mm² core.
+    #[test]
+    fn flagship_headline_numbers() {
+        let r = at(16, 32, 0.5, Corner::Ttg);
+        assert!((r.tops_min - 0.28).abs() < 0.03, "tops_min {}", r.tops_min);
+        assert!((r.tops_max - 0.51).abs() < 0.05, "tops_max {}", r.tops_max);
+        assert!(
+            (r.tops_per_watt - 174.0).abs() < 8.0,
+            "TOPS/W {}",
+            r.tops_per_watt
+        );
+        assert!(
+            (r.area.total().as_mm2() - 0.20).abs() < 0.01,
+            "area {}",
+            r.area.total().as_mm2()
+        );
+        assert!(
+            (r.tops_per_mm2 - 2.01).abs() < 0.15,
+            "TOPS/mm² {}",
+            r.tops_per_mm2
+        );
+    }
+
+    /// Paper Table II nominal-voltage column: 75.1 TOPS/W, 11.34 TOPS/mm²
+    /// at 0.8 V.
+    #[test]
+    fn flagship_at_nominal_voltage() {
+        let r = at(16, 32, 0.8, Corner::Ttg);
+        assert!(
+            (r.tops_per_watt - 75.1).abs() < 4.0,
+            "TOPS/W {}",
+            r.tops_per_watt
+        );
+        assert!(
+            (r.tops_per_mm2 - 11.34).abs() < 1.3,
+            "TOPS/mm² {}",
+            r.tops_per_mm2
+        );
+    }
+
+    /// Paper Fig. 7: energy is decoder-dominated (>94 %), latency is
+    /// encoder-dominated in the worst case (40–70 %).
+    #[test]
+    fn breakdown_shapes_match_fig7() {
+        for ndec in [4usize, 16] {
+            let r = at(ndec, 32, 0.5, Corner::Ttg);
+            let e_frac = r.block_energy.decoder_fraction();
+            assert!(e_frac > 0.93, "Ndec={ndec}: decoder energy {e_frac}");
+            let l_frac = r.latency_worst.encoder_fraction();
+            assert!(
+                (0.40..=0.70).contains(&l_frac),
+                "Ndec={ndec}: encoder latency share {l_frac}"
+            );
+        }
+        // Area: decoder share grows with Ndec (57 % → 83 % in the paper).
+        let a4 = at(4, 32, 0.5, Corner::Ttg).area.decoder_fraction();
+        let a16 = at(16, 32, 0.5, Corner::Ttg).area.decoder_fraction();
+        assert!((a4 - 0.569).abs() < 0.04, "Ndec=4 decoder area {a4}");
+        assert!((a16 - 0.829).abs() < 0.04, "Ndec=16 decoder area {a16}");
+    }
+
+    /// Paper Table I: both efficiencies improve monotonically with Ndec,
+    /// with diminishing returns past 16.
+    #[test]
+    fn table1_trends() {
+        let rs: Vec<PpaReport> = [4, 8, 16, 32]
+            .iter()
+            .map(|&n| at(n, 32, 0.5, Corner::Ttg))
+            .collect();
+        for w in rs.windows(2) {
+            assert!(
+                w[1].tops_per_watt > w[0].tops_per_watt,
+                "energy efficiency must rise with Ndec"
+            );
+        }
+        assert!(rs[1].tops_per_mm2 > rs[0].tops_per_mm2);
+        assert!(rs[2].tops_per_mm2 > rs[1].tops_per_mm2);
+        // Diminishing returns: 16→32 gain smaller than 4→8 gain.
+        let gain_small = rs[1].tops_per_watt / rs[0].tops_per_watt;
+        let gain_large = rs[3].tops_per_watt / rs[2].tops_per_watt;
+        assert!(gain_large < gain_small);
+        // Paper values at 0.5 V: 167.5 / 171.8 / 174.0 / 174.9 TOPS/W.
+        for (r, paper) in rs.iter().zip([167.5, 171.8, 174.0, 174.9]) {
+            let err = (r.tops_per_watt - paper).abs() / paper;
+            assert!(err < 0.03, "Ndec={}: {} vs paper {paper}", r.ndec, r.tops_per_watt);
+        }
+        // Paper area efficiencies at 0.5 V: 1.4 / 1.8 / 2.0 / 2.0.
+        for (r, paper) in rs.iter().zip([1.4, 1.8, 2.0, 2.0]) {
+            let err = (r.tops_per_mm2 - paper).abs() / paper;
+            assert!(err < 0.08, "Ndec={}: {} vs paper {paper}", r.ndec, r.tops_per_mm2);
+        }
+    }
+
+    /// Fig. 6 anchor points (Ndec=4, NS=4, TTG average).
+    #[test]
+    fn fig6_voltage_sweep() {
+        let paper = [
+            (0.5, 164.0, 1.45),
+            (0.6, 123.0, 3.46),
+            (0.7, 92.8, 5.94),
+            (0.8, 72.2, 8.55),
+            (0.9, 57.5, 11.03),
+            (1.0, 46.6, 13.25),
+        ];
+        for (vdd, tops_w, tops_mm2) in paper {
+            let r = at(4, 4, vdd, Corner::Ttg);
+            let ew = (r.tops_per_watt - tops_w).abs() / tops_w;
+            assert!(ew < 0.06, "{vdd} V: {} TOPS/W vs paper {tops_w}", r.tops_per_watt);
+            // The calibration is anchored on the flagship Ndec=16/NS=32
+            // macro; the small Fig. 6 config sits systematically ~10 %
+            // below the paper's density. Shape (monotone rise, ~9× total
+            // gain) is what matters here.
+            let ea = (r.tops_per_mm2 - tops_mm2).abs() / tops_mm2;
+            assert!(
+                ea < 0.16,
+                "{vdd} V: {} TOPS/mm² vs paper {tops_mm2}",
+                r.tops_per_mm2
+            );
+        }
+    }
+
+    /// Energy efficiency is nearly corner-independent; speed is not.
+    #[test]
+    fn corners_move_speed_not_efficiency() {
+        let ttg = at(16, 32, 0.5, Corner::Ttg);
+        let ssg = at(16, 32, 0.5, Corner::Ssg);
+        let ffg = at(16, 32, 0.5, Corner::Ffg);
+        assert_eq!(ttg.tops_per_watt, ssg.tops_per_watt);
+        assert!(ssg.tops_min < ttg.tops_min && ttg.tops_min < ffg.tops_min);
+    }
+
+    #[test]
+    fn encoder_latency_monotone_in_ripple() {
+        let m = MacroModel::new(MacroConfig::fig6());
+        let fast = m.encoder_latency(&[1, 1, 1, 1]);
+        let mid = m.encoder_latency(&[4, 4, 4, 4]);
+        let slow = m.encoder_latency(&[8, 8, 8, 8]);
+        assert!(fast < mid && mid < slow);
+    }
+
+    #[test]
+    #[should_panic(expected = "ripple depth")]
+    fn out_of_range_ripple_panics() {
+        let m = MacroModel::new(MacroConfig::fig6());
+        let _ = m.encoder_latency(&[0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn leakage_is_small_but_positive() {
+        let r = at(16, 32, 0.5, Corner::Ttg);
+        assert!(r.leakage.0 > 0.0);
+        // Dynamic power at worst-case throughput dwarfs leakage at 25 °C.
+        let dynamic = r.block_energy.total() * (r.ns as f64)
+            / r.latency_worst.total();
+        assert!(r.leakage.0 < dynamic.0 * 0.2, "leakage {} vs dynamic {}", r.leakage, dynamic);
+    }
+
+    #[test]
+    fn report_display_is_complete() {
+        let s = at(16, 32, 0.5, Corner::Ttg).to_string();
+        assert!(s.contains("TOPS/W") && s.contains("TOPS/mm²") && s.contains("latency"));
+    }
+}

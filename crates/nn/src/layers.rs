@@ -1,0 +1,727 @@
+//! CNN layers with forward and backward passes.
+//!
+//! Convolutions run through explicit **im2col**: every output pixel
+//! becomes one row of patches laid out *channel-major* — 9 contiguous
+//! values per input channel — which is exactly the subvector layout the
+//! accelerator's compute blocks consume (paper Fig. 3). The same patch
+//! matrix therefore drives both the float forward pass and the MADDNESS
+//! substitution.
+
+use crate::tensor::Tensor4;
+use maddpipe_amm::linalg::Mat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Extracts 3×3/pad-1 patches: returns an `(n·h·w) × (c·9)` matrix whose
+/// rows are channel-major patches.
+pub fn im2col3x3(x: &Tensor4) -> Mat {
+    let (n, c, h, w) = x.shape();
+    let mut out = Mat::zeros(n * h * w, c * 9);
+    for img in 0..n {
+        for oy in 0..h {
+            for ox in 0..w {
+                let row = (img * h + oy) * w + ox;
+                let out_row = out.row_mut(row);
+                for ch in 0..c {
+                    let plane = x.plane(img, ch);
+                    for ky in 0..3usize {
+                        for kx in 0..3usize {
+                            let iy = oy as isize + ky as isize - 1;
+                            let ix = ox as isize + kx as isize - 1;
+                            let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize
+                            {
+                                plane[iy as usize * w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                            out_row[ch * 9 + ky * 3 + kx] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Scatters patch-gradients back to an input-shaped tensor (the adjoint of
+/// [`im2col3x3`]).
+pub fn col2im3x3(grad_patches: &Mat, n: usize, c: usize, h: usize, w: usize) -> Tensor4 {
+    assert_eq!(grad_patches.rows(), n * h * w, "row count mismatch");
+    assert_eq!(grad_patches.cols(), c * 9, "column count mismatch");
+    let mut out = Tensor4::zeros(n, c, h, w);
+    for img in 0..n {
+        for oy in 0..h {
+            for ox in 0..w {
+                let row = grad_patches.row((img * h + oy) * w + ox);
+                for ch in 0..c {
+                    for ky in 0..3usize {
+                        for kx in 0..3usize {
+                            let iy = oy as isize + ky as isize - 1;
+                            let ix = ox as isize + kx as isize - 1;
+                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                out[(img, ch, iy as usize, ix as usize)] +=
+                                    row[ch * 9 + ky * 3 + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// How a convolution executes its patch-matrix product.
+///
+/// The float path is exact; the other two reproduce the deployed
+/// accelerators: [`ConvExec::Digital`] is the proposed macro / Stella Nera
+/// algorithm (INT8 BDT MADDNESS), [`ConvExec::Analog`] the time-domain
+/// Manhattan encoder of \[21\] with delay noise.
+#[derive(Debug, Clone, Default)]
+pub enum ConvExec {
+    /// Exact float matmul (training and the float baseline).
+    #[default]
+    Float,
+    /// MADDNESS INT8 LUT path (the proposed accelerator's arithmetic).
+    Digital(maddpipe_amm::MaddnessMatmul),
+    /// Noisy analog Manhattan-encoder path.
+    Analog(crate::amm_layer::AnalogAmm),
+}
+
+/// 3×3 same-padding convolution (stride 1).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// Weights as a `(c_in·9) × c_out` matrix (im2col layout).
+    pub weight: Mat,
+    /// Weight gradient, same shape.
+    pub grad: Mat,
+    /// Execution engine (float / MADDNESS / analog).
+    pub exec: ConvExec,
+    in_channels: usize,
+    out_channels: usize,
+    cache_patches: Option<Mat>,
+    cache_shape: (usize, usize, usize, usize),
+}
+
+impl Conv2d {
+    /// Creates a He-initialised convolution.
+    pub fn new(in_channels: usize, out_channels: usize, seed: u64) -> Conv2d {
+        let fan_in = (in_channels * 9) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weight = Mat::zeros(in_channels * 9, out_channels);
+        for v in weight.data_mut() {
+            *v = (rng.gen::<f32>() * 2.0 - 1.0) * std * 1.73;
+        }
+        Conv2d {
+            grad: Mat::zeros(in_channels * 9, out_channels),
+            weight,
+            exec: ConvExec::Float,
+            in_channels,
+            out_channels,
+            cache_patches: None,
+            cache_shape: (0, 0, 0, 0),
+        }
+    }
+
+    /// Takes the patch matrix cached by the most recent forward pass —
+    /// used as MADDNESS calibration data.
+    pub fn take_cached_patches(&mut self) -> Option<Mat> {
+        self.cache_patches.take()
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count disagrees.
+    pub fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = x.shape();
+        assert_eq!(c, self.in_channels, "channel mismatch");
+        let patches = im2col3x3(x);
+        let y = match &mut self.exec {
+            ConvExec::Float => patches.matmul(&self.weight),
+            ConvExec::Digital(op) => op.matmul(&patches),
+            ConvExec::Analog(op) => op.apply(&patches),
+        };
+        self.cache_patches = Some(patches);
+        self.cache_shape = (n, c, h, w);
+        mat_to_tensor(&y, n, self.out_channels, h, w)
+    }
+
+    /// Backward pass: accumulates the weight gradient and returns the
+    /// input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_y: &Tensor4) -> Tensor4 {
+        assert!(
+            matches!(self.exec, ConvExec::Float),
+            "cannot backpropagate through a substituted (inference-only) convolution"
+        );
+        let patches = self
+            .cache_patches
+            .as_ref()
+            .expect("backward before forward");
+        let (n, c, h, w) = self.cache_shape;
+        let gy = tensor_to_mat(grad_y);
+        self.grad = patches.transpose().matmul(&gy);
+        let gp = gy.matmul(&self.weight.transpose());
+        col2im3x3(&gp, n, c, h, w)
+    }
+
+    /// SGD step with momentum buffer owned by the caller.
+    pub fn step(&mut self, lr: f32, momentum: f32, velocity: &mut Mat) {
+        for ((w, g), v) in self
+            .weight
+            .data_mut()
+            .iter_mut()
+            .zip(self.grad.data())
+            .zip(velocity.data_mut())
+        {
+            *v = momentum * *v + g;
+            *w -= lr * *v;
+        }
+    }
+}
+
+/// Converts an `(n·h·w) × c_out` matrix to NCHW.
+pub fn mat_to_tensor(m: &Mat, n: usize, c: usize, h: usize, w: usize) -> Tensor4 {
+    assert_eq!(m.rows(), n * h * w);
+    assert_eq!(m.cols(), c);
+    let mut out = Tensor4::zeros(n, c, h, w);
+    for img in 0..n {
+        for y in 0..h {
+            for x in 0..w {
+                let row = m.row((img * h + y) * w + x);
+                for ch in 0..c {
+                    out[(img, ch, y, x)] = row[ch];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Converts NCHW to an `(n·h·w) × c` matrix (inverse of [`mat_to_tensor`]).
+pub fn tensor_to_mat(t: &Tensor4) -> Mat {
+    let (n, c, h, w) = t.shape();
+    let mut out = Mat::zeros(n * h * w, c);
+    for img in 0..n {
+        for y in 0..h {
+            for x in 0..w {
+                let row = out.row_mut((img * h + y) * w + x);
+                for (ch, slot) in row.iter_mut().enumerate() {
+                    *slot = t[(img, ch, y, x)];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Batch normalisation over N×H×W per channel.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    /// Scale parameter γ.
+    pub gamma: Vec<f32>,
+    /// Shift parameter β.
+    pub beta: Vec<f32>,
+    /// γ gradient.
+    pub grad_gamma: Vec<f32>,
+    /// β gradient.
+    pub grad_beta: Vec<f32>,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    cache: Option<BnCache>,
+    eps: f32,
+    momentum: f32,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Tensor4,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates an identity-initialised batch norm for `channels`.
+    pub fn new(channels: usize) -> BatchNorm2d {
+        BatchNorm2d {
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            grad_gamma: vec![0.0; channels],
+            grad_beta: vec![0.0; channels],
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            cache: None,
+            eps: 1e-5,
+            momentum: 0.1,
+        }
+    }
+
+    /// Forward pass; `training` selects batch statistics vs running ones.
+    pub fn forward(&mut self, x: &Tensor4, training: bool) -> Tensor4 {
+        let (n, c, h, w) = x.shape();
+        let count = (n * h * w) as f32;
+        let mut out = x.zeros_like();
+        let mut x_hat = x.zeros_like();
+        let mut inv_stds = vec![0.0f32; c];
+        for ch in 0..c {
+            let (mean, var) = if training {
+                let mut sum = 0.0f64;
+                let mut sq = 0.0f64;
+                for img in 0..n {
+                    for &v in x.plane(img, ch) {
+                        sum += v as f64;
+                        sq += (v as f64) * (v as f64);
+                    }
+                }
+                let mean = (sum / count as f64) as f32;
+                let var = (sq / count as f64) as f32 - mean * mean;
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                (mean, var.max(0.0))
+            } else {
+                (self.running_mean[ch], self.running_var[ch])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[ch] = inv_std;
+            for img in 0..n {
+                for y in 0..h {
+                    for xx in 0..w {
+                        let xh = (x[(img, ch, y, xx)] - mean) * inv_std;
+                        x_hat[(img, ch, y, xx)] = xh;
+                        out[(img, ch, y, xx)] = self.gamma[ch] * xh + self.beta[ch];
+                    }
+                }
+            }
+        }
+        if training {
+            self.cache = Some(BnCache {
+                x_hat,
+                inv_std: inv_stds,
+            });
+        }
+        out
+    }
+
+    /// Backward pass (training mode only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a cached training forward.
+    pub fn backward(&mut self, grad_y: &Tensor4) -> Tensor4 {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let (n, c, h, w) = grad_y.shape();
+        let count = (n * h * w) as f32;
+        let mut out = grad_y.zeros_like();
+        for ch in 0..c {
+            let mut sum_dy = 0.0f64;
+            let mut sum_dy_xhat = 0.0f64;
+            for img in 0..n {
+                for y in 0..h {
+                    for x in 0..w {
+                        let dy = grad_y[(img, ch, y, x)] as f64;
+                        sum_dy += dy;
+                        sum_dy_xhat += dy * cache.x_hat[(img, ch, y, x)] as f64;
+                    }
+                }
+            }
+            self.grad_beta[ch] = sum_dy as f32;
+            self.grad_gamma[ch] = sum_dy_xhat as f32;
+            let k = self.gamma[ch] * cache.inv_std[ch] / count;
+            for img in 0..n {
+                for y in 0..h {
+                    for x in 0..w {
+                        let dy = grad_y[(img, ch, y, x)];
+                        let xh = cache.x_hat[(img, ch, y, x)];
+                        out[(img, ch, y, x)] = k
+                            * (count * dy - sum_dy as f32 - xh * sum_dy_xhat as f32);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// SGD step on γ/β.
+    pub fn step(&mut self, lr: f32) {
+        for (g, d) in self.gamma.iter_mut().zip(&self.grad_gamma) {
+            *g -= lr * d;
+        }
+        for (b, d) in self.beta.iter_mut().zip(&self.grad_beta) {
+            *b -= lr * d;
+        }
+    }
+}
+
+/// ReLU with cached mask.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU.
+    pub fn new() -> Relu {
+        Relu::default()
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        self.mask = x.data().iter().map(|&v| v > 0.0).collect();
+        let mut out = x.clone();
+        for v in out.data_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+
+    /// Backward pass.
+    pub fn backward(&self, grad_y: &Tensor4) -> Tensor4 {
+        let mut out = grad_y.clone();
+        for (g, &m) in out.data_mut().iter_mut().zip(&self.mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        out
+    }
+}
+
+/// 2×2 max pooling with stride 2.
+#[derive(Debug, Clone, Default)]
+pub struct MaxPool2 {
+    argmax: Vec<usize>,
+    in_shape: (usize, usize, usize, usize),
+}
+
+impl MaxPool2 {
+    /// Creates a pool layer.
+    pub fn new() -> MaxPool2 {
+        MaxPool2::default()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on odd spatial dimensions.
+    pub fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = x.shape();
+        assert!(h % 2 == 0 && w % 2 == 0, "pooling needs even dimensions");
+        let mut out = Tensor4::zeros(n, c, h / 2, w / 2);
+        self.argmax = vec![0; out.len()];
+        self.in_shape = x.shape();
+        let mut idx = 0;
+        for img in 0..n {
+            for ch in 0..c {
+                for oy in 0..h / 2 {
+                    for ox in 0..w / 2 {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_at = 0usize;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let (iy, ix) = (oy * 2 + dy, ox * 2 + dx);
+                                let v = x[(img, ch, iy, ix)];
+                                if v > best {
+                                    best = v;
+                                    best_at = ((img * c + ch) * h + iy) * w + ix;
+                                }
+                            }
+                        }
+                        out[(img, ch, oy, ox)] = best;
+                        self.argmax[idx] = best_at;
+                        idx += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass: routes gradients to the argmax positions.
+    pub fn backward(&self, grad_y: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = self.in_shape;
+        let mut out = Tensor4::zeros(n, c, h, w);
+        for (i, &g) in grad_y.data().iter().enumerate() {
+            out.data_mut()[self.argmax[i]] += g;
+        }
+        out
+    }
+}
+
+/// Fully-connected layer on flattened features.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weights, `in × out`.
+    pub weight: Mat,
+    /// Bias, length `out`.
+    pub bias: Vec<f32>,
+    /// Weight gradient.
+    pub grad_w: Mat,
+    /// Bias gradient.
+    pub grad_b: Vec<f32>,
+    cache_x: Option<Mat>,
+}
+
+impl Linear {
+    /// Creates a He-initialised linear layer.
+    pub fn new(inputs: usize, outputs: usize, seed: u64) -> Linear {
+        let std = (2.0 / inputs as f32).sqrt();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weight = Mat::zeros(inputs, outputs);
+        for v in weight.data_mut() {
+            *v = (rng.gen::<f32>() * 2.0 - 1.0) * std;
+        }
+        Linear {
+            grad_w: Mat::zeros(inputs, outputs),
+            grad_b: vec![0.0; outputs],
+            bias: vec![0.0; outputs],
+            weight,
+            cache_x: None,
+        }
+    }
+
+    /// Forward on an `n × in` matrix.
+    pub fn forward(&mut self, x: &Mat) -> Mat {
+        let mut y = x.matmul(&self.weight);
+        for r in 0..y.rows() {
+            for (c, b) in self.bias.iter().enumerate() {
+                y[(r, c)] += b;
+            }
+        }
+        self.cache_x = Some(x.clone());
+        y
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_y: &Mat) -> Mat {
+        let x = self.cache_x.as_ref().expect("backward before forward");
+        self.grad_w = x.transpose().matmul(grad_y);
+        for c in 0..grad_y.cols() {
+            self.grad_b[c] = (0..grad_y.rows()).map(|r| grad_y[(r, c)]).sum();
+        }
+        grad_y.matmul(&self.weight.transpose())
+    }
+
+    /// SGD step.
+    pub fn step(&mut self, lr: f32) {
+        for (w, g) in self.weight.data_mut().iter_mut().zip(self.grad_w.data()) {
+            *w -= lr * g;
+        }
+        for (b, g) in self.bias.iter_mut().zip(&self.grad_b) {
+            *b -= lr * g;
+        }
+    }
+}
+
+/// Softmax cross-entropy: returns `(loss, grad_logits)`.
+///
+/// # Panics
+///
+/// Panics if a label is out of range.
+pub fn softmax_cross_entropy(logits: &Mat, labels: &[usize]) -> (f32, Mat) {
+    assert_eq!(logits.rows(), labels.len(), "one label per row");
+    let n = logits.rows();
+    let classes = logits.cols();
+    let mut grad = Mat::zeros(n, classes);
+    let mut loss = 0.0f64;
+    for r in 0..n {
+        assert!(labels[r] < classes, "label {} out of range", labels[r]);
+        let row = logits.row(r);
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let exps: Vec<f64> = row.iter().map(|&v| ((v - max) as f64).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        loss -= (exps[labels[r]] / sum).ln();
+        for c in 0..classes {
+            let p = (exps[c] / sum) as f32;
+            grad[(r, c)] = (p - if c == labels[r] { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor_from(shape: (usize, usize, usize, usize), f: impl Fn(usize) -> f32) -> Tensor4 {
+        let (n, c, h, w) = shape;
+        Tensor4::from_vec(n, c, h, w, (0..n * c * h * w).map(f).collect())
+    }
+
+    #[test]
+    fn im2col_identity_kernel_recovers_input() {
+        // A kernel that picks the centre element reproduces the input.
+        let x = tensor_from((1, 2, 4, 4), |i| i as f32);
+        let mut conv = Conv2d::new(2, 2, 0);
+        for v in conv.weight.data_mut() {
+            *v = 0.0;
+        }
+        // Centre of channel 0 → out 0; centre of channel 1 → out 1.
+        conv.weight[(4, 0)] = 1.0;
+        conv.weight[(9 + 4, 1)] = 1.0;
+        let y = conv.forward(&x);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn im2col_rows_are_channel_major() {
+        let x = tensor_from((1, 2, 3, 3), |i| i as f32);
+        let p = im2col3x3(&x);
+        // Centre pixel (1,1): its row holds channel 0's full 3×3 plane then
+        // channel 1's.
+        let row = p.row(3 + 1); // image 0, pixel (1, 1) of the 3×3 map
+        assert_eq!(&row[..9], &[0., 1., 2., 3., 4., 5., 6., 7., 8.]);
+        assert_eq!(&row[9..], &[9., 10., 11., 12., 13., 14., 15., 16., 17.]);
+    }
+
+    #[test]
+    fn conv_gradient_matches_numerical_difference() {
+        let x = tensor_from((1, 1, 3, 3), |i| (i as f32 * 0.7).sin());
+        let mut conv = Conv2d::new(1, 1, 3);
+        // Scalar loss = sum of outputs; analytic dL/dW = patchesᵀ · 1.
+        let y = conv.forward(&x);
+        let ones = Tensor4::from_vec(1, 1, 3, 3, vec![1.0; 9]);
+        let _ = conv.backward(&ones);
+        let analytic = conv.grad.clone();
+        let eps = 1e-3;
+        for k in [0usize, 4, 8] {
+            let mut plus = conv.clone();
+            plus.weight.data_mut()[k] += eps;
+            let y_plus: f32 = plus.forward(&x).data().iter().sum();
+            let y_base: f32 = y.data().iter().sum();
+            let numeric = (y_plus - y_base) / eps;
+            assert!(
+                (numeric - analytic.data()[k]).abs() < 1e-2,
+                "dW[{k}]: numeric {numeric} vs analytic {}",
+                analytic.data()[k]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_input_gradient_matches_numerical_difference() {
+        let x = tensor_from((1, 1, 3, 3), |i| (i as f32 * 0.31).cos());
+        let mut conv = Conv2d::new(1, 1, 5);
+        let _ = conv.forward(&x);
+        let ones = Tensor4::from_vec(1, 1, 3, 3, vec![1.0; 9]);
+        let gx = conv.backward(&ones);
+        let eps = 1e-3;
+        for k in [0usize, 4, 7] {
+            let mut xp = x.clone();
+            xp.data_mut()[k] += eps;
+            let y_plus: f32 = conv.forward(&xp).data().iter().sum();
+            let mut xm = x.clone();
+            xm.data_mut()[k] -= eps;
+            let y_minus: f32 = conv.forward(&xm).data().iter().sum();
+            let numeric = (y_plus - y_minus) / (2.0 * eps);
+            assert!(
+                (numeric - gx.data()[k]).abs() < 1e-2,
+                "dX[{k}]: numeric {numeric} vs analytic {}",
+                gx.data()[k]
+            );
+        }
+    }
+
+    #[test]
+    fn batchnorm_normalises_and_backprops() {
+        let x = tensor_from((2, 1, 2, 2), |i| i as f32 * 3.0 - 5.0);
+        let mut bn = BatchNorm2d::new(1);
+        let y = bn.forward(&x, true);
+        let mean: f32 = y.data().iter().sum::<f32>() / 8.0;
+        let var: f32 = y.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 8.0;
+        assert!(mean.abs() < 1e-5, "mean {mean}");
+        assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        // Gradient sanity: constant upstream gradient yields ~zero input
+        // gradient (normalisation removes the mean shift).
+        let g = bn.backward(&Tensor4::from_vec(2, 1, 2, 2, vec![1.0; 8]));
+        assert!(g.data().iter().all(|v| v.abs() < 1e-4), "{:?}", g.data());
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let x = tensor_from((4, 1, 2, 2), |i| i as f32);
+        let mut bn = BatchNorm2d::new(1);
+        for _ in 0..50 {
+            let _ = bn.forward(&x, true);
+        }
+        let y_eval = bn.forward(&x, false);
+        let mean: f32 = y_eval.data().iter().sum::<f32>() / y_eval.len() as f32;
+        assert!(mean.abs() < 0.1, "eval mean {mean}");
+    }
+
+    #[test]
+    fn relu_masks_consistently() {
+        let x = tensor_from((1, 1, 2, 2), |i| i as f32 - 1.5);
+        let mut relu = Relu::new();
+        let y = relu.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 0.5, 1.5]);
+        let g = relu.backward(&Tensor4::from_vec(1, 1, 2, 2, vec![1.0; 4]));
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn maxpool_selects_and_routes() {
+        let x = tensor_from((1, 1, 2, 2), |i| [1.0, 5.0, 3.0, 2.0][i]);
+        let mut pool = MaxPool2::new();
+        let y = pool.forward(&x);
+        assert_eq!(y.data(), &[5.0]);
+        let g = pool.backward(&Tensor4::from_vec(1, 1, 1, 1, vec![2.0]));
+        assert_eq!(g.data(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn linear_gradcheck() {
+        let x = Mat::from_rows(&[&[0.5, -1.0, 2.0]]);
+        let mut lin = Linear::new(3, 2, 9);
+        let y = lin.forward(&x);
+        let gy = Mat::from_rows(&[&[1.0, 1.0]]);
+        let gx = lin.backward(&gy);
+        let eps = 1e-3;
+        // Input gradient check on element 1.
+        let mut xp = x.clone();
+        xp[(0, 1)] += eps;
+        let yp: f32 = lin.forward(&xp).data().iter().sum();
+        let base: f32 = y.data().iter().sum();
+        let numeric = (yp - base) / eps;
+        assert!((numeric - gx[(0, 1)]).abs() < 1e-2);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero_per_row() {
+        let logits = Mat::from_rows(&[&[2.0, -1.0, 0.5], &[0.0, 0.0, 0.0]]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 2]);
+        assert!(loss > 0.0);
+        for r in 0..2 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6, "row {r} sums to {s}");
+        }
+        // Perfect prediction has near-zero loss.
+        let confident = Mat::from_rows(&[&[100.0, 0.0, 0.0]]);
+        let (l2, _) = softmax_cross_entropy(&confident, &[0]);
+        assert!(l2 < 1e-3);
+    }
+}

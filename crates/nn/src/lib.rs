@@ -1,0 +1,48 @@
+//! # maddpipe-nn
+//!
+//! The DNN substrate for the paper's accuracy evaluation: a small CNN
+//! stack (tensors, conv/BN/ReLU/pool/linear with backprop), the ResNet9
+//! architecture of Table II, a synthetic CIFAR-like dataset (see DESIGN.md
+//! §2 for the substitution rationale), SGD training, and the MADDNESS
+//! layer substitution that converts a trained float network into the
+//! network each accelerator actually executes.
+//!
+//! ```no_run
+//! use maddpipe_nn::prelude::*;
+//!
+//! let (train_set, test_set) = synthetic_cifar(32, 16, 16, 42);
+//! let mut net = ResNet9::new(8, 16, 10, 7);
+//! let stats = train(&mut net, &train_set, &TrainConfig::default());
+//! println!("{stats}");
+//! let float_acc = evaluate(&mut net, &test_set, 32);
+//! let (calib, _) = train_set.batch(0, 128);
+//! substitute_digital(&mut net, &calib, true).unwrap();
+//! let amm_acc = evaluate(&mut net, &test_set, 32);
+//! println!("float {float_acc:.3} vs MADDNESS {amm_acc:.3}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amm_layer;
+pub mod data;
+pub mod layers;
+pub mod net;
+pub mod tensor;
+pub mod train;
+
+pub use amm_layer::{restore_float, substitute_analog, substitute_digital, AnalogAmm};
+pub use data::{synthetic_cifar, Dataset};
+pub use net::ResNet9;
+pub use tensor::Tensor4;
+pub use train::{evaluate, train, TrainConfig, TrainStats};
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::amm_layer::{restore_float, substitute_analog, substitute_digital, AnalogAmm};
+    pub use crate::data::{synthetic_cifar, Dataset};
+    pub use crate::layers::{Conv2d, ConvExec};
+    pub use crate::net::ResNet9;
+    pub use crate::tensor::Tensor4;
+    pub use crate::train::{evaluate, train, TrainConfig, TrainStats};
+}

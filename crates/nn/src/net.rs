@@ -1,0 +1,342 @@
+//! ResNet9 — the network of the paper's accuracy evaluation (Table II
+//! reports ResNet9 on CIFAR-10 for all three accelerators).
+//!
+//! The architecture follows the widely-used "ResNet9 for CIFAR" recipe:
+//! prep conv → conv+pool → residual → conv+pool → conv+pool → residual →
+//! pool → linear. Width and input size are parameters so tests can run a
+//! miniature instance while examples train a larger one.
+
+use crate::layers::{softmax_cross_entropy, BatchNorm2d, Conv2d, Linear, MaxPool2, Relu};
+use crate::tensor::Tensor4;
+use maddpipe_amm::linalg::Mat;
+
+/// Conv → BatchNorm → ReLU with an SGD momentum buffer.
+#[derive(Debug, Clone)]
+pub struct ConvBlock {
+    /// The convolution (this is what MADDNESS substitution replaces).
+    pub conv: Conv2d,
+    /// Batch normalisation.
+    pub bn: BatchNorm2d,
+    relu: Relu,
+    velocity: Mat,
+}
+
+impl ConvBlock {
+    /// Creates a block.
+    pub fn new(c_in: usize, c_out: usize, seed: u64) -> ConvBlock {
+        ConvBlock {
+            conv: Conv2d::new(c_in, c_out, seed),
+            bn: BatchNorm2d::new(c_out),
+            relu: Relu::new(),
+            velocity: Mat::zeros(c_in * 9, c_out),
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor4, training: bool) -> Tensor4 {
+        let y = self.conv.forward(x);
+        let y = self.bn.forward(&y, training);
+        self.relu.forward(&y)
+    }
+
+    /// Backward pass.
+    pub fn backward(&mut self, grad: &Tensor4) -> Tensor4 {
+        let g = self.relu.backward(grad);
+        let g = self.bn.backward(&g);
+        self.conv.backward(&g)
+    }
+
+    /// SGD step.
+    pub fn step(&mut self, lr: f32, momentum: f32) {
+        self.conv.step(lr, momentum, &mut self.velocity);
+        self.bn.step(lr);
+    }
+}
+
+/// Two conv blocks with an identity skip connection.
+#[derive(Debug, Clone)]
+pub struct Residual {
+    /// First block.
+    pub a: ConvBlock,
+    /// Second block.
+    pub b: ConvBlock,
+}
+
+impl Residual {
+    /// Creates a channel-preserving residual pair.
+    pub fn new(channels: usize, seed: u64) -> Residual {
+        Residual {
+            a: ConvBlock::new(channels, channels, seed),
+            b: ConvBlock::new(channels, channels, seed ^ 0x9E37),
+        }
+    }
+
+    /// Forward: `x + b(a(x))`.
+    pub fn forward(&mut self, x: &Tensor4, training: bool) -> Tensor4 {
+        let y = self.a.forward(x, training);
+        let mut y = self.b.forward(&y, training);
+        y.add_assign(x);
+        y
+    }
+
+    /// Backward through both paths.
+    pub fn backward(&mut self, grad: &Tensor4) -> Tensor4 {
+        let mut g = self.b.backward(grad);
+        g = self.a.backward(&g);
+        g.add_assign(grad);
+        g
+    }
+
+    /// SGD step.
+    pub fn step(&mut self, lr: f32, momentum: f32) {
+        self.a.step(lr, momentum);
+        self.b.step(lr, momentum);
+    }
+}
+
+/// The ResNet9 classifier.
+#[derive(Debug, Clone)]
+pub struct ResNet9 {
+    /// Prep block, 3 → w channels.
+    pub prep: ConvBlock,
+    /// Stage 1: w → 2w, then pool + residual.
+    pub layer1: ConvBlock,
+    pool1: MaxPool2,
+    /// Stage 1 residual.
+    pub res1: Residual,
+    /// Stage 2: 2w → 4w, then pool.
+    pub layer2: ConvBlock,
+    pool2: MaxPool2,
+    /// Stage 3: 4w → 8w, then pool + residual.
+    pub layer3: ConvBlock,
+    pool3: MaxPool2,
+    /// Stage 3 residual.
+    pub res3: Residual,
+    pool4: MaxPool2,
+    /// Classifier head.
+    pub fc: Linear,
+    logits_scale: f32,
+    fc_spatial: usize,
+    width: usize,
+}
+
+impl ResNet9 {
+    /// Creates a ResNet9 with base width `width` for square inputs of
+    /// `img_size` (must be a multiple of 16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `img_size` is not a positive multiple of 16.
+    pub fn new(width: usize, img_size: usize, classes: usize, seed: u64) -> ResNet9 {
+        assert!(
+            img_size >= 16 && img_size.is_multiple_of(16),
+            "image size must be a positive multiple of 16, got {img_size}"
+        );
+        let fc_spatial = img_size / 16;
+        ResNet9 {
+            prep: ConvBlock::new(3, width, seed),
+            layer1: ConvBlock::new(width, 2 * width, seed + 1),
+            pool1: MaxPool2::new(),
+            res1: Residual::new(2 * width, seed + 2),
+            layer2: ConvBlock::new(2 * width, 4 * width, seed + 3),
+            pool2: MaxPool2::new(),
+            layer3: ConvBlock::new(4 * width, 8 * width, seed + 4),
+            pool3: MaxPool2::new(),
+            res3: Residual::new(8 * width, seed + 5),
+            pool4: MaxPool2::new(),
+            fc: Linear::new(8 * width * fc_spatial * fc_spatial, classes, seed + 6),
+            logits_scale: 0.125,
+            fc_spatial,
+            width,
+        }
+    }
+
+    /// Base width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Forward pass producing logits.
+    pub fn forward(&mut self, x: &Tensor4, training: bool) -> Mat {
+        let y = self.prep.forward(x, training);
+        let y = self.layer1.forward(&y, training);
+        let y = self.pool1.forward(&y);
+        let y = self.res1.forward(&y, training);
+        let y = self.layer2.forward(&y, training);
+        let y = self.pool2.forward(&y);
+        let y = self.layer3.forward(&y, training);
+        let y = self.pool3.forward(&y);
+        let y = self.res3.forward(&y, training);
+        let y = self.pool4.forward(&y);
+        let flat = flatten(&y);
+        let mut logits = self.fc.forward(&flat);
+        for v in logits.data_mut() {
+            *v *= self.logits_scale;
+        }
+        logits
+    }
+
+    /// Backward pass from logits gradient (as produced by
+    /// [`softmax_cross_entropy`]).
+    pub fn backward(&mut self, grad_logits: &Mat, batch: usize) {
+        let mut g = grad_logits.clone();
+        for v in g.data_mut() {
+            *v *= self.logits_scale;
+        }
+        let g = self.fc.backward(&g);
+        let g = unflatten(&g, batch, 8 * self.width, self.fc_spatial, self.fc_spatial);
+        let g = self.pool4.backward(&g);
+        let g = self.res3.backward(&g);
+        let g = self.pool3.backward(&g);
+        let g = self.layer3.backward(&g);
+        let g = self.pool2.backward(&g);
+        let g = self.layer2.backward(&g);
+        let g = self.res1.backward(&g);
+        let g = self.pool1.backward(&g);
+        let g = self.layer1.backward(&g);
+        let _ = self.prep.backward(&g);
+    }
+
+    /// One SGD step over every parameter.
+    pub fn step(&mut self, lr: f32, momentum: f32) {
+        self.prep.step(lr, momentum);
+        self.layer1.step(lr, momentum);
+        self.res1.step(lr, momentum);
+        self.layer2.step(lr, momentum);
+        self.layer3.step(lr, momentum);
+        self.res3.step(lr, momentum);
+        self.fc.step(lr);
+    }
+
+    /// Mutable references to every convolution, prep-to-head order —
+    /// the substitution points for MADDNESS.
+    pub fn convs_mut(&mut self) -> Vec<&mut Conv2d> {
+        vec![
+            &mut self.prep.conv,
+            &mut self.layer1.conv,
+            &mut self.res1.a.conv,
+            &mut self.res1.b.conv,
+            &mut self.layer2.conv,
+            &mut self.layer3.conv,
+            &mut self.res3.a.conv,
+            &mut self.res3.b.conv,
+        ]
+    }
+
+    /// Computes loss and gradient for a labelled batch (training helper).
+    pub fn loss(&mut self, x: &Tensor4, labels: &[usize]) -> (f32, Mat) {
+        let logits = self.forward(x, true);
+        softmax_cross_entropy(&logits, labels)
+    }
+}
+
+/// Flattens NCHW to `n × (c·h·w)`.
+pub fn flatten(x: &Tensor4) -> Mat {
+    let (n, c, h, w) = x.shape();
+    let mut out = Mat::zeros(n, c * h * w);
+    for img in 0..n {
+        let row = out.row_mut(img);
+        let start = img * c * h * w;
+        row.copy_from_slice(&x.data()[start..start + c * h * w]);
+    }
+    out
+}
+
+/// Inverse of [`flatten`].
+pub fn unflatten(m: &Mat, n: usize, c: usize, h: usize, w: usize) -> Tensor4 {
+    assert_eq!(m.rows(), n);
+    assert_eq!(m.cols(), c * h * w);
+    let mut data = Vec::with_capacity(n * c * h * w);
+    for img in 0..n {
+        data.extend_from_slice(m.row(img));
+    }
+    Tensor4::from_vec(n, c, h, w, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_batch(n: usize, size: usize, seed: u64) -> Tensor4 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor4::from_vec(
+            n,
+            3,
+            size,
+            size,
+            (0..n * 3 * size * size).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut net = ResNet9::new(4, 16, 10, 1);
+        let x = random_batch(2, 16, 2);
+        let logits = net.forward(&x, false);
+        assert_eq!((logits.rows(), logits.cols()), (2, 10));
+    }
+
+    #[test]
+    fn one_training_step_reduces_loss_on_a_tiny_batch() {
+        let mut net = ResNet9::new(4, 16, 4, 7);
+        let x = random_batch(8, 16, 3);
+        let labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
+        let (loss0, grad) = net.loss(&x, &labels);
+        net.backward(&grad, 8);
+        net.step(0.05, 0.9);
+        // A couple more steps: overfit the fixed batch.
+        for _ in 0..6 {
+            let (_, grad) = net.loss(&x, &labels);
+            net.backward(&grad, 8);
+            net.step(0.05, 0.9);
+        }
+        let (loss1, _) = net.loss(&x, &labels);
+        assert!(
+            loss1 < loss0,
+            "training must reduce loss: {loss0} → {loss1}"
+        );
+    }
+
+    #[test]
+    fn residual_is_identity_plus_branch() {
+        let mut res = Residual::new(2, 5);
+        // Zero the convolutions: the residual becomes the identity (after
+        // BN/ReLU of zeros = 0).
+        for block in [&mut res.a, &mut res.b] {
+            for v in block.conv.weight.data_mut() {
+                *v = 0.0;
+            }
+        }
+        let x = random_batch(1, 16, 9);
+        let x2 = {
+            // Build a 2-channel input from the 3-channel helper.
+            let mut t = Tensor4::zeros(1, 2, 16, 16);
+            t.data_mut().copy_from_slice(&x.data()[..2 * 256]);
+            t
+        };
+        let y = res.forward(&x2, false);
+        assert_eq!(y, x2, "zero branch ⇒ pure identity");
+    }
+
+    #[test]
+    fn flatten_unflatten_round_trip() {
+        let x = random_batch(3, 16, 11);
+        let m = flatten(&x);
+        let back = unflatten(&m, 3, 3, 16, 16);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn convs_mut_enumerates_all_eight() {
+        let mut net = ResNet9::new(4, 16, 10, 1);
+        assert_eq!(net.convs_mut().len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn bad_img_size_rejected() {
+        let _ = ResNet9::new(4, 20, 10, 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! A minimal NCHW activation tensor.
+
+use core::fmt;
+use core::ops::{Index, IndexMut};
+
+/// A dense 4-D tensor in NCHW layout (batch, channel, height, width).
+///
+/// ```
+/// use maddpipe_nn::tensor::Tensor4;
+///
+/// let mut t = Tensor4::zeros(1, 3, 2, 2);
+/// t[(0, 2, 1, 1)] = 5.0;
+/// assert_eq!(t[(0, 2, 1, 1)], 5.0);
+/// assert_eq!(t.len(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor4 {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor4 {
+    /// Creates a zero tensor.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Tensor4 {
+        Tensor4 {
+            n,
+            c,
+            h,
+            w,
+            data: vec![0.0; n * c * h * w],
+        }
+    }
+
+    /// Creates a tensor from a flat NCHW buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length disagrees with the shape.
+    pub fn from_vec(n: usize, c: usize, h: usize, w: usize, data: Vec<f32>) -> Tensor4 {
+        assert_eq!(data.len(), n * c * h * w, "buffer does not match shape");
+        Tensor4 { n, c, h, w, data }
+    }
+
+    /// Shape as `(n, c, h, w)`.
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (self.n, self.c, self.h, self.w)
+    }
+
+    /// Batch size.
+    pub fn batch(&self) -> usize {
+        self.n
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+
+    /// Height.
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Width.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` for a zero-element tensor.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat data access.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data access.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    #[inline]
+    fn offset(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Borrow of one image-channel plane.
+    pub fn plane(&self, n: usize, c: usize) -> &[f32] {
+        let start = self.offset(n, c, 0, 0);
+        &self.data[start..start + self.h * self.w]
+    }
+
+    /// Returns a tensor of identical shape filled with zeros.
+    pub fn zeros_like(&self) -> Tensor4 {
+        Tensor4::zeros(self.n, self.c, self.h, self.w)
+    }
+
+    /// Element-wise in-place addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, rhs: &Tensor4) {
+        assert_eq!(self.shape(), rhs.shape(), "shape mismatch in add");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl Index<(usize, usize, usize, usize)> for Tensor4 {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (n, c, h, w): (usize, usize, usize, usize)) -> &f32 {
+        &self.data[self.offset(n, c, h, w)]
+    }
+}
+
+impl IndexMut<(usize, usize, usize, usize)> for Tensor4 {
+    #[inline]
+    fn index_mut(&mut self, (n, c, h, w): (usize, usize, usize, usize)) -> &mut f32 {
+        let i = self.offset(n, c, h, w);
+        &mut self.data[i]
+    }
+}
+
+impl fmt::Display for Tensor4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor4[{}×{}×{}×{}]", self.n, self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut t = Tensor4::zeros(2, 3, 4, 5);
+        t[(1, 2, 3, 4)] = 7.0;
+        t[(0, 0, 0, 0)] = -1.0;
+        assert_eq!(t[(1, 2, 3, 4)], 7.0);
+        assert_eq!(t[(0, 0, 0, 0)], -1.0);
+        assert_eq!(t.len(), 120);
+        assert_eq!(t.shape(), (2, 3, 4, 5));
+    }
+
+    #[test]
+    fn plane_is_contiguous_hw() {
+        let mut t = Tensor4::zeros(1, 2, 2, 2);
+        t[(0, 1, 0, 1)] = 3.0;
+        t[(0, 1, 1, 0)] = 4.0;
+        assert_eq!(t.plane(0, 1), &[0.0, 3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Tensor4::zeros(1, 1, 1, 2);
+        let mut b = a.zeros_like();
+        b.data_mut()[0] = 2.0;
+        b.data_mut()[1] = 3.0;
+        a.add_assign(&b);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer does not match shape")]
+    fn bad_buffer_rejected() {
+        let _ = Tensor4::from_vec(1, 1, 2, 2, vec![0.0; 3]);
+    }
+}

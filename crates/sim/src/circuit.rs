@@ -1,0 +1,404 @@
+//! Netlist construction: nets, cell instances, energy domains.
+//!
+//! A [`CircuitBuilder`] accumulates nets and cells, tracks which *energy
+//! domain* each net belongs to (encoder / decoder / control / …, mirroring
+//! the component groups of the paper's Fig. 7 breakdown), computes the
+//! switched capacitance of every net from the connected pins plus explicit
+//! wire loading, and finally seals everything into an immutable [`Circuit`]
+//! ready for simulation.
+
+use crate::cell::Cell;
+use crate::library::CellLibrary;
+use maddpipe_tech::units::Farads;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a net within one circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Index into the circuit's net table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a cell instance within one circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellId(pub(crate) u32);
+
+impl CellId {
+    /// Index into the circuit's cell table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of an energy-accounting domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DomainId(pub(crate) u16);
+
+impl DomainId {
+    /// The default domain every circuit starts with.
+    pub const TOP: DomainId = DomainId(0);
+}
+
+#[derive(Debug)]
+pub(crate) struct Net {
+    pub(crate) name: String,
+    pub(crate) cap: Farads,
+    pub(crate) extra_cap: Farads,
+    pub(crate) domain: DomainId,
+    pub(crate) driver: Option<CellId>,
+    pub(crate) fanout: Vec<(CellId, usize)>,
+}
+
+pub(crate) struct CellInstance {
+    pub(crate) name: String,
+    pub(crate) cell: Box<dyn Cell>,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) outputs: Vec<NetId>,
+}
+
+impl fmt::Debug for CellInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CellInstance")
+            .field("name", &self.name)
+            .field("inputs", &self.inputs)
+            .field("outputs", &self.outputs)
+            .finish()
+    }
+}
+
+/// A sealed netlist, ready to be handed to
+/// [`Simulator::new`](crate::engine::Simulator::new).
+#[derive(Debug)]
+pub struct Circuit {
+    pub(crate) nets: Vec<Net>,
+    pub(crate) cells: Vec<CellInstance>,
+    pub(crate) domains: Vec<String>,
+    pub(crate) library: CellLibrary,
+}
+
+impl Circuit {
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of cell instances.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Name of a net.
+    pub fn net_name(&self, id: NetId) -> &str {
+        &self.nets[id.index()].name
+    }
+
+    /// Looks a net up by exact name. Linear scan — intended for tests and
+    /// debugging, not hot paths.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nets
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NetId(i as u32))
+    }
+
+    /// Names of all registered energy domains, indexed by [`DomainId`].
+    pub fn domain_names(&self) -> &[String] {
+        &self.domains
+    }
+
+    /// Total switched capacitance hanging on `net` (pins + wire).
+    pub fn net_cap(&self, id: NetId) -> Farads {
+        self.nets[id.index()].cap
+    }
+
+    /// `true` if nothing drives `net` (it is a primary input).
+    pub fn is_primary_input(&self, id: NetId) -> bool {
+        self.nets[id.index()].driver.is_none()
+    }
+}
+
+/// Incremental netlist builder.
+///
+/// ```
+/// use maddpipe_sim::prelude::*;
+///
+/// let lib = CellLibrary::new(Technology::n22(), OperatingPoint::default());
+/// let mut b = CircuitBuilder::new(lib);
+/// let a = b.input("a");
+/// let y = b.inv("u0", a);
+/// let c = b.build();
+/// assert_eq!(c.cell_count(), 1);
+/// assert!(c.is_primary_input(a) && !c.is_primary_input(y));
+/// ```
+#[derive(Debug)]
+pub struct CircuitBuilder {
+    nets: Vec<Net>,
+    cells: Vec<CellInstance>,
+    domains: Vec<String>,
+    domain_index: HashMap<String, DomainId>,
+    current_domain: DomainId,
+    pub(crate) library: CellLibrary,
+}
+
+impl CircuitBuilder {
+    /// Starts a new netlist characterised by `library`.
+    pub fn new(library: CellLibrary) -> CircuitBuilder {
+        let mut domain_index = HashMap::new();
+        domain_index.insert("top".to_owned(), DomainId::TOP);
+        CircuitBuilder {
+            nets: Vec::new(),
+            cells: Vec::new(),
+            domains: vec!["top".to_owned()],
+            domain_index,
+            current_domain: DomainId::TOP,
+            library,
+        }
+    }
+
+    /// Mutable access to the library (e.g. to sample custom delays while
+    /// constructing macro-cells).
+    pub fn library_mut(&mut self) -> &mut CellLibrary {
+        &mut self.library
+    }
+
+    /// Shared access to the library.
+    pub fn library(&self) -> &CellLibrary {
+        &self.library
+    }
+
+    /// Switches the *current energy domain*; nets created afterwards are
+    /// attributed to it. Returns the previous domain so callers can restore
+    /// scope.
+    pub fn set_domain(&mut self, name: &str) -> DomainId {
+        let prev = self.current_domain;
+        if let Some(&id) = self.domain_index.get(name) {
+            self.current_domain = id;
+        } else {
+            let id = DomainId(
+                u16::try_from(self.domains.len()).expect("more than 65535 energy domains"),
+            );
+            self.domains.push(name.to_owned());
+            self.domain_index.insert(name.to_owned(), id);
+            self.current_domain = id;
+        }
+        prev
+    }
+
+    /// Restores a domain previously returned by [`CircuitBuilder::set_domain`].
+    pub fn restore_domain(&mut self, id: DomainId) {
+        assert!(
+            (id.0 as usize) < self.domains.len(),
+            "unknown domain {id:?}"
+        );
+        self.current_domain = id;
+    }
+
+    /// Creates a fresh undriven net.
+    pub fn net(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId(u32::try_from(self.nets.len()).expect("more than u32::MAX nets"));
+        self.nets.push(Net {
+            name: name.into(),
+            cap: Farads::ZERO,
+            extra_cap: Farads::ZERO,
+            domain: self.current_domain,
+            driver: None,
+            fanout: Vec::new(),
+        });
+        id
+    }
+
+    /// Creates a named primary input (alias of [`CircuitBuilder::net`],
+    /// kept for intent).
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        self.net(name)
+    }
+
+    /// Creates a bus of `width` nets named `name[0..width]`, LSB first.
+    pub fn bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
+        (0..width).map(|i| self.net(format!("{name}[{i}]"))).collect()
+    }
+
+    /// Adds explicit wire capacitance to a net (long routes, bitlines).
+    pub fn add_wire_cap(&mut self, net: NetId, cap: Farads) {
+        assert!(cap.0 >= 0.0, "wire capacitance must be non-negative");
+        self.nets[net.index()].extra_cap += cap;
+    }
+
+    /// Instantiates an arbitrary [`Cell`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if pin counts disagree with the cell, or if any output net
+    /// already has a driver (multi-driver nets are not supported; model
+    /// shared dynamic nodes as a single behavioural cell instead).
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        cell: Box<dyn Cell>,
+        inputs: &[NetId],
+        outputs: &[NetId],
+    ) -> CellId {
+        let name = name.into();
+        assert_eq!(
+            cell.num_inputs(),
+            inputs.len(),
+            "cell `{name}` expects {} inputs, got {}",
+            cell.num_inputs(),
+            inputs.len()
+        );
+        assert_eq!(
+            cell.num_outputs(),
+            outputs.len(),
+            "cell `{name}` expects {} outputs, got {}",
+            cell.num_outputs(),
+            outputs.len()
+        );
+        let id = CellId(u32::try_from(self.cells.len()).expect("more than u32::MAX cells"));
+        for (pin, &net) in inputs.iter().enumerate() {
+            self.nets[net.index()].fanout.push((id, pin));
+        }
+        for &net in outputs {
+            let existing = self.nets[net.index()].driver;
+            assert!(
+                existing.is_none(),
+                "net `{}` already driven by cell {existing:?}; cell `{name}` would double-drive it",
+                self.nets[net.index()].name,
+            );
+            self.nets[net.index()].driver = Some(id);
+        }
+        self.cells.push(CellInstance {
+            name,
+            cell,
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+        });
+        id
+    }
+
+    /// Seals the netlist: resolves per-net capacitance (driver self-cap +
+    /// fanout pin caps + explicit wire cap) and returns the [`Circuit`].
+    pub fn build(mut self) -> Circuit {
+        // Pin capacitance estimate: every fanout pin contributes a gate-unit
+        // load; drivers contribute self-capacitance. Custom macro-cells get
+        // the same default treatment, which callers refine with
+        // `add_wire_cap` where it matters (bitlines, wordlines).
+        let unit = self.library.technology().cap_gate_unit;
+        for net in &mut self.nets {
+            let pin_cap = Farads(unit.0 * 1.2 * net.fanout.len() as f64);
+            let self_cap = if net.driver.is_some() {
+                Farads(unit.0 * 0.6)
+            } else {
+                Farads::ZERO
+            };
+            net.cap = pin_cap + self_cap + net.extra_cap;
+        }
+        Circuit {
+            nets: self.nets,
+            cells: self.cells,
+            domains: self.domains,
+            library: self.library,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::Inverter;
+    use maddpipe_tech::prelude::*;
+
+    fn builder() -> CircuitBuilder {
+        CircuitBuilder::new(CellLibrary::new(
+            Technology::n22(),
+            OperatingPoint::default(),
+        ))
+    }
+
+    #[test]
+    fn nets_and_buses_get_names() {
+        let mut b = builder();
+        let n = b.net("clk");
+        let bus = b.bus("data", 4);
+        let c = b.build();
+        assert_eq!(c.net_name(n), "clk");
+        assert_eq!(c.net_name(bus[3]), "data[3]");
+        assert_eq!(c.find_net("data[2]"), Some(bus[2]));
+        assert_eq!(c.find_net("nope"), None);
+    }
+
+    #[test]
+    fn domains_are_interned() {
+        let mut b = builder();
+        let top = b.set_domain("encoder");
+        assert_eq!(top, DomainId::TOP);
+        let enc = b.set_domain("decoder"); // previous was "encoder"
+        let dec = b.set_domain("encoder"); // previous was "decoder"
+        assert_ne!(enc, dec);
+        b.restore_domain(enc);
+        let dec_again = b.set_domain("decoder");
+        assert_eq!(dec_again, enc, "restore_domain put us back in `encoder`");
+        let c = b.build();
+        // Re-entering existing names must not create duplicates.
+        assert_eq!(c.domain_names(), &["top", "encoder", "decoder"]);
+    }
+
+    #[test]
+    fn capacitance_accumulates_from_fanout() {
+        let mut b = builder();
+        let a = b.input("a");
+        let mid = {
+            let t = b.library_mut().timing(crate::library::CellClass::Inv);
+            let y = b.net("y");
+            b.add_cell("u0", Box::new(Inverter::new(t)), &[a], &[y]);
+            y
+        };
+        // Two more loads on `mid`.
+        for i in 0..2 {
+            let t = b.library_mut().timing(crate::library::CellClass::Inv);
+            let o = b.net(format!("o{i}"));
+            b.add_cell(format!("u{}", i + 1), Box::new(Inverter::new(t)), &[mid], &[o]);
+        }
+        b.add_wire_cap(mid, Farads::from_femtos(1.0));
+        let c = b.build();
+        let loaded = c.net_cap(mid);
+        let unloaded = c.net_cap(a);
+        assert!(loaded.0 > unloaded.0);
+        assert!(loaded.as_femtos() > 1.0, "includes explicit wire cap");
+    }
+
+    #[test]
+    #[should_panic(expected = "already driven")]
+    fn double_driving_panics() {
+        let mut b = builder();
+        let a = b.input("a");
+        let y = b.net("y");
+        let t1 = b.library_mut().timing(crate::library::CellClass::Inv);
+        let t2 = b.library_mut().timing(crate::library::CellClass::Inv);
+        b.add_cell("u0", Box::new(Inverter::new(t1)), &[a], &[y]);
+        b.add_cell("u1", Box::new(Inverter::new(t2)), &[a], &[y]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 1 inputs")]
+    fn wrong_pin_count_panics() {
+        let mut b = builder();
+        let a = b.input("a");
+        let bnet = b.input("b");
+        let y = b.net("y");
+        let t = b.library_mut().timing(crate::library::CellClass::Inv);
+        b.add_cell("u0", Box::new(Inverter::new(t)), &[a, bnet], &[y]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-domain switching-energy accounting.
+//!
+//! Every net transition dissipates the energy of (dis)charging that net's
+//! capacitance. The meter attributes each edge to the net's *energy domain*
+//! (encoder / decoder / control / …), which is how the simulator regenerates
+//! the paper's Fig. 7 energy breakdown: run a workload, then read the
+//! per-domain totals.
+
+use crate::circuit::DomainId;
+use maddpipe_tech::units::Joules;
+use core::fmt;
+
+/// Accumulates switching energy per domain.
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    by_domain: Vec<Joules>,
+    edges: Vec<u64>,
+}
+
+impl EnergyMeter {
+    /// Creates a meter for `domain_count` domains.
+    pub fn new(domain_count: usize) -> EnergyMeter {
+        EnergyMeter {
+            by_domain: vec![Joules::ZERO; domain_count],
+            edges: vec![0; domain_count],
+        }
+    }
+
+    /// Records one edge of `energy` joules in `domain`.
+    #[inline]
+    pub fn record(&mut self, domain: DomainId, energy: Joules) {
+        self.by_domain[domain.0 as usize] += energy;
+        self.edges[domain.0 as usize] += 1;
+    }
+
+    /// Energy accumulated in one domain so far.
+    pub fn domain_energy(&self, domain: DomainId) -> Joules {
+        self.by_domain[domain.0 as usize]
+    }
+
+    /// Signal edges recorded in one domain so far.
+    pub fn domain_edges(&self, domain: DomainId) -> u64 {
+        self.edges[domain.0 as usize]
+    }
+
+    /// Total energy across all domains.
+    pub fn total(&self) -> Joules {
+        self.by_domain.iter().copied().sum()
+    }
+
+    /// Resets all counters to zero (e.g. to exclude programming/warm-up
+    /// energy from a measurement window).
+    pub fn reset(&mut self) {
+        self.by_domain.fill(Joules::ZERO);
+        self.edges.fill(0);
+    }
+
+    /// Snapshot with resolved names for reporting.
+    pub fn report(&self, domain_names: &[String]) -> EnergyReport {
+        assert_eq!(
+            domain_names.len(),
+            self.by_domain.len(),
+            "domain name table does not match meter"
+        );
+        EnergyReport {
+            rows: domain_names
+                .iter()
+                .zip(&self.by_domain)
+                .zip(&self.edges)
+                .map(|((name, &energy), &edges)| EnergyRow {
+                    domain: name.clone(),
+                    energy,
+                    edges,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One domain's line in an [`EnergyReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyRow {
+    /// Domain name.
+    pub domain: String,
+    /// Accumulated switching energy.
+    pub energy: Joules,
+    /// Number of signal edges recorded.
+    pub edges: u64,
+}
+
+/// A resolved per-domain energy breakdown.
+///
+/// ```
+/// use maddpipe_sim::energy::EnergyMeter;
+/// use maddpipe_sim::circuit::DomainId;
+/// use maddpipe_tech::units::Joules;
+///
+/// let mut m = EnergyMeter::new(2);
+/// m.record(DomainId::TOP, Joules::from_femtos(3.0));
+/// let report = m.report(&["top".into(), "enc".into()]);
+/// assert!((report.total().as_femtos() - 3.0).abs() < 1e-12);
+/// assert!((report.fraction("top") - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyReport {
+    /// Per-domain rows, in domain-id order.
+    pub rows: Vec<EnergyRow>,
+}
+
+impl EnergyReport {
+    /// Total energy across all domains.
+    pub fn total(&self) -> Joules {
+        self.rows.iter().map(|r| r.energy).sum()
+    }
+
+    /// Energy of the named domain, zero if absent.
+    pub fn energy_of(&self, domain: &str) -> Joules {
+        self.rows
+            .iter()
+            .find(|r| r.domain == domain)
+            .map(|r| r.energy)
+            .unwrap_or(Joules::ZERO)
+    }
+
+    /// Fraction (0–1) of total energy spent in the named domain.
+    ///
+    /// Returns 0 when no energy has been recorded at all.
+    pub fn fraction(&self, domain: &str) -> f64 {
+        let total = self.total();
+        if total.value() == 0.0 {
+            0.0
+        } else {
+            self.energy_of(domain) / total
+        }
+    }
+}
+
+impl fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<24} {:>14} {:>10} {:>7}", "domain", "energy", "edges", "share")?;
+        let total = self.total();
+        for row in &self.rows {
+            let share = if total.value() > 0.0 {
+                row.energy / total * 100.0
+            } else {
+                0.0
+            };
+            writeln!(
+                f,
+                "{:<24} {:>14} {:>10} {:>6.1}%",
+                row.domain,
+                row.energy.to_string(),
+                row.edges,
+                share
+            )?;
+        }
+        write!(f, "{:<24} {:>14}", "total", total.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_domain() {
+        let mut m = EnergyMeter::new(3);
+        m.record(DomainId(1), Joules::from_femtos(2.0));
+        m.record(DomainId(1), Joules::from_femtos(3.0));
+        m.record(DomainId(2), Joules::from_femtos(5.0));
+        assert!((m.domain_energy(DomainId(1)).as_femtos() - 5.0).abs() < 1e-12);
+        assert_eq!(m.domain_edges(DomainId(1)), 2);
+        assert!((m.total().as_femtos() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut m = EnergyMeter::new(1);
+        m.record(DomainId::TOP, Joules::from_femtos(1.0));
+        m.reset();
+        assert_eq!(m.total(), Joules::ZERO);
+        assert_eq!(m.domain_edges(DomainId::TOP), 0);
+    }
+
+    #[test]
+    fn report_fractions() {
+        let mut m = EnergyMeter::new(2);
+        m.record(DomainId(0), Joules::from_femtos(1.0));
+        m.record(DomainId(1), Joules::from_femtos(3.0));
+        let r = m.report(&["a".into(), "b".into()]);
+        assert!((r.fraction("b") - 0.75).abs() < 1e-12);
+        assert_eq!(r.energy_of("missing"), Joules::ZERO);
+        let display = r.to_string();
+        assert!(display.contains("total"), "{display}");
+    }
+
+    #[test]
+    fn empty_report_fraction_is_zero() {
+        let m = EnergyMeter::new(1);
+        let r = m.report(&["a".into()]);
+        assert_eq!(r.fraction("a"), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match meter")]
+    fn mismatched_name_table_panics() {
+        let m = EnergyMeter::new(2);
+        let _ = m.report(&["only-one".into()]);
+    }
+}

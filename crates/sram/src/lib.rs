@@ -1,0 +1,29 @@
+//! # maddpipe-sram
+//!
+//! The two-port 10T-SRAM lookup-table substrate of the accelerator
+//! (paper §III-C): a functional 16×8 array model, an event-driven column
+//! cell with differential read-bitline dynamics, per-column
+//! read-completion detection (RCD), the NAND–NOR completion tree, and a
+//! Monte-Carlo study of the replica-column timing scheme the paper's RCD
+//! replaces.
+//!
+//! ```
+//! use maddpipe_sram::model::SramModel;
+//!
+//! let mut lut = SramModel::new();
+//! for row in 0..16 { lut.write(row, (row as u8) * 7); }
+//! assert_eq!(lut.read(5), 35);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod model;
+pub mod rcd;
+pub mod replica;
+
+pub use column::{build_column, build_column_with_timing, ColumnPorts, SramColumnCell};
+pub use model::{new_column, ColumnHandle, SramModel, COLS, ROWS};
+pub use rcd::{build_completion_tree, completion_tree_depth};
+pub use replica::{ReplicaOutcome, ReplicaStudy};

@@ -1,0 +1,179 @@
+//! Replica-column timing analysis — the conventional alternative the paper
+//! argues against.
+//!
+//! Traditional SRAMs derive their sense/latch timing from a *replica
+//! column* that mimics the worst-case bitline (§III-C, citing Amrutur &
+//! Horowitz). One replica serves the whole array, so its delay estimate is
+//! a single sample of the same mismatch distribution as the live columns:
+//! any live column slower than `replica_delay × margin` violates the latch
+//! setup. The paper's per-column RCD instead derives the latch strobe from
+//! each column's *own* completion, which cannot be outrun by construction.
+//!
+//! This module quantifies that argument with a Monte-Carlo model used by
+//! the `ablation_rcd` experiment.
+
+use maddpipe_tech::variation::SplitMix64;
+use core::fmt;
+
+/// Monte-Carlo comparison of replica-based vs per-column completion timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaStudy {
+    /// Relative per-column delay mismatch (1σ).
+    pub sigma: f64,
+    /// Multiplicative guard-band applied to the replica's delay.
+    pub margin: f64,
+    /// Columns strobed by one replica (the paper's LUT: 8 per decoder,
+    /// `8·Ndec` per block).
+    pub columns: usize,
+}
+
+/// Result of a [`ReplicaStudy`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaOutcome {
+    /// Probability that at least one column misses the replica-derived
+    /// strobe (a setup violation → corrupted read).
+    pub replica_failure_rate: f64,
+    /// Failure probability of the per-column RCD scheme (always zero: the
+    /// strobe is derived from the completing column itself).
+    pub rcd_failure_rate: f64,
+    /// Mean timing slack (in units of nominal delay) the replica scheme
+    /// leaves on the table when it does not fail.
+    pub replica_mean_slack: f64,
+    /// Trials simulated.
+    pub trials: usize,
+}
+
+impl ReplicaStudy {
+    /// Creates a study.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative, `margin < 1`, or `columns == 0`.
+    pub fn new(sigma: f64, margin: f64, columns: usize) -> ReplicaStudy {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        assert!(margin >= 1.0, "a margin below 1 always fails");
+        assert!(columns > 0, "need at least one column");
+        ReplicaStudy {
+            sigma,
+            margin,
+            columns,
+        }
+    }
+
+    /// Runs `trials` Monte-Carlo reads with the given seed.
+    ///
+    /// Each trial samples one replica delay and `columns` live-column
+    /// delays from `N(1, σ)`; the replica strobe fires at
+    /// `replica × margin`, and the trial fails if any live column is
+    /// slower.
+    pub fn run(&self, trials: usize, seed: u64) -> ReplicaOutcome {
+        assert!(trials > 0, "need at least one trial");
+        let mut rng = SplitMix64::new(seed);
+        let normal = move |rng: &mut SplitMix64| -> f64 {
+            // Box–Muller using the shared generator.
+            loop {
+                let u1 = rng.next_f64();
+                if u1 > 1e-300 {
+                    let u2 = rng.next_f64();
+                    return (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+                }
+            }
+        };
+        let mut failures = 0usize;
+        let mut slack_sum = 0.0f64;
+        let mut slack_count = 0usize;
+        for _ in 0..trials {
+            let replica = (1.0 + self.sigma * normal(&mut rng)).max(0.05);
+            let strobe = replica * self.margin;
+            let mut worst = 0.0f64;
+            for _ in 0..self.columns {
+                let col = (1.0 + self.sigma * normal(&mut rng)).max(0.05);
+                worst = worst.max(col);
+            }
+            if worst > strobe {
+                failures += 1;
+            } else {
+                slack_sum += strobe - worst;
+                slack_count += 1;
+            }
+        }
+        ReplicaOutcome {
+            replica_failure_rate: failures as f64 / trials as f64,
+            rcd_failure_rate: 0.0,
+            replica_mean_slack: if slack_count > 0 {
+                slack_sum / slack_count as f64
+            } else {
+                0.0
+            },
+            trials,
+        }
+    }
+}
+
+impl fmt::Display for ReplicaOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replica fails {:.3}% of reads (mean slack {:.3}); per-column RCD fails {:.1}%",
+            self.replica_failure_rate * 100.0,
+            self.replica_mean_slack,
+            self.rcd_failure_rate * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_never_fails() {
+        let out = ReplicaStudy::new(0.0, 1.05, 128).run(2_000, 1);
+        assert_eq!(out.replica_failure_rate, 0.0);
+        assert!(out.replica_mean_slack > 0.0);
+    }
+
+    #[test]
+    fn high_sigma_with_thin_margin_fails_often() {
+        let out = ReplicaStudy::new(0.10, 1.02, 128).run(2_000, 2);
+        assert!(
+            out.replica_failure_rate > 0.3,
+            "expected frequent failures, got {}",
+            out.replica_failure_rate
+        );
+    }
+
+    #[test]
+    fn wider_margin_reduces_failures_but_adds_slack() {
+        let tight = ReplicaStudy::new(0.08, 1.05, 64).run(4_000, 3);
+        let wide = ReplicaStudy::new(0.08, 1.5, 64).run(4_000, 3);
+        assert!(wide.replica_failure_rate < tight.replica_failure_rate);
+        assert!(wide.replica_mean_slack > tight.replica_mean_slack);
+    }
+
+    #[test]
+    fn more_columns_fail_more() {
+        let few = ReplicaStudy::new(0.08, 1.1, 8).run(4_000, 4);
+        let many = ReplicaStudy::new(0.08, 1.1, 512).run(4_000, 4);
+        assert!(many.replica_failure_rate >= few.replica_failure_rate);
+    }
+
+    #[test]
+    fn rcd_scheme_never_fails_by_construction() {
+        let out = ReplicaStudy::new(0.2, 1.0, 512).run(500, 5);
+        assert_eq!(out.rcd_failure_rate, 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ReplicaStudy::new(0.08, 1.1, 64).run(1_000, 7);
+        let b = ReplicaStudy::new(0.08, 1.1, 64).run(1_000, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin below 1")]
+    fn sub_unity_margin_rejected() {
+        let _ = ReplicaStudy::new(0.05, 0.9, 8);
+    }
+}

@@ -1,0 +1,280 @@
+//! Process corners and operating points.
+//!
+//! The paper evaluates five global corners of the 22 nm process — TTG, FFG,
+//! SSG, SFG and FSG — across supply voltages from 0.5 V to 1.0 V at 25 °C
+//! (Fig. 6). Corner naming follows foundry convention: the first letter is
+//! the NMOS speed, the second the PMOS speed, and the trailing `G` marks a
+//! *global* (inter-die) corner.
+
+use crate::units::{Celsius, Volts};
+use core::fmt;
+
+/// Relative device speed at a global process corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceSpeed {
+    /// Slow device: higher threshold voltage, less drive current.
+    Slow,
+    /// Typical device.
+    Typical,
+    /// Fast device: lower threshold voltage, more drive current.
+    Fast,
+}
+
+impl DeviceSpeed {
+    /// Threshold-voltage shift of this speed grade relative to typical,
+    /// expressed as a multiple of the process' global corner sigma.
+    ///
+    /// Slow silicon has a *higher* Vth (less overdrive), fast silicon a
+    /// lower one.
+    #[inline]
+    pub fn vth_sigma_multiplier(self) -> f64 {
+        match self {
+            DeviceSpeed::Slow => 1.0,
+            DeviceSpeed::Typical => 0.0,
+            DeviceSpeed::Fast => -1.0,
+        }
+    }
+}
+
+impl fmt::Display for DeviceSpeed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DeviceSpeed::Slow => "slow",
+            DeviceSpeed::Typical => "typical",
+            DeviceSpeed::Fast => "fast",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Global process corner of a CMOS technology.
+///
+/// ```
+/// use maddpipe_tech::corner::{Corner, DeviceSpeed};
+///
+/// assert_eq!(Corner::Sfg.nmos(), DeviceSpeed::Slow);
+/// assert_eq!(Corner::Sfg.pmos(), DeviceSpeed::Fast);
+/// assert_eq!(Corner::ALL.len(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Corner {
+    /// Typical NMOS, typical PMOS (the nominal corner).
+    #[default]
+    Ttg,
+    /// Fast NMOS, fast PMOS.
+    Ffg,
+    /// Slow NMOS, slow PMOS.
+    Ssg,
+    /// Slow NMOS, fast PMOS.
+    Sfg,
+    /// Fast NMOS, slow PMOS.
+    Fsg,
+}
+
+impl Corner {
+    /// All corners evaluated in the paper, in the order they appear in Fig. 6.
+    pub const ALL: [Corner; 5] = [
+        Corner::Ttg,
+        Corner::Ffg,
+        Corner::Ssg,
+        Corner::Sfg,
+        Corner::Fsg,
+    ];
+
+    /// NMOS speed grade at this corner.
+    #[inline]
+    pub fn nmos(self) -> DeviceSpeed {
+        match self {
+            Corner::Ttg => DeviceSpeed::Typical,
+            Corner::Ffg | Corner::Fsg => DeviceSpeed::Fast,
+            Corner::Ssg | Corner::Sfg => DeviceSpeed::Slow,
+        }
+    }
+
+    /// PMOS speed grade at this corner.
+    #[inline]
+    pub fn pmos(self) -> DeviceSpeed {
+        match self {
+            Corner::Ttg => DeviceSpeed::Typical,
+            Corner::Ffg | Corner::Sfg => DeviceSpeed::Fast,
+            Corner::Ssg | Corner::Fsg => DeviceSpeed::Slow,
+        }
+    }
+
+    /// Parses the usual corner spelling, case-insensitively.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseCornerError`] when the name is not one of
+    /// `TTG/FFG/SSG/SFG/FSG`.
+    ///
+    /// ```
+    /// use maddpipe_tech::corner::Corner;
+    /// assert_eq!("ffg".parse::<Corner>().unwrap(), Corner::Ffg);
+    /// assert!("ttx".parse::<Corner>().is_err());
+    /// ```
+    pub fn parse(name: &str) -> Result<Corner, ParseCornerError> {
+        match name.to_ascii_uppercase().as_str() {
+            "TTG" | "TT" => Ok(Corner::Ttg),
+            "FFG" | "FF" => Ok(Corner::Ffg),
+            "SSG" | "SS" => Ok(Corner::Ssg),
+            "SFG" | "SF" => Ok(Corner::Sfg),
+            "FSG" | "FS" => Ok(Corner::Fsg),
+            _ => Err(ParseCornerError {
+                input: name.to_owned(),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Corner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Corner::Ttg => "TTG",
+            Corner::Ffg => "FFG",
+            Corner::Ssg => "SSG",
+            Corner::Sfg => "SFG",
+            Corner::Fsg => "FSG",
+        };
+        f.write_str(s)
+    }
+}
+
+impl core::str::FromStr for Corner {
+    type Err = ParseCornerError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Corner::parse(s)
+    }
+}
+
+/// Error returned when parsing an unknown corner name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCornerError {
+    input: String,
+}
+
+impl fmt::Display for ParseCornerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown process corner `{}` (expected TTG, FFG, SSG, SFG or FSG)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseCornerError {}
+
+/// A complete electrical operating point: supply, corner and temperature.
+///
+/// ```
+/// use maddpipe_tech::corner::{Corner, OperatingPoint};
+/// use maddpipe_tech::units::Volts;
+///
+/// let op = OperatingPoint::new(Volts(0.5), Corner::Ttg);
+/// assert_eq!(op.temp.0, 25.0); // the paper's fixed simulation temperature
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Supply voltage.
+    pub vdd: Volts,
+    /// Global process corner.
+    pub corner: Corner,
+    /// Junction temperature.
+    pub temp: Celsius,
+}
+
+impl OperatingPoint {
+    /// Creates an operating point at the paper's simulation temperature
+    /// (25 °C).
+    pub fn new(vdd: Volts, corner: Corner) -> OperatingPoint {
+        OperatingPoint {
+            vdd,
+            corner,
+            temp: Celsius(25.0),
+        }
+    }
+
+    /// Replaces the temperature, returning the modified operating point.
+    #[must_use]
+    pub fn with_temp(mut self, temp: Celsius) -> OperatingPoint {
+        self.temp = temp;
+        self
+    }
+}
+
+impl Default for OperatingPoint {
+    /// Nominal 22 nm point: 0.8 V, TTG, 25 °C.
+    fn default() -> OperatingPoint {
+        OperatingPoint::new(Volts(0.8), Corner::Ttg)
+    }
+}
+
+impl fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} / {} / {}", self.vdd, self.corner, self.temp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_device_speeds() {
+        assert_eq!(Corner::Ttg.nmos(), DeviceSpeed::Typical);
+        assert_eq!(Corner::Ttg.pmos(), DeviceSpeed::Typical);
+        assert_eq!(Corner::Ffg.nmos(), DeviceSpeed::Fast);
+        assert_eq!(Corner::Ffg.pmos(), DeviceSpeed::Fast);
+        assert_eq!(Corner::Ssg.nmos(), DeviceSpeed::Slow);
+        assert_eq!(Corner::Ssg.pmos(), DeviceSpeed::Slow);
+        assert_eq!(Corner::Sfg.nmos(), DeviceSpeed::Slow);
+        assert_eq!(Corner::Sfg.pmos(), DeviceSpeed::Fast);
+        assert_eq!(Corner::Fsg.nmos(), DeviceSpeed::Fast);
+        assert_eq!(Corner::Fsg.pmos(), DeviceSpeed::Slow);
+    }
+
+    #[test]
+    fn sigma_multipliers_are_signed() {
+        assert_eq!(DeviceSpeed::Slow.vth_sigma_multiplier(), 1.0);
+        assert_eq!(DeviceSpeed::Typical.vth_sigma_multiplier(), 0.0);
+        assert_eq!(DeviceSpeed::Fast.vth_sigma_multiplier(), -1.0);
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for c in Corner::ALL {
+            let shown = c.to_string();
+            assert_eq!(shown.parse::<Corner>().unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let err = "XYZ".parse::<Corner>().unwrap_err();
+        assert!(err.to_string().contains("XYZ"));
+    }
+
+    #[test]
+    fn default_operating_point_is_nominal() {
+        let op = OperatingPoint::default();
+        assert_eq!(op.vdd, Volts(0.8));
+        assert_eq!(op.corner, Corner::Ttg);
+        assert_eq!(op.temp, Celsius(25.0));
+    }
+
+    #[test]
+    fn with_temp_overrides() {
+        let op = OperatingPoint::default().with_temp(Celsius(85.0));
+        assert_eq!(op.temp.0, 85.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let op = OperatingPoint::new(Volts(0.5), Corner::Ssg);
+        let s = op.to_string();
+        assert!(s.contains("SSG"), "{s}");
+        assert!(s.contains("500.00 mV"), "{s}");
+    }
+}

@@ -1,0 +1,53 @@
+//! # maddpipe-tech
+//!
+//! Compact technology models for the 22 nm bulk-CMOS process used by the
+//! DAC 2025 paper *"Lookup Table-based Multiplication-free All-digital DNN
+//! Accelerator Featuring Self-Synchronous Pipeline Accumulation"*.
+//!
+//! This crate is the bottom of the maddpipe stack: everything above it
+//! (event-driven simulation, SRAM timing, the accelerator PPA models) asks
+//! this crate three kinds of question:
+//!
+//! * *how slow is a gate* at a supply/corner/temperature —
+//!   [`process::Technology::delay_scale`] (alpha-power law);
+//! * *how much energy does a transition cost* —
+//!   [`process::Technology::switching_energy`] (`C·V²` + short-circuit);
+//! * *how big is it* — [`process::Technology::logic_area`] and the SRAM
+//!   bitcell constant.
+//!
+//! The model constants are calibrated against the paper's own published
+//! sweeps; the calibration residuals are enforced by unit tests in
+//! [`process`].
+//!
+//! ## Example
+//!
+//! ```
+//! use maddpipe_tech::prelude::*;
+//!
+//! let tech = Technology::n22();
+//! let slow = OperatingPoint::new(Volts(0.5), Corner::Ssg);
+//! let fast = OperatingPoint::new(Volts(1.0), Corner::Ffg);
+//! let nominal_delay = Seconds::from_picos(50.0);
+//! let d_slow = tech.scale_delay(nominal_delay, slow, DriveKind::PullDown);
+//! let d_fast = tech.scale_delay(nominal_delay, fast, DriveKind::PullDown);
+//! assert!(d_slow > d_fast);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corner;
+pub mod process;
+pub mod units;
+pub mod variation;
+
+/// Convenient glob-import of the types almost every user needs.
+pub mod prelude {
+    pub use crate::corner::{Corner, DeviceSpeed, OperatingPoint};
+    pub use crate::process::{scale_area, DriveKind, Technology};
+    pub use crate::units::{Area, Celsius, Farads, Hertz, Joules, Ohms, Seconds, Volts, Watts};
+    pub use crate::variation::{Mismatch, MismatchSampler, SplitMix64};
+}
+
+pub use corner::{Corner, OperatingPoint};
+pub use process::{DriveKind, Technology};

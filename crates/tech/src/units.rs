@@ -1,0 +1,533 @@
+//! Strongly-typed physical quantities used throughout the workspace.
+//!
+//! Every quantity is a thin `f64` newtype ([C-NEWTYPE]): a [`Volts`] can never
+//! be accidentally passed where [`Seconds`] is expected, which matters in a
+//! codebase that mixes timing, energy and geometry models. Arithmetic is
+//! implemented only where it is physically meaningful (scalar scaling,
+//! addition of like quantities, and a few derived-unit products such as
+//! `Watts = Joules / Seconds`).
+//!
+//! ```
+//! use maddpipe_tech::units::{Volts, Seconds, Joules};
+//!
+//! let vdd = Volts(0.5);
+//! let delay = Seconds::from_nanos(17.8);
+//! let energy = Joules::from_femtos(5.6);
+//! assert!(vdd.0 < 1.0 && delay.as_nanos() > 17.0 && energy.as_femtos() > 5.0);
+//! ```
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Implements the shared boilerplate for an `f64` quantity newtype.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Returns the raw value in base SI units.
+            ///
+            /// ```
+            /// # use maddpipe_tech::units::*;
+            #[doc = concat!("assert_eq!(", stringify!($name), "(1.5).value(), 1.5);")]
+            /// ```
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the larger of `self` and `other`.
+            ///
+            /// Useful when reducing path delays or peak values. `NaN` inputs
+            /// propagate like [`f64::max`].
+            #[inline]
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> $name {
+                $name(self.0.abs())
+            }
+
+            /// `true` if the value is finite (neither infinite nor NaN).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", engineering(self.0))?;
+                write!(f, "{}", $unit)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+
+quantity!(
+    /// Time in seconds. Construct via [`Seconds::from_nanos`] /
+    /// [`Seconds::from_picos`] / [`Seconds::from_femtos`] for readability.
+    Seconds,
+    "s"
+);
+
+quantity!(
+    /// Energy in joules. Circuit-level energies are femtojoules to picojoules.
+    Joules,
+    "J"
+);
+
+quantity!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+
+quantity!(
+    /// Capacitance in farads. Cell-level capacitances are femtofarads.
+    Farads,
+    "F"
+);
+
+quantity!(
+    /// Resistance in ohms.
+    Ohms,
+    "Ω"
+);
+
+quantity!(
+    /// Silicon area in square metres. Construct via [`Area::from_um2`] or
+    /// [`Area::from_mm2`].
+    Area,
+    "m²"
+);
+
+quantity!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+
+quantity!(
+    /// Temperature in degrees Celsius (not an SI base unit, but the unit in
+    /// which every PDK corner sheet is written).
+    Celsius,
+    "°C"
+);
+
+impl Seconds {
+    /// Creates a duration from nanoseconds.
+    ///
+    /// ```
+    /// # use maddpipe_tech::units::Seconds;
+    /// assert_eq!(Seconds::from_nanos(1.0).value(), 1e-9);
+    /// ```
+    #[inline]
+    pub fn from_nanos(ns: f64) -> Seconds {
+        Seconds(ns * 1e-9)
+    }
+
+    /// Creates a duration from picoseconds.
+    #[inline]
+    pub fn from_picos(ps: f64) -> Seconds {
+        Seconds(ps * 1e-12)
+    }
+
+    /// Creates a duration from femtoseconds.
+    #[inline]
+    pub fn from_femtos(fs: f64) -> Seconds {
+        Seconds(fs * 1e-15)
+    }
+
+    /// This duration expressed in nanoseconds.
+    #[inline]
+    pub fn as_nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// This duration expressed in picoseconds.
+    #[inline]
+    pub fn as_picos(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// This duration expressed in femtoseconds.
+    #[inline]
+    pub fn as_femtos(self) -> f64 {
+        self.0 * 1e15
+    }
+
+    /// Frequency whose period is this duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is zero or negative: a period must be positive.
+    ///
+    /// ```
+    /// # use maddpipe_tech::units::Seconds;
+    /// let f = Seconds::from_nanos(32.1).to_frequency();
+    /// assert!((f.as_mega_hertz() - 31.15).abs() < 0.1);
+    /// ```
+    #[inline]
+    pub fn to_frequency(self) -> Hertz {
+        assert!(self.0 > 0.0, "period must be positive, got {self}");
+        Hertz(1.0 / self.0)
+    }
+}
+
+impl Hertz {
+    /// Creates a frequency from megahertz.
+    #[inline]
+    pub fn from_mega_hertz(mhz: f64) -> Hertz {
+        Hertz(mhz * 1e6)
+    }
+
+    /// This frequency expressed in megahertz.
+    #[inline]
+    pub fn as_mega_hertz(self) -> f64 {
+        self.0 * 1e-6
+    }
+
+    /// Period of one cycle at this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero or negative.
+    #[inline]
+    pub fn to_period(self) -> Seconds {
+        assert!(self.0 > 0.0, "frequency must be positive, got {self}");
+        Seconds(1.0 / self.0)
+    }
+}
+
+impl Joules {
+    /// Creates an energy from femtojoules.
+    #[inline]
+    pub fn from_femtos(fj: f64) -> Joules {
+        Joules(fj * 1e-15)
+    }
+
+    /// Creates an energy from picojoules.
+    #[inline]
+    pub fn from_picos(pj: f64) -> Joules {
+        Joules(pj * 1e-12)
+    }
+
+    /// This energy expressed in femtojoules.
+    #[inline]
+    pub fn as_femtos(self) -> f64 {
+        self.0 * 1e15
+    }
+
+    /// This energy expressed in picojoules.
+    #[inline]
+    pub fn as_picos(self) -> f64 {
+        self.0 * 1e12
+    }
+}
+
+impl Farads {
+    /// Creates a capacitance from femtofarads.
+    #[inline]
+    pub fn from_femtos(ff: f64) -> Farads {
+        Farads(ff * 1e-15)
+    }
+
+    /// This capacitance expressed in femtofarads.
+    #[inline]
+    pub fn as_femtos(self) -> f64 {
+        self.0 * 1e15
+    }
+
+    /// Dynamic switching energy of a full-swing transition on this
+    /// capacitance: `E = C · V²` (charge pulled from the supply over one
+    /// charge/discharge pair; half is dissipated on each edge).
+    ///
+    /// ```
+    /// # use maddpipe_tech::units::{Farads, Volts};
+    /// let e = Farads::from_femtos(1.0).switching_energy(Volts(1.0));
+    /// assert!((e.as_femtos() - 1.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn switching_energy(self, vdd: Volts) -> Joules {
+        Joules(self.0 * vdd.0 * vdd.0)
+    }
+}
+
+impl Area {
+    /// Creates an area from square micrometres.
+    #[inline]
+    pub fn from_um2(um2: f64) -> Area {
+        Area(um2 * 1e-12)
+    }
+
+    /// Creates an area from square millimetres.
+    #[inline]
+    pub fn from_mm2(mm2: f64) -> Area {
+        Area(mm2 * 1e-6)
+    }
+
+    /// This area expressed in square micrometres.
+    #[inline]
+    pub fn as_um2(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// This area expressed in square millimetres.
+    #[inline]
+    pub fn as_mm2(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Farads> for Ohms {
+    /// An RC product is a time constant.
+    type Output = Seconds;
+    #[inline]
+    fn mul(self, rhs: Farads) -> Seconds {
+        Seconds(self.0 * rhs.0)
+    }
+}
+
+/// Formats a value with an engineering-notation SI prefix (`f`, `p`, `n`,
+/// `µ`, `m`, none, `k`, `M`, `G`, `T`).
+///
+/// ```
+/// # use maddpipe_tech::units::engineering;
+/// assert_eq!(engineering(17.8e-9), "17.80 n");
+/// assert_eq!(engineering(0.0), "0.00 ");
+/// ```
+pub fn engineering(value: f64) -> String {
+    if value == 0.0 || !value.is_finite() {
+        return format!("{value:.2} ");
+    }
+    const PREFIXES: [(f64, &str); 10] = [
+        (1e-15, "f"),
+        (1e-12, "p"),
+        (1e-9, "n"),
+        (1e-6, "µ"),
+        (1e-3, "m"),
+        (1.0, ""),
+        (1e3, "k"),
+        (1e6, "M"),
+        (1e9, "G"),
+        (1e12, "T"),
+    ];
+    let mag = value.abs();
+    let mut chosen = PREFIXES[0];
+    for p in PREFIXES {
+        if mag >= p.0 {
+            chosen = p;
+        }
+    }
+    format!("{:.2} {}", value / chosen.0, chosen.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volt_arithmetic_behaves_like_f64() {
+        let a = Volts(0.5);
+        let b = Volts(0.3);
+        assert_eq!((a + b).0, 0.8);
+        assert_eq!((a - b).0, 0.2);
+        assert_eq!((a * 2.0).0, 1.0);
+        assert_eq!((2.0 * a).0, 1.0);
+        assert_eq!((a / 2.0).0, 0.25);
+        assert_eq!(a / b, 0.5 / 0.3);
+        assert_eq!((-a).0, -0.5);
+    }
+
+    #[test]
+    fn add_assign_and_sum() {
+        let mut t = Seconds::ZERO;
+        t += Seconds::from_nanos(1.0);
+        t += Seconds::from_nanos(2.0);
+        assert!((t.as_nanos() - 3.0).abs() < 1e-12);
+        let total: Joules = (0..4).map(|_| Joules::from_femtos(1.0)).sum();
+        assert!((total.as_femtos() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_conversions_round_trip() {
+        let t = Seconds::from_picos(2500.0);
+        assert!((t.as_nanos() - 2.5).abs() < 1e-12);
+        assert!((t.as_femtos() - 2.5e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn frequency_period_inverse() {
+        let f = Hertz::from_mega_hertz(56.2);
+        let t = f.to_period();
+        assert!((t.to_frequency().as_mega_hertz() - 56.2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = Seconds::ZERO.to_frequency();
+    }
+
+    #[test]
+    fn switching_energy_scales_quadratically() {
+        let c = Farads::from_femtos(2.0);
+        let e1 = c.switching_energy(Volts(0.5));
+        let e2 = c.switching_energy(Volts(1.0));
+        assert!((e2 / e1 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_conversions() {
+        let a = Area::from_mm2(0.20);
+        assert!((a.as_um2() - 200_000.0).abs() < 1e-6);
+        assert!((Area::from_um2(1e6).as_mm2() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn watts_from_energy_over_time() {
+        let p = Joules::from_picos(1.0) / Seconds::from_nanos(1.0);
+        assert!((p.0 - 1e-3).abs() < 1e-15);
+        let e = p * Seconds::from_nanos(2.0);
+        assert!((e.as_picos() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rc_product_is_time() {
+        let tau = Ohms(1000.0) * Farads::from_femtos(1.0);
+        assert!((tau.as_picos() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_uses_engineering_prefixes() {
+        assert_eq!(format!("{}", Seconds::from_nanos(17.8)), "17.80 ns");
+        assert_eq!(format!("{}", Joules::from_femtos(5.6)), "5.60 fJ");
+        assert_eq!(format!("{}", Volts(0.5)), "500.00 mV");
+    }
+
+    #[test]
+    fn min_max_abs() {
+        assert_eq!(Volts(0.5).max(Volts(0.8)), Volts(0.8));
+        assert_eq!(Volts(0.5).min(Volts(0.8)), Volts(0.5));
+        assert_eq!(Volts(-0.5).abs(), Volts(0.5));
+        assert!(Volts(0.5).is_finite());
+        assert!(!Volts(f64::NAN).is_finite());
+    }
+}

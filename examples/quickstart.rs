@@ -1,0 +1,91 @@
+//! Quickstart: train a MADDNESS operator, program the accelerator netlist,
+//! run tokens through the self-synchronous pipeline, and confirm the
+//! silicon-level result is bit-identical to the algorithm.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use maddpipe::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // ── 1. A matrix-multiplication workload ────────────────────────────
+    // 2 subspaces × 9 dims = 18 input features, 4 output features. The
+    // rows carry cluster structure (as real activations do) — product
+    // quantisation exploits exactly that.
+    let mut rng = StdRng::seed_from_u64(7);
+    let centers: Vec<Vec<f32>> = (0..12)
+        .map(|_| (0..18).map(|_| rng.gen_range(-3.0..3.0)).collect())
+        .collect();
+    let rows: Vec<Vec<f32>> = (0..400)
+        .map(|i| {
+            let c = &centers[i % centers.len()];
+            c.iter().map(|&v| v + rng.gen_range(-0.3..0.3)).collect()
+        })
+        .collect();
+    let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+    let x = Mat::from_rows(&refs);
+    let mut w = Mat::zeros(18, 4);
+    for r in 0..18 {
+        for c in 0..4 {
+            w[(r, c)] = ((r * 3 + c * 5) % 11) as f32 / 11.0 - 0.5;
+        }
+    }
+
+    // ── 2. Train the MADDNESS operator (hash trees + INT8 LUTs) ────────
+    let op = MaddnessMatmul::train(&x, &w, MaddnessParams::default()).expect("training");
+    let exact = x.matmul(&w);
+    let approx = op.matmul(&x);
+    println!(
+        "MADDNESS approximation: NMSE {:.4} over {} rows ({} subspaces × {} prototypes)",
+        nmse(&exact, &approx),
+        x.rows(),
+        op.num_subspaces(),
+        op.num_prototypes()
+    );
+
+    // ── 3. Program the accelerator and run the pipeline ────────────────
+    let cfg = MacroConfig::new(op.out_features(), op.num_subspaces())
+        .with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
+    let program = MacroProgram::from_maddness(&op);
+    let mut rtl = AcceleratorRtl::build(&cfg, &program);
+    println!(
+        "built macro: {} (cells: {}, nets: {})",
+        cfg,
+        rtl.simulator().circuit().cell_count(),
+        rtl.simulator().circuit().net_count()
+    );
+
+    let scale = op.input_scale();
+    let mut exact_matches = 0;
+    let n_tokens = 10;
+    for t in 0..n_tokens {
+        let row = x.row(t);
+        let mut token = vec![[0i8; SUBVECTOR_LEN]; op.num_subspaces()];
+        for (s, chunk) in row.chunks(9).enumerate() {
+            for (e, &v) in chunk.iter().enumerate() {
+                token[s][e] = scale.quantize(v);
+            }
+        }
+        let result = rtl.run_token(&token).expect("token completes");
+        let reference = op.decode_i16_wrapping(&op.encode_quantized(&Mat::from_rows(&[row])));
+        if result.outputs == reference[0] {
+            exact_matches += 1;
+        }
+        if t == 0 {
+            println!(
+                "token 0: outputs {:?}, latency {}, energy {}",
+                result.outputs, result.latency, result.energy
+            );
+        }
+    }
+    println!("{exact_matches}/{n_tokens} tokens bit-identical between netlist and algorithm");
+    assert_eq!(exact_matches, n_tokens);
+
+    // ── 4. The paper's flagship PPA ─────────────────────────────────────
+    let report = MacroModel::new(
+        MacroConfig::paper_flagship().with_op(OperatingPoint::new(Volts(0.5), Corner::Ttg)),
+    )
+    .evaluate();
+    println!("\nflagship macro at 0.5 V / TTG:\n{report}");
+}

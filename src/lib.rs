@@ -1,0 +1,62 @@
+//! # maddpipe
+//!
+//! A Rust reproduction of *"Lookup Table-based Multiplication-free
+//! All-digital DNN Accelerator Featuring Self-Synchronous Pipeline
+//! Accumulation"* (DAC 2025, arXiv:2506.16800) — the MADDNESS-based
+//! accelerator with a dual-rail dynamic-logic BDT encoder, two-port
+//! 10T-SRAM lookup tables, carry-save pipeline accumulation and four-phase
+//! handshake control.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`tech`] | 22 nm technology models: alpha-power delay, corners, energy |
+//! | [`sim`] | deterministic event-driven logic simulator with energy metering |
+//! | [`sram`] | two-port 10T-SRAM columns, read-completion detection, replica study |
+//! | [`amm`] | the MADDNESS algorithm: BDT hashing, ridge prototypes, INT8 LUTs |
+//! | [`core`] | the accelerator: DLC encoder, decoders, self-synchronous pipeline, PPA model |
+//! | [`baselines`] | models of the compared accelerators (\[21\] analog DTC, \[22\] Stella Nera) |
+//! | [`nn`] | ResNet9 + synthetic CIFAR + MADDNESS layer substitution |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use maddpipe::prelude::*;
+//!
+//! // Evaluate the paper's flagship macro at its headline operating point.
+//! let report = MacroModel::new(MacroConfig::paper_flagship()).evaluate();
+//! println!("{report}");
+//! assert!(report.tops_per_watt > 150.0);
+//!
+//! // Run a token through the full event-driven netlist of a small macro.
+//! let cfg = MacroConfig::new(2, 2).with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
+//! let program = MacroProgram::random(2, 2, 1);
+//! let mut rtl = AcceleratorRtl::build(&cfg, &program);
+//! let token = vec![[3i8; SUBVECTOR_LEN]; 2];
+//! let result = rtl.run_token(&token).expect("token completes");
+//! assert_eq!(result.outputs, program.reference_output(&token));
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
+//! the binaries that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use maddpipe_amm as amm;
+pub use maddpipe_baselines as baselines;
+pub use maddpipe_core as core;
+pub use maddpipe_nn as nn;
+pub use maddpipe_sim as sim;
+pub use maddpipe_sram as sram;
+pub use maddpipe_tech as tech;
+
+/// One import for the common experiment surface.
+pub mod prelude {
+    pub use maddpipe_amm::prelude::*;
+    pub use maddpipe_baselines::prelude::*;
+    pub use maddpipe_core::prelude::*;
+    pub use maddpipe_nn::prelude::*;
+    pub use maddpipe_sram::{ReplicaStudy, SramModel};
+}

@@ -1,0 +1,89 @@
+//! End-to-end CNN flow: train → substitute → map onto the macro → run
+//! patches through the netlist — the full deployment path of Fig. 3.
+
+use maddpipe::core::mapping::{ConvMapping, ConvShape};
+use maddpipe::nn::layers::{im2col3x3, ConvExec};
+use maddpipe::prelude::*;
+
+#[test]
+fn trained_cnn_layer_runs_on_the_netlist() {
+    // Tiny but real: train, substitute, then push an actual activation
+    // patch through the silicon model.
+    let (train_set, _) = synthetic_cifar(8, 2, 16, 5);
+    let mut net = ResNet9::new(4, 16, 10, 2);
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 16,
+        lr: 0.05,
+        momentum: 0.9,
+    };
+    let _ = train(&mut net, &train_set, &cfg);
+    let (calib, _) = train_set.batch(0, 40);
+    let replaced = substitute_digital(&mut net, &calib, false).expect("substitution");
+    assert!(replaced >= 7);
+
+    // The layer1 operator (4 → 8 channels).
+    let op = match &net.layer1.conv.exec {
+        ConvExec::Digital(op) => op.clone(),
+        _ => unreachable!("layer1 substituted"),
+    };
+    assert_eq!(op.num_subspaces(), 4);
+    assert_eq!(op.out_features(), 8);
+
+    // Map the layer geometrically.
+    let shape = ConvShape::new(4, 8, 16, 16);
+    let mapping = ConvMapping::new(shape, &MacroConfig::new(8, 4));
+    assert_eq!(mapping.tiles_in, 1);
+    assert_eq!(mapping.tiles_out, 1);
+    assert_eq!(mapping.tokens, 256);
+    assert!((mapping.utilization - 1.0).abs() < 1e-12);
+
+    // Run three real patches through the netlist.
+    let program = MacroProgram::from_maddness(&op);
+    let rtl_cfg = MacroConfig::new(8, 4).with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
+    let mut rtl = AcceleratorRtl::build(&rtl_cfg, &program);
+    let (img, _) = train_set.batch(0, 1);
+    let prep_out = {
+        let mut prep = net.prep.clone();
+        prep.forward(&img, false)
+    };
+    let patches = im2col3x3(&prep_out);
+    let scale = op.input_scale();
+    for row_idx in [0usize, 100, 255] {
+        let row = patches.row(row_idx);
+        let mut token = vec![[0i8; SUBVECTOR_LEN]; 4];
+        for (s, chunk) in row.chunks(9).enumerate() {
+            for (e, &v) in chunk.iter().enumerate() {
+                token[s][e] = scale.quantize(v);
+            }
+        }
+        let result = rtl.run_token(&token).expect("token completes");
+        let expected = op.decode_i16_wrapping(&op.encode_quantized(&Mat::from_rows(&[row])));
+        assert_eq!(result.outputs, expected[0], "pixel {row_idx}");
+    }
+}
+
+#[test]
+fn analog_noise_ordering_survives_the_full_network() {
+    let (train_set, test_set) = synthetic_cifar(8, 4, 16, 6);
+    let mut net = ResNet9::new(4, 16, 10, 4);
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        lr: 0.05,
+        momentum: 0.9,
+    };
+    let _ = train(&mut net, &train_set, &cfg);
+    let (calib, _) = train_set.batch(0, 40);
+    // Digital vs very-noisy analog: digital must not be worse.
+    let mut digital = net.clone();
+    substitute_digital(&mut digital, &calib, false).expect("substitution");
+    let digital_acc = evaluate(&mut digital, &test_set, 20);
+    let mut analog = net.clone();
+    substitute_analog(&mut analog, &calib, 15.0, 3);
+    let analog_acc = evaluate(&mut analog, &test_set, 20);
+    assert!(
+        digital_acc + 1e-9 >= analog_acc,
+        "digital {digital_acc} must be ≥ heavily-noisy analog {analog_acc}"
+    );
+}

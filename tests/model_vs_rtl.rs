@@ -1,0 +1,134 @@
+//! Consistency between the two views of the machine: the closed-form PPA
+//! model (which regenerates the paper's tables) and the event-driven
+//! netlist (which actually computes). They share the same calibration
+//! constants, so their timing must agree — this is the guard that keeps
+//! the fast model honest.
+
+use maddpipe::prelude::*;
+
+/// Single-block latency: analytic vs measured on the netlist, across
+/// supplies and corners. The RTL carries extra gate stages (inter-level
+/// inverters, strobe margins) the analytic model folds into its control
+/// constant, so agreement within 25 % is the contract.
+#[test]
+fn block_latency_agreement_across_operating_points() {
+    for (vdd, corner) in [
+        (0.8, Corner::Ttg),
+        (0.5, Corner::Ttg),
+        (0.8, Corner::Ssg),
+        (0.8, Corner::Ffg),
+    ] {
+        let cfg = MacroConfig::new(2, 1).with_op(OperatingPoint::new(Volts(vdd), corner));
+        let model = MacroModel::new(cfg.clone());
+        // Worst case: every comparator walks all 8 bits (x == thresholds).
+        let tree = BdtEncoder::from_parts(vec![0, 1, 2, 3], vec![0.0; 15])
+            .expect("tree")
+            .quantize(QuantScale::UNIT);
+        let program = MacroProgram {
+            trees: vec![tree],
+            luts: vec![vec![[9i8; 16], [-9i8; 16]]],
+        };
+        let mut rtl = AcceleratorRtl::build(&cfg, &program);
+        let worst = rtl
+            .run_token(&[[0i8; SUBVECTOR_LEN]])
+            .expect("token completes");
+        // The RTL token latency includes the output-register strobe and
+        // the full return-to-idle; compare against the model's block
+        // forward latency plus its RCA settle allowance.
+        let predicted = model.block_latency_worst().total()
+            + cfg.calibration.rca_settle
+                * maddpipe::tech::Technology::n22()
+                    .delay_scale(cfg.op, maddpipe::tech::DriveKind::Complementary);
+        let measured = worst.latency.to_seconds();
+        let ratio = measured / predicted;
+        assert!(
+            (0.75..=1.60).contains(&ratio),
+            "{vdd} V {corner}: RTL {} vs model {} (ratio {ratio:.2})",
+            worst.latency,
+            predicted
+        );
+    }
+}
+
+/// Data dependence: the RTL latency spread between decisive and boundary
+/// inputs must match the model's best/worst encoder delta within 30 %.
+#[test]
+fn data_dependent_spread_agreement() {
+    let cfg = MacroConfig::new(1, 1).with_op(OperatingPoint::new(Volts(0.5), Corner::Ttg));
+    let model = MacroModel::new(cfg.clone());
+    let tree = BdtEncoder::from_parts(vec![0, 1, 2, 3], vec![0.0; 15])
+        .expect("tree")
+        .quantize(QuantScale::UNIT);
+    let program = MacroProgram {
+        trees: vec![tree],
+        luts: vec![vec![[1i8; 16]]],
+    };
+    let mut rtl = AcceleratorRtl::build(&cfg, &program);
+    let fast = rtl.run_token(&[[100i8; SUBVECTOR_LEN]]).expect("token");
+    let slow = rtl.run_token(&[[0i8; SUBVECTOR_LEN]]).expect("token");
+    let measured_delta = slow.latency.to_seconds() - fast.latency.to_seconds();
+    let predicted_delta =
+        model.block_latency_worst().encoder - model.block_latency_best().encoder;
+    let ratio = measured_delta / predicted_delta;
+    assert!(
+        (0.7..=1.3).contains(&ratio),
+        "spread: RTL {:.2} ns vs model {:.2} ns",
+        measured_delta.as_nanos(),
+        predicted_delta.as_nanos()
+    );
+}
+
+/// Both views agree that the decoder dominates energy (Fig. 7 A).
+#[test]
+fn decoder_energy_dominance_in_both_views() {
+    let cfg = MacroConfig::new(4, 2).with_op(OperatingPoint::new(Volts(0.5), Corner::Ttg));
+    let analytic = MacroModel::new(cfg.clone()).block_energy();
+    assert!(analytic.decoder_fraction() > 0.9);
+    let program = MacroProgram::random(cfg.ndec, cfg.ns, 12);
+    let mut rtl = AcceleratorRtl::build(&cfg, &program);
+    rtl.simulator_mut().reset_energy();
+    for seed in 0..4u64 {
+        let token: Vec<[i8; SUBVECTOR_LEN]> = {
+            use rand::{rngs::StdRng, Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..cfg.ns)
+                .map(|_| {
+                    let mut x = [0i8; SUBVECTOR_LEN];
+                    for v in x.iter_mut() {
+                        *v = rng.gen_range(-128i32..=127) as i8;
+                    }
+                    x
+                })
+                .collect()
+        };
+        rtl.run_token(&token).expect("token completes");
+    }
+    let report = rtl.simulator().energy_report();
+    let decoder = report.fraction("decoder");
+    let encoder = report.fraction("encoder");
+    assert!(
+        decoder > 0.5 && decoder > 5.0 * encoder,
+        "RTL decoder {decoder:.2} vs encoder {encoder:.2}\n{report}"
+    );
+}
+
+/// The model's corner behaviour matches the RTL's: slow silicon slows the
+/// measured token, fast silicon speeds it up, in the predicted direction.
+#[test]
+fn corner_ordering_agreement() {
+    let mut latencies = Vec::new();
+    for corner in [Corner::Ssg, Corner::Ttg, Corner::Ffg] {
+        let cfg = MacroConfig::new(1, 1).with_op(OperatingPoint::new(Volts(0.8), corner));
+        let program = MacroProgram::random(1, 1, 3);
+        let mut rtl = AcceleratorRtl::build(&cfg, &program);
+        let r = rtl.run_token(&[[5i8; SUBVECTOR_LEN]]).expect("token");
+        latencies.push(r.latency);
+    }
+    assert!(
+        latencies[0] > latencies[1] && latencies[1] > latencies[2],
+        "SSG {} > TTG {} > FFG {}",
+        latencies[0],
+        latencies[1],
+        latencies[2]
+    );
+}

@@ -1,0 +1,119 @@
+//! The paper's headline claims, asserted end to end through the public
+//! facade — the tests a reviewer would run first.
+
+use maddpipe::prelude::*;
+
+/// Abstract: "2.5× higher energy efficiency (174 TOPS/W) and 5× higher
+/// area efficiency (2.01 TOPS/mm²) ... compared to the conventional
+/// accelerator [21]".
+#[test]
+fn abstract_headline_ratios() {
+    let proposed = MacroModel::new(
+        MacroConfig::paper_flagship().with_op(OperatingPoint::new(Volts(0.5), Corner::Ttg)),
+    )
+    .evaluate();
+    let analog = AnalogDtcPpa::published();
+
+    assert!(
+        (proposed.tops_per_watt - 174.0).abs() < 8.0,
+        "headline energy efficiency: {}",
+        proposed.tops_per_watt
+    );
+    assert!(
+        (proposed.tops_per_mm2 - 2.01).abs() < 0.15,
+        "headline area efficiency: {}",
+        proposed.tops_per_mm2
+    );
+    let energy_ratio = proposed.tops_per_watt / analog.tops_per_watt();
+    assert!(
+        (energy_ratio - 2.5).abs() < 0.2,
+        "energy ratio vs [21]: {energy_ratio}"
+    );
+    let area_ratio = proposed.tops_per_mm2 / analog.area_efficiency_scaled_to(22.0);
+    assert!((area_ratio - 5.0).abs() < 0.5, "area ratio vs [21]: {area_ratio}");
+}
+
+/// §IV: "Compared to [22], the proposed circuit achieves 4.0× the energy
+/// efficiency" at 0.5 V, and beats it on both axes at 0.8 V.
+#[test]
+fn stella_nera_comparison() {
+    let stella = StellaNeraPpa::published();
+    let p05 = MacroModel::new(
+        MacroConfig::paper_flagship().with_op(OperatingPoint::new(Volts(0.5), Corner::Ttg)),
+    )
+    .evaluate();
+    let ratio = p05.tops_per_watt / stella.tops_per_watt();
+    assert!((ratio - 4.0).abs() < 0.4, "energy ratio vs [22]: {ratio}");
+    // At 0.5 V the paper concedes ~25 % lower area efficiency than [22].
+    assert!(p05.tops_per_mm2 < stella.area_efficiency_scaled_to(22.0));
+    let p08 = MacroModel::new(
+        MacroConfig::paper_flagship().with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg)),
+    )
+    .evaluate();
+    assert!(p08.tops_per_watt > stella.tops_per_watt());
+    assert!(p08.tops_per_mm2 > stella.area_efficiency_scaled_to(22.0));
+}
+
+/// §IV: the macro is "0.20 mm² including 64 kb SRAM" and runs at
+/// "31.2–56.2 MHz" at 0.5 V / "144–353 MHz" at 0.8 V.
+#[test]
+fn physical_parameters() {
+    let cfg = MacroConfig::paper_flagship();
+    assert_eq!(cfg.sram_bits(), 64 * 1024);
+    let r05 = MacroModel::new(cfg.clone().with_op(OperatingPoint::new(Volts(0.5), Corner::Ttg)))
+        .evaluate();
+    assert!((r05.area.total().as_mm2() - 0.20).abs() < 0.01);
+    assert!((r05.freq_min.as_mega_hertz() - 31.2).abs() < 2.0);
+    assert!((r05.freq_max.as_mega_hertz() - 56.2).abs() < 3.0);
+    let r08 = MacroModel::new(cfg.with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg)))
+        .evaluate();
+    // The paper's 0.8 V spread (144–353 MHz) is wider than pure
+    // alpha-power scaling predicts; the model lands inside it.
+    assert!(r08.freq_min.as_mega_hertz() > 144.0 - 10.0);
+    assert!(r08.freq_max.as_mega_hertz() < 353.0 + 10.0);
+}
+
+/// §III-C / §IV: per-column RCD prevents setup violations across PVT
+/// where a replica scheme degrades — asserted on both the Monte-Carlo
+/// study and the actual netlist's violation log.
+#[test]
+fn pvt_robustness_claims() {
+    // Monte-Carlo: replica fails under variability, RCD never does.
+    let study = ReplicaStudy::new(0.08, 1.1, 128).run(5_000, 3);
+    assert!(study.replica_failure_rate > 0.05);
+    assert_eq!(study.rcd_failure_rate, 0.0);
+    // Netlist: worst and best corners with heavy local mismatch — zero
+    // violations, outputs still exact.
+    for (vdd, corner) in [(0.5, Corner::Ssg), (1.0, Corner::Ffg)] {
+        let cfg = MacroConfig::new(2, 2)
+            .with_op(OperatingPoint::new(Volts(vdd), corner))
+            .with_mismatch(Mismatch::new(0.05, 77));
+        let program = MacroProgram::random(2, 2, 8);
+        let mut rtl = AcceleratorRtl::build(&cfg, &program);
+        let token = vec![[17i8; SUBVECTOR_LEN]; 2];
+        let result = rtl.run_token(&token).expect("token completes");
+        assert_eq!(result.outputs, program.reference_output(&token));
+        assert!(
+            rtl.simulator().violations().is_empty(),
+            "{vdd} V {corner}: {:?}",
+            rtl.simulator().violations()
+        );
+    }
+}
+
+/// Table I's recommendation: Ndec = 16 is the knee — efficiency gains
+/// past it are marginal.
+#[test]
+fn ndec_16_is_the_knee() {
+    let eff = |ndec: usize| {
+        MacroModel::new(
+            MacroConfig::new(ndec, 32).with_op(OperatingPoint::new(Volts(0.5), Corner::Ttg)),
+        )
+        .evaluate()
+        .tops_per_watt
+    };
+    let gain_8_16 = eff(16) / eff(8);
+    let gain_16_32 = eff(32) / eff(16);
+    assert!(gain_16_32 < gain_8_16);
+    assert!(gain_16_32 < 1.02, "past the knee the gain is ≤2%");
+}

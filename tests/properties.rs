@@ -1,0 +1,154 @@
+//! Workspace-wide property tests: invariants that must hold for arbitrary
+//! inputs, spanning crate boundaries.
+
+use maddpipe::core::adder::accumulate_wrapping;
+use maddpipe::core::dlc::{ripple_depth, to_offset_binary};
+use maddpipe::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// Offset-binary encoding is the unique order-preserving bijection the
+    /// DLC relies on: signed comparison ⇔ unsigned comparison of codes.
+    #[test]
+    fn offset_binary_order_isomorphism(a in any::<i8>(), b in any::<i8>()) {
+        prop_assert_eq!(a >= b, to_offset_binary(a) >= to_offset_binary(b));
+        prop_assert_eq!(a == b, to_offset_binary(a) == to_offset_binary(b));
+    }
+
+    /// The ripple depth is symmetric, bounded, and exactly 8 for equal
+    /// operands (Fig. 4 E).
+    #[test]
+    fn ripple_depth_properties(x in any::<u8>(), t in any::<u8>()) {
+        let d = ripple_depth(x, t);
+        prop_assert!((1..=8).contains(&d));
+        prop_assert_eq!(d, ripple_depth(t, x));
+        if x == t {
+            prop_assert_eq!(d, 8);
+        } else {
+            // The depth identifies the first differing bit: flipping the
+            // MSB of *both* operands leaves it unchanged whenever the
+            // decision is made below the MSB.
+            if d > 1 {
+                prop_assert_eq!(d, ripple_depth(x ^ 0x80, t ^ 0x80));
+            }
+        }
+    }
+
+    /// Wrapping byte accumulation is order-independent (the hardware sums
+    /// across pipeline stages in a fixed order, the reference in another —
+    /// they must agree regardless).
+    #[test]
+    fn accumulation_is_commutative(mut bytes in proptest::collection::vec(any::<i8>(), 0..64)) {
+        let forward = accumulate_wrapping(&bytes);
+        bytes.reverse();
+        prop_assert_eq!(forward, accumulate_wrapping(&bytes));
+    }
+
+    /// Quantisation is monotone and bounded; threshold (ceiling)
+    /// quantisation preserves decisions for on-lattice values.
+    #[test]
+    fn quantization_properties(scale in 0.001f32..10.0, t in -100.0f32..100.0, k in -127i32..=127) {
+        let q = QuantScale::new(scale);
+        let tq = q.quantize_threshold(t);
+        // The defining lattice property: k·scale ≥ t  ⇔  k ≥ ⌈t/scale⌉
+        // (when the true ceiling is representable in i8).
+        let true_ceil = (t / scale).ceil();
+        if (-127.0..=127.0).contains(&true_ceil) {
+            let lattice_value = k as f32 * scale;
+            prop_assert_eq!(
+                lattice_value >= t,
+                k >= tq as i32,
+                "scale {} t {} k {}", scale, t, k
+            );
+        }
+    }
+
+    /// BDT encoding always lands in range and is stable under re-encoding.
+    #[test]
+    fn bdt_encode_in_range(
+        seed in 0u64..5000,
+        x in proptest::collection::vec(-100.0f32..100.0, 9),
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dims: Vec<usize> = (0..4).map(|_| rng.gen_range(0..9)).collect();
+        let thresholds: Vec<f32> = (0..15).map(|_| rng.gen_range(-50.0..50.0)).collect();
+        let enc = BdtEncoder::from_parts(dims, thresholds).expect("valid");
+        let c1 = enc.encode_one(&x);
+        prop_assert!(c1 < 16);
+        prop_assert_eq!(c1, enc.encode_one(&x));
+        // The quantised tree agrees off quantisation boundaries and always
+        // stays in range.
+        let q = enc.quantize(QuantScale::new(1.0));
+        let xq: Vec<i8> = x.iter().map(|&v| QuantScale::new(1.0).quantize(v)).collect();
+        prop_assert!(q.encode_one(&xq) < 16);
+    }
+
+    /// The analytic model is physically sane everywhere in the design
+    /// space: positive latency/energy/area, monotone in VDD.
+    #[test]
+    fn ppa_model_sanity(
+        ndec in 1usize..=32,
+        ns in 1usize..=32,
+        vdd_centi in 50u32..=100,
+    ) {
+        let vdd = vdd_centi as f64 / 100.0;
+        let cfg = MacroConfig::new(ndec, ns)
+            .with_op(OperatingPoint::new(Volts(vdd), Corner::Ttg));
+        let r = MacroModel::new(cfg).evaluate();
+        prop_assert!(r.latency_best.total().value() > 0.0);
+        prop_assert!(r.latency_worst.total() > r.latency_best.total());
+        prop_assert!(r.energy_per_op.value() > 0.0);
+        prop_assert!(r.area.total().value() > 0.0);
+        prop_assert!(r.tops_min > 0.0 && r.tops_max >= r.tops_min);
+        prop_assert!(r.block_energy.decoder_fraction() > 0.5,
+            "decoder must dominate at ndec {}", ndec);
+    }
+
+    /// Conv mapping conserves operations exactly: issued × utilisation =
+    /// useful, for arbitrary layer and macro shapes.
+    #[test]
+    fn conv_mapping_conserves_ops(
+        c_in in 1usize..128,
+        c_out in 1usize..128,
+        hw in 1usize..16,
+        ndec in 1usize..=32,
+        ns in 1usize..=32,
+    ) {
+        use maddpipe::core::mapping::{ConvMapping, ConvShape};
+        let shape = ConvShape::new(c_in, c_out, hw, hw);
+        let cfg = MacroConfig::new(ndec, ns);
+        let m = ConvMapping::new(shape, &cfg);
+        prop_assert!(m.utilization > 0.0 && m.utilization <= 1.0 + 1e-12);
+        let issued = (m.tokens * cfg.ops_per_token()) as f64;
+        let useful = issued * m.utilization;
+        prop_assert!((useful - shape.ops() as f64).abs() < 1e-6 * issued.max(1.0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// The deployed integer decode path never disagrees with the wrapping
+    /// i16 semantics whatever the LUT contents (including saturating
+    /// values), for small but complete macros.
+    #[test]
+    fn int_decode_paths_agree(seed in 0u64..10_000) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = MacroProgram::random(2, 2, seed);
+        let token: Vec<[i8; SUBVECTOR_LEN]> = (0..2).map(|_| {
+            let mut x = [0i8; SUBVECTOR_LEN];
+            for v in x.iter_mut() { *v = rng.gen_range(-128i32..=127) as i8; }
+            x
+        }).collect();
+        // Reference semantics vs explicit per-chain accumulation.
+        let reference = program.reference_output(&token);
+        for (j, &r) in reference.iter().enumerate() {
+            let bytes: Vec<i8> = token.iter().enumerate().map(|(s, x)| {
+                program.luts[s][j][program.trees[s].encode_one(x)]
+            }).collect();
+            prop_assert_eq!(r, accumulate_wrapping(&bytes));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration: the event-driven netlist must be functionally
+//! identical to the MADDNESS algorithm — for arbitrary programs, arbitrary
+//! inputs, and operators trained on real data.
+
+use maddpipe::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_token(ns: usize, seed: u64) -> Vec<[i8; SUBVECTOR_LEN]> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..ns)
+        .map(|_| {
+            let mut x = [0i8; SUBVECTOR_LEN];
+            for v in x.iter_mut() {
+                *v = rng.gen_range(-128i32..=127) as i8;
+            }
+            x
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        ..ProptestConfig::default()
+    })]
+
+    /// For random macro shapes, programs and token streams, the netlist
+    /// output equals the algorithmic reference bit for bit.
+    #[test]
+    fn netlist_equals_algorithm(
+        ndec in 1usize..=2,
+        ns in 1usize..=3,
+        program_seed in 0u64..1000,
+        token_seed in 0u64..1000,
+    ) {
+        let cfg = MacroConfig::new(ndec, ns)
+            .with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
+        let program = MacroProgram::random(ndec, ns, program_seed);
+        let mut rtl = AcceleratorRtl::build(&cfg, &program);
+        for t in 0..3u64 {
+            let token = random_token(ns, token_seed.wrapping_add(t));
+            let result = rtl.run_token(&token).expect("token completes");
+            prop_assert_eq!(&result.outputs, &program.reference_output(&token));
+        }
+        prop_assert!(rtl.simulator().violations().is_empty(),
+            "violations: {:?}", rtl.simulator().violations());
+    }
+}
+
+/// An operator trained on structured data drives the netlist to the exact
+/// integer results of its deployed (INT8, wrapping-i16) decode path.
+#[test]
+fn trained_operator_matches_netlist_on_real_rows() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let centers: Vec<Vec<f32>> = (0..8)
+        .map(|_| (0..18).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect();
+    let rows: Vec<Vec<f32>> = (0..200)
+        .map(|i| {
+            centers[i % centers.len()]
+                .iter()
+                .map(|&v| v + rng.gen_range(-0.2..0.2))
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+    let x = Mat::from_rows(&refs);
+    let mut w = Mat::zeros(18, 3);
+    for r in 0..18 {
+        for c in 0..3 {
+            w[(r, c)] = ((r + c * 7) % 13) as f32 / 13.0 - 0.5;
+        }
+    }
+    let op = MaddnessMatmul::train(&x, &w, MaddnessParams::default()).expect("train");
+    let program = MacroProgram::from_maddness(&op);
+    let cfg = MacroConfig::new(op.out_features(), op.num_subspaces())
+        .with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
+    let mut rtl = AcceleratorRtl::build(&cfg, &program);
+    let scale = op.input_scale();
+    for r in (0..x.rows()).step_by(37) {
+        let row = x.row(r);
+        let mut token = vec![[0i8; SUBVECTOR_LEN]; op.num_subspaces()];
+        for (s, chunk) in row.chunks(9).enumerate() {
+            for (e, &v) in chunk.iter().enumerate() {
+                token[s][e] = scale.quantize(v);
+            }
+        }
+        let result = rtl.run_token(&token).expect("token completes");
+        let expected = op.decode_i16_wrapping(&op.encode_quantized(&Mat::from_rows(&[row])));
+        assert_eq!(result.outputs, expected[0], "row {r}");
+    }
+}
+
+/// Accumulation saturates the architectural corner: LUTs full of +127
+/// through several stages still match (wrap-around semantics end to end).
+#[test]
+fn extreme_lut_values_wrap_identically() {
+    let cfg = MacroConfig::new(1, 3).with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
+    let tree = BdtEncoder::from_parts(vec![0, 1, 2, 3], vec![0.0; 15])
+        .expect("tree")
+        .quantize(QuantScale::UNIT);
+    for fill in [127i8, -128, -1] {
+        let program = MacroProgram {
+            trees: vec![tree.clone(); 3],
+            luts: vec![vec![[fill; 16]]; 3],
+        };
+        let mut rtl = AcceleratorRtl::build(&cfg, &program);
+        let token = random_token(3, 5);
+        let result = rtl.run_token(&token).expect("token completes");
+        assert_eq!(result.outputs, program.reference_output(&token), "fill {fill}");
+        assert_eq!(result.outputs[0], (fill as i16).wrapping_mul(3));
+    }
+}
