@@ -167,7 +167,9 @@ impl BdtEncoder {
 
     /// Encodes every row of a matrix.
     pub fn encode_batch(&self, data: &Mat) -> Vec<usize> {
-        (0..data.rows()).map(|r| self.encode_one(data.row(r))).collect()
+        (0..data.rows())
+            .map(|r| self.encode_one(data.row(r)))
+            .collect()
     }
 
     /// Quantises the thresholds for 8-bit hardware deployment.

@@ -21,7 +21,9 @@ pub trait SubspaceEncoder: fmt::Debug {
 
     /// Encodes every row of a matrix of subvectors.
     fn encode_batch(&self, data: &Mat) -> Vec<usize> {
-        (0..data.rows()).map(|r| self.encode_one(data.row(r))).collect()
+        (0..data.rows())
+            .map(|r| self.encode_one(data.row(r)))
+            .collect()
     }
 
     /// Short display name for reports.
@@ -171,10 +173,7 @@ mod tests {
 
     #[test]
     fn ties_resolve_to_lowest_index() {
-        let enc = CentroidEncoder::from_centroids(
-            Mat::from_rows(&[&[-1.0], &[1.0]]),
-            Distance::L2,
-        );
+        let enc = CentroidEncoder::from_centroids(Mat::from_rows(&[&[-1.0], &[1.0]]), Distance::L2);
         assert_eq!(enc.encode_one(&[0.0]), 0, "equidistant picks index 0");
     }
 }

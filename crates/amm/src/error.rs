@@ -55,8 +55,13 @@ mod tests {
             expected: 9,
             found: 8,
         };
-        assert_eq!(e.to_string(), "weight rows vs input columns: expected 9, found 8");
-        assert!(MaddnessError::EmptyCalibration.to_string().contains("no rows"));
+        assert_eq!(
+            e.to_string(),
+            "weight rows vs input columns: expected 9, found 8"
+        );
+        assert!(MaddnessError::EmptyCalibration
+            .to_string()
+            .contains("no rows"));
     }
 
     #[test]

@@ -27,11 +27,7 @@ impl Distance {
                     d * d
                 })
                 .sum(),
-            Distance::L1 => a
-                .iter()
-                .zip(b)
-                .map(|(&x, &y)| ((x - y) as f64).abs())
-                .sum(),
+            Distance::L1 => a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).abs()).sum(),
         }
     }
 }
@@ -135,14 +131,12 @@ pub fn kmeans(data: &Mat, k: usize, metric: Distance, iters: usize, seed: u64) -
             }
             Distance::L1 => {
                 for c in 0..k {
-                    let members: Vec<usize> =
-                        (0..n).filter(|&r| assignment[r] == c).collect();
+                    let members: Vec<usize> = (0..n).filter(|&r| assignment[r] == c).collect();
                     if members.is_empty() {
                         continue;
                     }
                     for j in 0..d {
-                        let mut vals: Vec<f32> =
-                            members.iter().map(|&r| data[(r, j)]).collect();
+                        let mut vals: Vec<f32> = members.iter().map(|&r| data[(r, j)]).collect();
                         vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
                         centroids[(c, j)] = vals[vals.len() / 2];
                     }
@@ -193,7 +187,10 @@ mod tests {
         let result = kmeans(&two_blobs(), 2, Distance::L1, 20, 9);
         let mut xs: Vec<f32> = (0..2).map(|c| result.centroids[(c, 0)]).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert!((xs[0] + 5.0).abs() < 0.5 && (xs[1] - 5.0).abs() < 0.5, "{xs:?}");
+        assert!(
+            (xs[0] + 5.0).abs() < 0.5 && (xs[1] - 5.0).abs() < 0.5,
+            "{xs:?}"
+        );
     }
 
     #[test]

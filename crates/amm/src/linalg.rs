@@ -227,7 +227,12 @@ impl fmt::Display for Mat {
                 .iter()
                 .map(|x| format!("{x:>9.4}"))
                 .collect();
-            writeln!(f, "  [{}{}]", cells.join(", "), if self.cols > 8 { ", …" } else { "" })?;
+            writeln!(
+                f,
+                "  [{}{}]",
+                cells.join(", "),
+                if self.cols > 8 { ", …" } else { "" }
+            )?;
         }
         if self.rows > 8 {
             writeln!(f, "  …")?;
@@ -270,7 +275,10 @@ pub fn cholesky_solve(a: &Mat, b: &Mat) -> Result<Mat, NotSpdError> {
             }
             if i == j {
                 if sum <= 0.0 {
-                    return Err(NotSpdError { pivot: i, value: sum });
+                    return Err(NotSpdError {
+                        pivot: i,
+                        value: sum,
+                    });
                 }
                 l[i * n + i] = sum.sqrt();
             } else {

@@ -190,7 +190,11 @@ impl MaddnessMatmul {
     ///   `d` is not a multiple of `subspace_len`;
     /// * [`MaddnessError::EmptyCalibration`] — no calibration rows;
     /// * errors from BDT training propagate.
-    pub fn train(x: &Mat, w: &Mat, params: MaddnessParams) -> Result<MaddnessMatmul, MaddnessError> {
+    pub fn train(
+        x: &Mat,
+        w: &Mat,
+        params: MaddnessParams,
+    ) -> Result<MaddnessMatmul, MaddnessError> {
         if x.rows() == 0 {
             return Err(MaddnessError::EmptyCalibration);
         }
@@ -259,8 +263,7 @@ impl MaddnessMatmul {
         let mut biases = vec![0.0f32; n_out];
         for table in centred.iter_mut() {
             for j in 0..n_out {
-                let mean: f32 =
-                    (0..k).map(|kk| table[(kk, j)]).sum::<f32>() / k as f32;
+                let mean: f32 = (0..k).map(|kk| table[(kk, j)]).sum::<f32>() / k as f32;
                 for kk in 0..k {
                     table[(kk, j)] -= mean;
                 }
@@ -845,7 +848,10 @@ mod tests {
         assert_eq!(enc.num_subspaces(), 2);
         assert_eq!(enc.row(3).len(), 2);
         assert_eq!(enc.row(3)[1], enc.code(3, 1));
-        assert!(enc.row(3).iter().all(|&c| (c as usize) < op.num_prototypes()));
+        assert!(enc
+            .row(3)
+            .iter()
+            .all(|&c| (c as usize) < op.num_prototypes()));
     }
 
     #[test]

@@ -33,7 +33,11 @@ pub fn nmse(reference: &Mat, approx: &Mat) -> f64 {
             d * d
         })
         .sum();
-    let norm: f64 = reference.data().iter().map(|&a| (a as f64) * (a as f64)).sum();
+    let norm: f64 = reference
+        .data()
+        .iter()
+        .map(|&a| (a as f64) * (a as f64))
+        .sum();
     if norm == 0.0 {
         if err == 0.0 {
             0.0

@@ -21,13 +21,13 @@
 //!   Table II shows 89.0 % accuracy against 92.6 % for the all-digital
 //!   designs — reproduced by [`AnalogDtcEncoder`].
 
+use core::fmt;
 use maddpipe_amm::encoders::{CentroidEncoder, SubspaceEncoder};
 use maddpipe_amm::kmeans::Distance;
 use maddpipe_amm::linalg::Mat;
 use maddpipe_tech::process::scale_area;
 use maddpipe_tech::units::{Area, Hertz, Joules, Volts};
 use rand::Rng;
-use core::fmt;
 
 /// Functional model of the time-domain encoder: Manhattan argmin with
 /// Gaussian delay noise on each chain.
@@ -251,8 +251,7 @@ mod tests {
     #[test]
     fn analog_area_does_not_benefit_from_scaling() {
         let p = AnalogDtcPpa::published();
-        let full_scaling = p.tops()
-            / scale_area(p.area, p.node_nm, 22.0).as_mm2();
+        let full_scaling = p.tops() / scale_area(p.area, p.node_nm, 22.0).as_mm2();
         // If the whole die scaled, the efficiency would jump ~9×; the
         // analog fraction caps the benefit well below that.
         assert!(p.area_efficiency_scaled_to(22.0) < full_scaling * 0.25);

@@ -20,9 +20,9 @@
 //! (16.47 fJ/op decoder, 1.27 fJ/op encoder) — the consistency test below
 //! checks that prediction against the published values.
 
+use core::fmt;
 use maddpipe_tech::process::scale_area;
 use maddpipe_tech::units::{Area, Hertz, Joules, Volts};
-use core::fmt;
 
 /// Published / derived PPA of Stella Nera (14 nm FinFET, synthesis).
 #[derive(Debug, Clone, PartialEq)]
@@ -111,10 +111,7 @@ impl StellaNeraPpa {
         let v_scale = (0.55f64 / 0.5).powi(2);
         let decoder = proposed_decoder_fj_per_op * (1.0 / (1.0 - 0.66)) * node_scale * v_scale;
         let encoder = proposed_encoder_fj_per_op * 20.0 * node_scale * v_scale;
-        (
-            Joules::from_femtos(decoder),
-            Joules::from_femtos(encoder),
-        )
+        (Joules::from_femtos(decoder), Joules::from_femtos(encoder))
     }
 }
 
@@ -166,18 +163,16 @@ mod tests {
         // (paper Table II).
         let (dec, enc) = StellaNeraPpa::predicted_from_proposed(5.6, 0.054);
         let p = StellaNeraPpa::published();
-        let dec_err =
-            (dec.as_femtos() - p.energy_decoder_per_op.as_femtos()).abs()
-                / p.energy_decoder_per_op.as_femtos();
+        let dec_err = (dec.as_femtos() - p.energy_decoder_per_op.as_femtos()).abs()
+            / p.energy_decoder_per_op.as_femtos();
         assert!(
             dec_err < 0.35,
             "decoder prediction {} vs published {}",
             dec.as_femtos(),
             p.energy_decoder_per_op.as_femtos()
         );
-        let enc_err =
-            (enc.as_femtos() - p.energy_encoder_per_op.as_femtos()).abs()
-                / p.energy_encoder_per_op.as_femtos();
+        let enc_err = (enc.as_femtos() - p.energy_encoder_per_op.as_femtos()).abs()
+            / p.energy_encoder_per_op.as_femtos();
         assert!(
             enc_err < 0.45,
             "encoder prediction {} vs published {}",

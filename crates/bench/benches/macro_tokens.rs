@@ -47,8 +47,7 @@ fn bench_macro(c: &mut Criterion) {
     group.bench_function("netlist_build_ndec4_ns8", |bencher| {
         let program = MacroProgram::random(4, 8, 3);
         bencher.iter(|| {
-            let cfg = MacroConfig::new(4, 8)
-                .with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
+            let cfg = MacroConfig::new(4, 8).with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
             AcceleratorRtl::build(&cfg, &program)
         });
     });

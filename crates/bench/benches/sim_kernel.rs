@@ -20,21 +20,17 @@ fn bench_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_kernel");
     for &n in &[64usize, 512] {
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(
-            BenchmarkId::new("inverter_chain", n),
-            &n,
-            |bencher, &n| {
-                let (mut sim, input, _) = inverter_chain(n);
-                sim.poke(input, Logic::Low);
-                sim.run_to_quiescence().expect("settle");
-                let mut level = Logic::High;
-                bencher.iter(|| {
-                    sim.poke(input, level);
-                    level = !level;
-                    sim.run_to_quiescence().expect("propagate")
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("inverter_chain", n), &n, |bencher, &n| {
+            let (mut sim, input, _) = inverter_chain(n);
+            sim.poke(input, Logic::Low);
+            sim.run_to_quiescence().expect("settle");
+            let mut level = Logic::High;
+            bencher.iter(|| {
+                sim.poke(input, level);
+                level = !level;
+                sim.run_to_quiescence().expect("propagate")
+            });
+        });
     }
     group.bench_function("completion_tree_128", |bencher| {
         let lib = CellLibrary::new(Technology::n22(), OperatingPoint::default());

@@ -15,12 +15,11 @@ fn main() {
     let mut rows = Vec::new();
     for vdd in [0.5, 0.8] {
         for corner in [Corner::Ssg, Corner::Ttg, Corner::Ffg] {
-            let cfg = MacroConfig::paper_flagship()
-                .with_op(OperatingPoint::new(Volts(vdd), corner));
+            let cfg =
+                MacroConfig::paper_flagship().with_op(OperatingPoint::new(Volts(vdd), corner));
             let sync = SyncPipelineModel::new(cfg).evaluate();
             let async_r = SyncPipelineModel::new(
-                MacroConfig::paper_flagship()
-                    .with_op(OperatingPoint::new(Volts(vdd), corner)),
+                MacroConfig::paper_flagship().with_op(OperatingPoint::new(Volts(vdd), corner)),
             )
             .async_counterpart();
             rows.push(vec![

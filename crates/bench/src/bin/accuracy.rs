@@ -56,7 +56,11 @@ fn main() {
     }
 
     let rows = vec![
-        vec!["float (fp32)".into(), format!("{:.1}%", float_acc * 100.0), "–".into()],
+        vec![
+            "float (fp32)".into(),
+            format!("{:.1}%", float_acc * 100.0),
+            "–".into(),
+        ],
         vec![
             "digital MADDNESS (proposed & [22])".into(),
             format!("{:.1}%", digital_acc * 100.0),

@@ -40,7 +40,11 @@ fn main() {
         w
     };
     let mut rows = Vec::new();
-    for (label, noise) in [("tight clusters", 0.15f32), ("loose clusters", 0.6), ("diffuse", 1.5)] {
+    for (label, noise) in [
+        ("tight clusters", 0.15f32),
+        ("loose clusters", 0.6),
+        ("diffuse", 1.5),
+    ] {
         let x = clustered(600, d, 24, noise, 11);
         let exact = x.matmul(&w);
 
@@ -80,7 +84,12 @@ fn main() {
     }
     let mut out = render_table(
         "Encoding functions (§II-B): output NMSE on 2×9-dim data, K=16",
-        &["data regime", "BDT int8 (this work)", "Euclidean (LUT-NN)", "Manhattan (PECAN/[21])"],
+        &[
+            "data regime",
+            "BDT int8 (this work)",
+            "Euclidean (LUT-NN)",
+            "Manhattan (PECAN/[21])",
+        ],
         &rows,
     );
     out.push_str(

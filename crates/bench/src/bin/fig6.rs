@@ -11,8 +11,7 @@ fn main() {
     let mut rows = Vec::new();
     for vdd in [0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
         for corner in Corner::ALL {
-            let cfg = MacroConfig::fig6()
-                .with_op(OperatingPoint::new(Volts(vdd), corner));
+            let cfg = MacroConfig::fig6().with_op(OperatingPoint::new(Volts(vdd), corner));
             let r = MacroModel::new(cfg).evaluate();
             rows.push(vec![
                 format!("{vdd:.1}"),
@@ -48,8 +47,7 @@ fn main() {
     ];
     let mut cmp = Vec::new();
     for (vdd, p_w, p_a) in paper {
-        let cfg = MacroConfig::fig6()
-            .with_op(OperatingPoint::new(Volts(vdd), Corner::Ttg));
+        let cfg = MacroConfig::fig6().with_op(OperatingPoint::new(Volts(vdd), Corner::Ttg));
         let r = MacroModel::new(cfg).evaluate();
         cmp.push(vec![
             format!("{vdd:.1}"),
@@ -62,7 +60,13 @@ fn main() {
     out.push('\n');
     out.push_str(&render_table(
         "Fig. 6 — paper vs model (TTG average)",
-        &["VDD [V]", "paper TOPS/W", "model TOPS/W", "paper TOPS/mm²", "model TOPS/mm²"],
+        &[
+            "VDD [V]",
+            "paper TOPS/W",
+            "model TOPS/W",
+            "paper TOPS/mm²",
+            "model TOPS/mm²",
+        ],
         &cmp,
     ));
 

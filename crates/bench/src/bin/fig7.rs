@@ -15,8 +15,7 @@ fn main() {
     let mut latency_rows = Vec::new();
     let mut area_rows = Vec::new();
     for ndec in [4usize, 16] {
-        let cfg = MacroConfig::new(ndec, 32)
-            .with_op(OperatingPoint::new(Volts(0.5), Corner::Ttg));
+        let cfg = MacroConfig::new(ndec, 32).with_op(OperatingPoint::new(Volts(0.5), Corner::Ttg));
         let model = MacroModel::new(cfg);
         let r = model.evaluate();
         let e = r.block_energy;

@@ -44,9 +44,8 @@ fn main() {
     // strobe tracks the data path (the PVT-invariance mechanism).
     let mut verdicts = Vec::new();
     for temp in [-40.0, 125.0] {
-        let cfg = MacroConfig::new(2, 2).with_op(
-            OperatingPoint::new(Volts(0.8), Corner::Ttg).with_temp(Celsius(temp)),
-        );
+        let cfg = MacroConfig::new(2, 2)
+            .with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg).with_temp(Celsius(temp)));
         let program = MacroProgram::random(2, 2, 4);
         let mut rtl = AcceleratorRtl::build(&cfg, &program);
         let token = vec![[23i8; SUBVECTOR_LEN]; 2];
@@ -56,7 +55,11 @@ fn main() {
         verdicts.push(vec![
             format!("{temp:.0} °C"),
             format!("{}", result.latency),
-            if ok { "exact, no violations".into() } else { "FAILED".into() },
+            if ok {
+                "exact, no violations".into()
+            } else {
+                "FAILED".into()
+            },
         ]);
     }
     out.push('\n');

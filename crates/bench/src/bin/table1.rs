@@ -7,13 +7,18 @@ use maddpipe_bench::{emit, render_table};
 use maddpipe_core::prelude::*;
 
 fn main() {
-    let paper_energy = [(0.5, [167.5, 171.8, 174.0, 174.9]), (0.8, [73.0, 74.4, 75.1, 75.4])];
+    let paper_energy = [
+        (0.5, [167.5, 171.8, 174.0, 174.9]),
+        (0.8, [73.0, 74.4, 75.1, 75.4]),
+    ];
     let paper_area = [(0.5, [1.4, 1.8, 2.0, 2.0]), (0.8, [8.7, 10.8, 11.3, 11.5])];
     let ndecs = [4usize, 8, 16, 32];
 
     let mut out = String::new();
-    for (metric, paper) in [("energy efficiency [TOPS/W]", &paper_energy), ("area efficiency [TOPS/mm²]", &paper_area)]
-    {
+    for (metric, paper) in [
+        ("energy efficiency [TOPS/W]", &paper_energy),
+        ("area efficiency [TOPS/mm²]", &paper_area),
+    ] {
         let mut rows = Vec::new();
         for &(vdd, ref p) in paper.iter() {
             let values: Vec<f64> = ndecs

@@ -120,7 +120,13 @@ fn main() {
     ];
     let mut out = render_table(
         "Table II — comparison to prior accelerators (proposed: Ndec=16, NS=32)",
-        &["metric", "[21] TCAS-I'23", "[22] Stella Nera", "proposed @0.5V", "proposed @0.8V"],
+        &[
+            "metric",
+            "[21] TCAS-I'23",
+            "[22] Stella Nera",
+            "proposed @0.5V",
+            "proposed @0.8V",
+        ],
         &rows,
     );
     out.push_str(&format!(

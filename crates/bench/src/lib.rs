@@ -14,6 +14,8 @@
 //! | `dlc_latency` | Fig. 4 D/E data-dependent comparator delay |
 //! | `ablation_async` | self-synchronous vs clocked pipeline (§III-A) |
 //! | `ablation_rcd` | per-column RCD vs replica timing (§III-C) |
+//! | `encoders` | encoding-function comparison (BDT vs LUT-NN vs PECAN) |
+//! | `sweep_temp` | temperature sweep of the operating point |
 //!
 //! Every binary prints its table and appends it to `results/<name>.txt`.
 

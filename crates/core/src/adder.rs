@@ -157,7 +157,7 @@ mod tests {
             let c = sim.bus_value(&c_out).expect("C known") as u16;
             let got = (s as i16).wrapping_add((c << 1) as i16);
             let expected = (s_val)
-                .wrapping_add((c_val as u16) .wrapping_shl(1) as i16)
+                .wrapping_add((c_val as u16).wrapping_shl(1) as i16)
                 .wrapping_add(d_val as i16);
             assert_eq!(got, expected, "d={d_val} s={s_val} c={c_val}");
         }

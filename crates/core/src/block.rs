@@ -19,12 +19,12 @@ use crate::config::SUBVECTOR_LEN;
 use crate::decoder::{build_decoder, DecoderPorts};
 use crate::encoder::{build_encoder, EncoderPorts};
 use maddpipe_amm::bdt::QuantizedBdt;
-use maddpipe_sram::model::SramModel;
-use maddpipe_sram::rcd::build_completion_tree;
 use maddpipe_sim::cell::{Cell, EvalCtx};
 use maddpipe_sim::circuit::{CircuitBuilder, NetId};
 use maddpipe_sim::logic::Logic;
 use maddpipe_sim::time::SimTime;
+use maddpipe_sram::model::SramModel;
+use maddpipe_sram::rcd::build_completion_tree;
 use maddpipe_tech::process::DriveKind;
 
 /// Controller state (see module docs).
@@ -275,7 +275,11 @@ pub fn build_block(
 mod tests {
     use super::*;
 
-    fn eval(cell: &mut HandshakeCtrl, inputs: [Logic; 3], trigger: Option<usize>) -> Vec<maddpipe_sim::Drive> {
+    fn eval(
+        cell: &mut HandshakeCtrl,
+        inputs: [Logic; 3],
+        trigger: Option<usize>,
+    ) -> Vec<maddpipe_sim::Drive> {
         let mut drives = Vec::new();
         let mut violations = Vec::new();
         let mut ctx = EvalCtx::for_test(
@@ -323,7 +327,10 @@ mod tests {
         assert_eq!(ibe.value, Logic::Low);
         assert_eq!(pche.value, Logic::Low);
         assert_eq!(calce.value, Logic::High);
-        assert!(calce.delay > pche.delay, "CALCE must trail precharge release");
+        assert!(
+            calce.delay > pche.delay,
+            "CALCE must trail precharge release"
+        );
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //! electrical operating point.
 
 use crate::calib::Calibration;
+use core::fmt;
 use maddpipe_tech::corner::{Corner, OperatingPoint};
 use maddpipe_tech::units::Volts;
 use maddpipe_tech::variation::Mismatch;
-use core::fmt;
 
 /// BDT depth of the hardware encoder (fixed by the paper: 4 levels).
 pub const LEVELS: usize = 4;

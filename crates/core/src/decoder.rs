@@ -9,10 +9,10 @@
 
 use crate::adder::build_csa_stage;
 use crate::calib::Calibration;
+use maddpipe_sim::circuit::{CircuitBuilder, NetId};
 use maddpipe_sram::column::build_column_with_timing;
 use maddpipe_sram::model::{ColumnHandle, SramModel, COLS};
 use maddpipe_sram::rcd::build_completion_tree;
-use maddpipe_sim::circuit::{CircuitBuilder, NetId};
 use maddpipe_tech::process::DriveKind;
 
 /// Nets and handles exposed by a built decoder.
@@ -81,8 +81,15 @@ pub fn build_decoder(
         .library_mut()
         .delay(cal.ge_pulse_width, DriveKind::Complementary);
     let ge = b.pulse_gen(&format!("{name}.gegen"), rcd_lut, ge_delay, ge_width);
-    let (s_out, c_out) =
-        build_csa_stage(b, &format!("{name}.csa"), &data_bits, s_prev, c_prev, ge, tie_low);
+    let (s_out, c_out) = build_csa_stage(
+        b,
+        &format!("{name}.csa"),
+        &data_bits,
+        s_prev,
+        c_prev,
+        ge,
+        tie_low,
+    );
     b.restore_domain(prev_domain);
     DecoderPorts {
         rcd_lut,
@@ -113,10 +120,7 @@ mod tests {
     }
 
     fn dut(lut: SramModel, vdd: f64, corner: Corner) -> Dut {
-        let lib = CellLibrary::new(
-            Technology::n22(),
-            OperatingPoint::new(Volts(vdd), corner),
-        );
+        let lib = CellLibrary::new(Technology::n22(), OperatingPoint::new(Volts(vdd), corner));
         let mut b = CircuitBuilder::new(lib);
         let rwl: Vec<NetId> = (0..16).map(|i| b.input(format!("rwl{i}"))).collect();
         let pche = b.input("pche");

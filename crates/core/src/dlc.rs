@@ -74,7 +74,12 @@ pub struct DlcCell {
 
 impl DlcCell {
     /// Creates a comparator holding offset-binary threshold `threshold`.
-    pub fn new(threshold: u8, t_base: SimTime, t_per_bit: SimTime, t_precharge: SimTime) -> DlcCell {
+    pub fn new(
+        threshold: u8,
+        t_base: SimTime,
+        t_per_bit: SimTime,
+        t_precharge: SimTime,
+    ) -> DlcCell {
         DlcCell {
             threshold,
             t_base,
@@ -126,8 +131,8 @@ impl Cell for DlcCell {
                     }
                 }
                 let depth = ripple_depth(x, self.threshold);
-                let delay = self.t_base
-                    + SimTime::from_femtos(self.t_per_bit.as_femtos() * depth as u64);
+                let delay =
+                    self.t_base + SimTime::from_femtos(self.t_per_bit.as_femtos() * depth as u64);
                 let ge = x >= self.threshold;
                 let pin = if ge { 1 } else { 0 };
                 ctx.drive(pin, Logic::Low, delay);
@@ -194,11 +199,7 @@ mod tests {
         let t0 = d.sim.now();
         d.sim.poke(d.clk, Logic::High);
         d.sim.run_to_quiescence().unwrap();
-        (
-            d.sim.value(d.yp),
-            d.sim.value(d.yn),
-            d.sim.now().since(t0),
-        )
+        (d.sim.value(d.yp), d.sim.value(d.yn), d.sim.now().since(t0))
     }
 
     #[test]

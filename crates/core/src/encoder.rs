@@ -80,7 +80,12 @@ pub fn build_encoder(
         b.add_wire_cap(yn, rail_cap);
         let mut inputs = vec![clks[node]];
         inputs.extend(&x_bits[dim]);
-        b.add_cell(format!("{name}.dlc{node}"), Box::new(cell), &inputs, &[yp, yn]);
+        b.add_cell(
+            format!("{name}.dlc{node}"),
+            Box::new(cell),
+            &inputs,
+            &[yp, yn],
+        );
         rails.push((yp, yn));
         // Children (if any) evaluate when a rail discharges: the inverter
         // turns the active-low rail into an active-high clock.
@@ -173,8 +178,8 @@ mod tests {
         let tree = tree_from(
             vec![0, 3, 6, 7],
             vec![
-                0.0, -40.0, 40.0, -80.0, -10.0, 10.0, 80.0, -100.0, -60.0, -20.0, 5.0, 25.0,
-                60.0, 90.0, 120.0,
+                0.0, -40.0, 40.0, -80.0, -10.0, 10.0, 80.0, -100.0, -60.0, -20.0, 5.0, 25.0, 60.0,
+                90.0, 120.0,
             ],
         );
         let mut d = dut(tree.clone(), 9);
@@ -256,11 +261,17 @@ mod tests {
     fn second_classification_after_precharge_is_clean() {
         let tree = tree_from(
             vec![0, 1, 2, 3],
-            vec![0.0, -30.0, 30.0, -60.0, -15.0, 15.0, 60.0, -90.0, -45.0, -7.0, 7.0, 45.0,
-                 75.0, 100.0, 120.0],
+            vec![
+                0.0, -30.0, 30.0, -60.0, -15.0, 15.0, 60.0, -90.0, -45.0, -7.0, 7.0, 45.0, 75.0,
+                100.0, 120.0,
+            ],
         );
         let mut d = dut(tree.clone(), 4);
-        for x in [[-100i8, -100, -100, -100], [100, 100, 100, 100], [0, 0, 0, 0]] {
+        for x in [
+            [-100i8, -100, -100, -100],
+            [100, 100, 100, 100],
+            [0, 0, 0, 0],
+        ] {
             let expected = tree.encode_one(&x);
             assert_eq!(classify(&mut d, &x), expected, "{x:?}");
         }

@@ -17,13 +17,13 @@ use crate::config::{MacroConfig, ACC_BITS, K, LEVELS, SUBVECTOR_LEN};
 use crate::dlc::to_offset_binary;
 use maddpipe_amm::bdt::QuantizedBdt;
 use maddpipe_amm::maddness::MaddnessMatmul;
-use maddpipe_sram::model::SramModel;
 use maddpipe_sim::cells::DelayLine;
 use maddpipe_sim::circuit::{CircuitBuilder, NetId};
 use maddpipe_sim::engine::{OscillationError, Simulator};
 use maddpipe_sim::library::CellLibrary;
 use maddpipe_sim::logic::{u64_to_bits, Logic};
 use maddpipe_sim::time::SimTime;
+use maddpipe_sram::model::SramModel;
 use maddpipe_tech::process::DriveKind;
 use maddpipe_tech::units::Joules;
 use rand::rngs::StdRng;
@@ -92,10 +92,12 @@ impl MacroProgram {
         let mut rng = StdRng::seed_from_u64(seed);
         let trees = (0..ns)
             .map(|_| {
-                let dims: Vec<usize> =
-                    (0..LEVELS).map(|_| rng.gen_range(0..SUBVECTOR_LEN)).collect();
-                let thresholds: Vec<f32> =
-                    (0..(1 << LEVELS) - 1).map(|_| rng.gen_range(-100.0..100.0)).collect();
+                let dims: Vec<usize> = (0..LEVELS)
+                    .map(|_| rng.gen_range(0..SUBVECTOR_LEN))
+                    .collect();
+                let thresholds: Vec<f32> = (0..(1 << LEVELS) - 1)
+                    .map(|_| rng.gen_range(-100.0..100.0))
+                    .collect();
                 maddpipe_amm::bdt::BdtEncoder::from_parts(dims, thresholds)
                     .expect("shape is valid by construction")
                     .quantize(maddpipe_amm::quant::QuantScale::UNIT)
@@ -172,11 +174,8 @@ impl AcceleratorRtl {
         assert_eq!(program.ns(), cfg.ns, "program stages vs config NS");
         assert_eq!(program.ndec(), cfg.ndec, "program decoders vs config Ndec");
         let cal = &cfg.calibration;
-        let lib = CellLibrary::with_mismatch(
-            maddpipe_tech::Technology::n22(),
-            cfg.op,
-            &cfg.mismatch,
-        );
+        let lib =
+            CellLibrary::with_mismatch(maddpipe_tech::Technology::n22(), cfg.op, &cfg.mismatch);
         let mut b = CircuitBuilder::new(lib);
         let tie = tie_low(&mut b, "tie0");
 
@@ -544,8 +543,7 @@ mod tests {
     #[test]
     fn no_timing_violations_across_corners() {
         for (vdd, corner) in [(0.5, Corner::Ssg), (0.8, Corner::Ttg), (1.0, Corner::Ffg)] {
-            let cfg = MacroConfig::new(2, 2)
-                .with_op(OperatingPoint::new(Volts(vdd), corner));
+            let cfg = MacroConfig::new(2, 2).with_op(OperatingPoint::new(Volts(vdd), corner));
             let program = MacroProgram::random(cfg.ndec, cfg.ns, 3);
             let mut rtl = AcceleratorRtl::build(&cfg, &program);
             let token = random_token(cfg.ns, 1);

@@ -8,8 +8,8 @@
 
 use crate::config::{MacroConfig, SUBVECTOR_LEN};
 use crate::model::MacroModel;
-use maddpipe_tech::units::Seconds;
 use core::fmt;
+use maddpipe_tech::units::Seconds;
 
 /// Geometry of one convolutional layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,7 +148,10 @@ mod tests {
         assert_eq!(m.tiles_in, 4);
         assert_eq!(m.tiles_out, 4);
         assert_eq!(m.tokens, 256 * 16);
-        assert!((m.utilization - 1.0).abs() < 1e-12, "exact multiples stay full");
+        assert!(
+            (m.utilization - 1.0).abs() < 1e-12,
+            "exact multiples stay full"
+        );
     }
 
     #[test]

@@ -15,10 +15,10 @@
 
 use crate::calib::Calibration;
 use crate::config::{MacroConfig, LEVELS};
+use core::fmt;
 use maddpipe_sram::rcd::completion_tree_depth;
 use maddpipe_tech::process::DriveKind;
 use maddpipe_tech::units::{Area, Hertz, Joules, Seconds, Watts};
-use core::fmt;
 
 /// Per-block latency decomposition (Fig. 7 B).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -293,8 +293,7 @@ impl MacroModel {
         let tops_avg = 0.5 * (tops_min + tops_max);
         let tech = maddpipe_tech::Technology::n22();
         // Leakage: approximate the macro as its transistor population.
-        let transistor_units =
-            area.total().value() / tech.area_per_transistor.value() / 4.0;
+        let transistor_units = area.total().value() / tech.area_per_transistor.value() / 4.0;
         let leakage = tech.leakage_power(transistor_units, self.cfg.op);
         PpaReport {
             ndec: self.cfg.ndec,
@@ -322,10 +321,8 @@ mod tests {
     use maddpipe_tech::units::Volts;
 
     fn at(ndec: usize, ns: usize, vdd: f64, corner: Corner) -> PpaReport {
-        MacroModel::new(
-            MacroConfig::new(ndec, ns).with_op(OperatingPoint::new(Volts(vdd), corner)),
-        )
-        .evaluate()
+        MacroModel::new(MacroConfig::new(ndec, ns).with_op(OperatingPoint::new(Volts(vdd), corner)))
+            .evaluate()
     }
 
     /// Paper Fig. 7 / Table II: block latency at 0.5 V TTG, Ndec=16 is
@@ -424,12 +421,22 @@ mod tests {
         // Paper values at 0.5 V: 167.5 / 171.8 / 174.0 / 174.9 TOPS/W.
         for (r, paper) in rs.iter().zip([167.5, 171.8, 174.0, 174.9]) {
             let err = (r.tops_per_watt - paper).abs() / paper;
-            assert!(err < 0.03, "Ndec={}: {} vs paper {paper}", r.ndec, r.tops_per_watt);
+            assert!(
+                err < 0.03,
+                "Ndec={}: {} vs paper {paper}",
+                r.ndec,
+                r.tops_per_watt
+            );
         }
         // Paper area efficiencies at 0.5 V: 1.4 / 1.8 / 2.0 / 2.0.
         for (r, paper) in rs.iter().zip([1.4, 1.8, 2.0, 2.0]) {
             let err = (r.tops_per_mm2 - paper).abs() / paper;
-            assert!(err < 0.08, "Ndec={}: {} vs paper {paper}", r.ndec, r.tops_per_mm2);
+            assert!(
+                err < 0.08,
+                "Ndec={}: {} vs paper {paper}",
+                r.ndec,
+                r.tops_per_mm2
+            );
         }
     }
 
@@ -447,7 +454,11 @@ mod tests {
         for (vdd, tops_w, tops_mm2) in paper {
             let r = at(4, 4, vdd, Corner::Ttg);
             let ew = (r.tops_per_watt - tops_w).abs() / tops_w;
-            assert!(ew < 0.06, "{vdd} V: {} TOPS/W vs paper {tops_w}", r.tops_per_watt);
+            assert!(
+                ew < 0.06,
+                "{vdd} V: {} TOPS/W vs paper {tops_w}",
+                r.tops_per_watt
+            );
             // The calibration is anchored on the flagship Ndec=16/NS=32
             // macro; the small Fig. 6 config sits systematically ~10 %
             // below the paper's density. Shape (monotone rise, ~9× total
@@ -492,9 +503,13 @@ mod tests {
         let r = at(16, 32, 0.5, Corner::Ttg);
         assert!(r.leakage.0 > 0.0);
         // Dynamic power at worst-case throughput dwarfs leakage at 25 °C.
-        let dynamic = r.block_energy.total() * (r.ns as f64)
-            / r.latency_worst.total();
-        assert!(r.leakage.0 < dynamic.0 * 0.2, "leakage {} vs dynamic {}", r.leakage, dynamic);
+        let dynamic = r.block_energy.total() * (r.ns as f64) / r.latency_worst.total();
+        assert!(
+            r.leakage.0 < dynamic.0 * 0.2,
+            "leakage {} vs dynamic {}",
+            r.leakage,
+            dynamic
+        );
     }
 
     #[test]

@@ -20,9 +20,9 @@
 
 use crate::config::MacroConfig;
 use crate::model::{MacroModel, PpaReport};
+use core::fmt;
 use maddpipe_tech::corner::{Corner, OperatingPoint};
 use maddpipe_tech::units::{Farads, Hertz, Joules, Seconds};
-use core::fmt;
 
 /// Result of evaluating the clocked baseline.
 #[derive(Debug, Clone, PartialEq)]
@@ -180,7 +180,9 @@ mod tests {
 
     #[test]
     fn report_display() {
-        let s = SyncPipelineModel::new(cfg_at(Corner::Ttg)).evaluate().to_string();
+        let s = SyncPipelineModel::new(cfg_at(Corner::Ttg))
+            .evaluate()
+            .to_string();
         assert!(s.contains("TOPS/W"), "{s}");
     }
 }

@@ -109,13 +109,11 @@ fn render_instance(images: &mut Tensor4, idx: usize, class: usize, size: usize, 
             for x in 0..size {
                 let xf = (x as isize + dx) as f32 / size as f32;
                 let yf = (y as isize + dy) as f32 / size as f32;
-                let grating = (core::f32::consts::TAU
-                    * freq
-                    * (xf * cos_t + yf * sin_t)
-                    + ch_phase)
-                    .sin();
+                let grating =
+                    (core::f32::consts::TAU * freq * (xf * cos_t + yf * sin_t) + ch_phase).sin();
                 let d2 = ((x as isize - bx) as f32).powi(2) + ((y as isize - by) as f32).powi(2);
-                let blob = 1.6 * (-d2 / (size as f32 * 0.8)).exp()
+                let blob = 1.6
+                    * (-d2 / (size as f32 * 0.8)).exp()
                     * if ch == class % 3 { 1.0 } else { 0.3 };
                 let noise: f32 = rng.gen_range(-0.25..0.25);
                 images[(idx, ch, y, x)] = (0.6 * grating + blob + noise).clamp(-1.0, 1.0);
@@ -167,7 +165,11 @@ mod tests {
             }
         }
         let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f32>()
+                .sqrt()
         };
         let mut min_pair = f32::INFINITY;
         for a in 0..10 {

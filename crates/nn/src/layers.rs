@@ -28,8 +28,7 @@ pub fn im2col3x3(x: &Tensor4) -> Mat {
                         for kx in 0..3usize {
                             let iy = oy as isize + ky as isize - 1;
                             let ix = ox as isize + kx as isize - 1;
-                            let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize
-                            {
+                            let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
                                 plane[iy as usize * w + ix as usize]
                             } else {
                                 0.0
@@ -272,6 +271,14 @@ impl BatchNorm2d {
         }
     }
 
+    /// Overrides the running-statistics momentum. With `momentum = 1.0` a
+    /// single training-mode forward pass sets the running statistics to
+    /// the batch statistics exactly — the post-substitution BN
+    /// recalibration relies on this.
+    pub fn set_stat_momentum(&mut self, momentum: f32) {
+        self.momentum = momentum.clamp(0.0, 1.0);
+    }
+
     /// Forward pass; `training` selects batch statistics vs running ones.
     pub fn forward(&mut self, x: &Tensor4, training: bool) -> Tensor4 {
         let (n, c, h, w) = x.shape();
@@ -350,8 +357,8 @@ impl BatchNorm2d {
                     for x in 0..w {
                         let dy = grad_y[(img, ch, y, x)];
                         let xh = cache.x_hat[(img, ch, y, x)];
-                        out[(img, ch, y, x)] = k
-                            * (count * dy - sum_dy as f32 - xh * sum_dy_xhat as f32);
+                        out[(img, ch, y, x)] =
+                            k * (count * dy - sum_dy as f32 - xh * sum_dy_xhat as f32);
                     }
                 }
             }

@@ -223,6 +223,21 @@ impl ResNet9 {
         ]
     }
 
+    /// Mutable references to every batch-norm layer, prep-to-head order —
+    /// the recalibration points after MADDNESS substitution.
+    pub fn bns_mut(&mut self) -> Vec<&mut BatchNorm2d> {
+        vec![
+            &mut self.prep.bn,
+            &mut self.layer1.bn,
+            &mut self.res1.a.bn,
+            &mut self.res1.b.bn,
+            &mut self.layer2.bn,
+            &mut self.layer3.bn,
+            &mut self.res3.a.bn,
+            &mut self.res3.b.bn,
+        ]
+    }
+
     /// Computes loss and gradient for a labelled batch (training helper).
     pub fn loss(&mut self, x: &Tensor4, labels: &[usize]) -> (f32, Mat) {
         let logits = self.forward(x, true);
@@ -266,7 +281,9 @@ mod tests {
             3,
             size,
             size,
-            (0..n * 3 * size * size).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            (0..n * 3 * size * size)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect(),
         )
     }
 

@@ -235,7 +235,10 @@ mod tests {
             detail: "D moved 3 ps before G fell".into(),
         };
         let s = v.to_string();
-        assert!(s.contains("setup") && s.contains("lat0") && s.contains("3 ps"), "{s}");
+        assert!(
+            s.contains("setup") && s.contains("lat0") && s.contains("3 ps"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -510,9 +510,20 @@ impl CircuitBuilder {
     }
 
     /// Adds a pulse generator; returns the pulse net.
-    pub fn pulse_gen(&mut self, name: &str, trigger: NetId, delay: SimTime, width: SimTime) -> NetId {
+    pub fn pulse_gen(
+        &mut self,
+        name: &str,
+        trigger: NetId,
+        delay: SimTime,
+        width: SimTime,
+    ) -> NetId {
         let p = self.net(format!("{name}.p"));
-        self.add_cell(name, Box::new(PulseGen::new(delay, width)), &[trigger], &[p]);
+        self.add_cell(
+            name,
+            Box::new(PulseGen::new(delay, width)),
+            &[trigger],
+            &[p],
+        );
         p
     }
 
@@ -542,7 +553,11 @@ mod tests {
         }
     }
 
-    fn eval_once(cell: &mut dyn Cell, inputs: &[Logic], trigger: Option<usize>) -> Vec<crate::cell::Drive> {
+    fn eval_once(
+        cell: &mut dyn Cell,
+        inputs: &[Logic],
+        trigger: Option<usize>,
+    ) -> Vec<crate::cell::Drive> {
         let mut drives = Vec::new();
         let mut violations = Vec::new();
         let mut ctx = EvalCtx {

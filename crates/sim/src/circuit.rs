@@ -228,7 +228,9 @@ impl CircuitBuilder {
 
     /// Creates a bus of `width` nets named `name[0..width]`, LSB first.
     pub fn bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
-        (0..width).map(|i| self.net(format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.net(format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Adds explicit wire capacitance to a net (long routes, bitlines).
@@ -369,7 +371,12 @@ mod tests {
         for i in 0..2 {
             let t = b.library_mut().timing(crate::library::CellClass::Inv);
             let o = b.net(format!("o{i}"));
-            b.add_cell(format!("u{}", i + 1), Box::new(Inverter::new(t)), &[mid], &[o]);
+            b.add_cell(
+                format!("u{}", i + 1),
+                Box::new(Inverter::new(t)),
+                &[mid],
+                &[o],
+            );
         }
         b.add_wire_cap(mid, Farads::from_femtos(1.0));
         let c = b.build();

@@ -7,8 +7,8 @@
 //! per-domain totals.
 
 use crate::circuit::DomainId;
-use maddpipe_tech::units::Joules;
 use core::fmt;
+use maddpipe_tech::units::Joules;
 
 /// Accumulates switching energy per domain.
 #[derive(Debug, Clone)]
@@ -137,7 +137,11 @@ impl EnergyReport {
 
 impl fmt::Display for EnergyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<24} {:>14} {:>10} {:>7}", "domain", "energy", "edges", "share")?;
+        writeln!(
+            f,
+            "{:<24} {:>14} {:>10} {:>7}",
+            "domain", "energy", "edges", "share"
+        )?;
         let total = self.total();
         for row in &self.rows {
             let share = if total.value() > 0.0 {

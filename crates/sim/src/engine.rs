@@ -409,11 +409,8 @@ impl Simulator {
         drives.clear();
         {
             let inst = &mut self.circuit.cells[cell.index()];
-            let input_values: Vec<Logic> = inst
-                .inputs
-                .iter()
-                .map(|n| self.values[n.index()])
-                .collect();
+            let input_values: Vec<Logic> =
+                inst.inputs.iter().map(|n| self.values[n.index()]).collect();
             let mut ctx = EvalCtx {
                 now: self.now,
                 input_values: &input_values,

@@ -262,11 +262,7 @@ mod tests {
     #[test]
     fn mismatch_spreads_instances() {
         let mm = Mismatch::new(0.05, 11);
-        let mut lib = CellLibrary::with_mismatch(
-            Technology::n22(),
-            OperatingPoint::default(),
-            &mm,
-        );
+        let mut lib = CellLibrary::with_mismatch(Technology::n22(), OperatingPoint::default(), &mm);
         let samples: Vec<u64> = (0..32)
             .map(|_| lib.timing(CellClass::Inv).fall.as_femtos())
             .collect();
@@ -276,7 +272,10 @@ mod tests {
             s.dedup();
             s.len()
         };
-        assert!(distinct > 20, "expected spread, got {distinct} distinct values");
+        assert!(
+            distinct > 20,
+            "expected spread, got {distinct} distinct values"
+        );
     }
 
     #[test]
@@ -293,7 +292,9 @@ mod tests {
         let lib = lib_at(0.5, Corner::Ttg);
         let cap = Farads::from_femtos(2.0);
         let (r, f) = lib.edge_energy(cap);
-        let total = lib.technology().switching_energy(cap, lib.operating_point());
+        let total = lib
+            .technology()
+            .switching_energy(cap, lib.operating_point());
         assert!(((r + f).as_femtos() - total.as_femtos()).abs() < 1e-9);
         assert!(r.as_femtos() > f.as_femtos(), "rise edge carries C·V²");
     }

@@ -62,7 +62,11 @@ impl Trace {
 
     /// Entries for one net, in time order.
     pub fn of_net(&self, net: NetId) -> Vec<TraceEntry> {
-        self.entries.iter().copied().filter(|e| e.net == net).collect()
+        self.entries
+            .iter()
+            .copied()
+            .filter(|e| e.net == net)
+            .collect()
     }
 
     /// Renders a VCD document (timescale 1 fs) for all enabled nets.
@@ -131,8 +135,8 @@ mod tests {
     use crate::circuit::CircuitBuilder;
     use crate::engine::Simulator;
     use crate::library::CellLibrary;
-    use maddpipe_tech::prelude::*;
     use crate::logic::Logic;
+    use maddpipe_tech::prelude::*;
 
     #[test]
     fn identifiers_are_unique_and_printable() {

@@ -73,9 +73,7 @@ impl Cell for SramColumnCell {
                 if !rows.is_empty() {
                     ctx.report(
                         ViolationKind::Protocol,
-                        format!(
-                            "precharge asserted while RWL{rows:?} active — crowbar current"
-                        ),
+                        format!("precharge asserted while RWL{rows:?} active — crowbar current"),
                     );
                 }
                 ctx.drive(0, Logic::High, self.t_precharge);

@@ -22,7 +22,10 @@ use maddpipe_sim::circuit::{CircuitBuilder, NetId};
 ///
 /// Panics if `inputs` is empty.
 pub fn build_completion_tree(b: &mut CircuitBuilder, name: &str, inputs: &[NetId]) -> NetId {
-    assert!(!inputs.is_empty(), "completion tree needs at least one input");
+    assert!(
+        !inputs.is_empty(),
+        "completion tree needs at least one input"
+    );
     // Track (net, active_high) pairs per level.
     let mut level: Vec<(NetId, bool)> = inputs.iter().map(|&n| (n, true)).collect();
     let mut stage = 0usize;

@@ -12,8 +12,8 @@
 //! This module quantifies that argument with a Monte-Carlo model used by
 //! the `ablation_rcd` experiment.
 
-use maddpipe_tech::variation::SplitMix64;
 use core::fmt;
+use maddpipe_tech::variation::SplitMix64;
 
 /// Monte-Carlo comparison of replica-based vs per-column completion timing.
 #[derive(Debug, Clone, PartialEq)]

@@ -124,7 +124,12 @@ impl Default for Mismatch {
 
 impl fmt::Display for Mismatch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "mismatch σ = {:.1} % (seed {})", self.sigma * 100.0, self.seed)
+        write!(
+            f,
+            "mismatch σ = {:.1} % (seed {})",
+            self.sigma * 100.0,
+            self.seed
+        )
     }
 }
 

@@ -19,7 +19,10 @@ fn main() {
         lr: 0.08,
         momentum: 0.9,
     };
-    println!("training ResNet9 (width 8) on {} synthetic images…", train_set.len());
+    println!(
+        "training ResNet9 (width 8) on {} synthetic images…",
+        train_set.len()
+    );
     let stats = train(&mut net, &train_set, &cfg);
     println!("{stats}");
     let float_acc = evaluate(&mut net, &test_set, 40);
@@ -38,8 +41,7 @@ fn main() {
     // ── 3. Map one layer onto the macro and run real patches ───────────
     // layer1 of the width-8 net: 8 → 16 channels on a 16×16 map.
     let shape = ConvShape::new(8, 16, 16, 16);
-    let macro_cfg = MacroConfig::new(16, 8)
-        .with_op(OperatingPoint::new(Volts(0.5), Corner::Ttg));
+    let macro_cfg = MacroConfig::new(16, 8).with_op(OperatingPoint::new(Volts(0.5), Corner::Ttg));
     let mapping = ConvMapping::new(shape, &macro_cfg);
     let model = MacroModel::new(macro_cfg.clone());
     println!("\nmapping {shape} onto {macro_cfg}:");
@@ -77,7 +79,8 @@ fn main() {
         }
     }
     let result = rtl.run_token(&token).expect("token completes");
-    let reference = op.decode_i16_wrapping(&op.encode_quantized(&Mat::from_rows(&[patches.row(0)])));
+    let reference =
+        op.decode_i16_wrapping(&op.encode_quantized(&Mat::from_rows(&[patches.row(0)])));
     assert_eq!(result.outputs, reference[0], "netlist ≡ algorithm");
     println!(
         "\none output pixel through the netlist: {} kernels in {}, {} \

@@ -20,7 +20,7 @@ fn main() {
     let rows: Vec<Vec<f32>> = (0..400)
         .map(|i| {
             let c = &centers[i % centers.len()];
-            c.iter().map(|&v| v + rng.gen_range(-0.3..0.3)).collect()
+            c.iter().map(|&v| v + rng.gen_range(-0.3f32..0.3)).collect()
         })
         .collect();
     let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();

@@ -19,8 +19,14 @@ fn main() {
     {
         let circuit = rtl.simulator().circuit();
         for name in [
-            "req[0]", "ack[0]", "req[1]", "ack[1]", "req[2]",
-            "blk0.pche", "blk0.calce", "blk0.ibe",
+            "req[0]",
+            "ack[0]",
+            "req[1]",
+            "ack[1]",
+            "req[2]",
+            "blk0.pche",
+            "blk0.calce",
+            "blk0.ibe",
         ] {
             if let Some(id) = circuit.find_net(name) {
                 interesting.push((name.to_string(), id));
@@ -45,10 +51,8 @@ fn main() {
     // Console replay: the Fig. 5 B ordering — wordline select, bitline
     // split, RCD_col rise, GE pulse, latch — appears as the rising-edge
     // order of the traced nets.
-    let names: std::collections::HashMap<NetId, String> = interesting
-        .iter()
-        .map(|(n, id)| (*id, n.clone()))
-        .collect();
+    let names: std::collections::HashMap<NetId, String> =
+        interesting.iter().map(|(n, id)| (*id, n.clone())).collect();
     println!("\nfirst 24 traced edges:");
     for e in rtl.simulator().trace_entries().iter().take(24) {
         if let Some(name) = names.get(&e.net) {

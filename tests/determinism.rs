@@ -1,0 +1,125 @@
+//! Determinism of the self-synchronous pipeline: the event-driven netlist
+//! must be perfectly reproducible — same program, same tokens → identical
+//! outputs, identical event counts, identical energy, femtosecond for
+//! femtosecond. Asynchronous hardware is only testable because the
+//! *simulation* of it is deterministic.
+
+use maddpipe::prelude::*;
+
+fn token(ns: usize, seed: u64) -> Vec<[i8; SUBVECTOR_LEN]> {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..ns)
+        .map(|_| {
+            let mut x = [0i8; SUBVECTOR_LEN];
+            for v in x.iter_mut() {
+                *v = rng.gen_range(-128i32..=127) as i8;
+            }
+            x
+        })
+        .collect()
+}
+
+/// Two independently built netlists of the same macro replay the same
+/// token stream bit-identically: outputs, per-token latency and energy,
+/// cumulative kernel statistics and the final simulation clock.
+#[test]
+fn independent_builds_replay_bit_identically() {
+    let cfg = MacroConfig::new(2, 2).with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
+    let program = MacroProgram::random(2, 2, 42);
+    let mut a = AcceleratorRtl::build(&cfg, &program);
+    let mut b = AcceleratorRtl::build(&cfg, &program);
+    for t in 0..4u64 {
+        let tok = token(2, 1000 + t);
+        let ra = a.run_token(&tok).expect("token completes (a)");
+        let rb = b.run_token(&tok).expect("token completes (b)");
+        assert_eq!(ra.outputs, rb.outputs, "token {t}: outputs");
+        assert_eq!(ra.latency, rb.latency, "token {t}: latency");
+        assert_eq!(ra.energy, rb.energy, "token {t}: energy");
+        assert_eq!(ra.outputs, program.reference_output(&tok), "token {t}");
+    }
+    assert_eq!(
+        a.simulator().stats(),
+        b.simulator().stats(),
+        "cumulative event counts must match exactly"
+    );
+    assert_eq!(
+        a.simulator().now(),
+        b.simulator().now(),
+        "simulation clocks"
+    );
+    assert_eq!(
+        a.simulator().total_energy(),
+        b.simulator().total_energy(),
+        "cumulative switching energy"
+    );
+}
+
+/// Replaying the *same* token on the same settled netlist is a fixed
+/// point: the pipeline returns to an identical idle state, so the second
+/// pass reproduces the first one's latency and energy exactly.
+#[test]
+fn same_token_is_a_fixed_point_of_the_idle_state() {
+    let cfg = MacroConfig::new(3, 2).with_op(OperatingPoint::new(Volts(0.5), Corner::Ttg));
+    let program = MacroProgram::random(3, 2, 7);
+    let mut rtl = AcceleratorRtl::build(&cfg, &program);
+    let tok = token(2, 77);
+    let first = rtl.run_token(&tok).expect("first pass");
+    let second = rtl.run_token(&tok).expect("second pass");
+    let third = rtl.run_token(&tok).expect("third pass");
+    assert_eq!(first.outputs, second.outputs);
+    assert_eq!(second.outputs, third.outputs);
+    assert_eq!(second.latency, third.latency, "steady-state latency");
+    // Per-token energy is the difference of a growing cumulative f64 sum,
+    // so consecutive passes may differ in the last few ulps even though
+    // every event is identical (the cross-instance test above asserts
+    // bit-exact equality where the accumulation histories match).
+    let rel = (second.energy.value() - third.energy.value()).abs() / second.energy.value();
+    assert!(rel < 1e-9, "steady-state energy drifted: {rel:e}");
+}
+
+/// Determinism must survive local mismatch: the Monte-Carlo delay
+/// sampling is seeded, so two builds with the same mismatch model stay
+/// bit-identical (and a different seed produces different timing while
+/// computing the same values).
+#[test]
+fn mismatch_sampling_is_seeded_not_random() {
+    let program = MacroProgram::random(2, 2, 3);
+    let cfg = |seed: u64| {
+        MacroConfig::new(2, 2)
+            .with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg))
+            .with_mismatch(Mismatch::new(0.05, seed))
+    };
+    let tok = token(2, 5);
+    let mut a = AcceleratorRtl::build(&cfg(9), &program);
+    let mut b = AcceleratorRtl::build(&cfg(9), &program);
+    let ra = a.run_token(&tok).expect("token completes (a)");
+    let rb = b.run_token(&tok).expect("token completes (b)");
+    assert_eq!(ra.outputs, rb.outputs);
+    assert_eq!(ra.latency, rb.latency);
+    assert_eq!(ra.energy, rb.energy);
+    assert_eq!(a.simulator().stats(), b.simulator().stats());
+    // A different mismatch seed: same functional outputs, different
+    // timing (delays are resampled).
+    let mut c = AcceleratorRtl::build(&cfg(10), &program);
+    let rc = c.run_token(&tok).expect("token completes (c)");
+    assert_eq!(rc.outputs, ra.outputs, "function is timing-independent");
+    assert_ne!(rc.latency, ra.latency, "different seed, different timing");
+}
+
+/// The pipelined streaming mode is deterministic too — same makespan and
+/// final outputs across independent builds.
+#[test]
+fn pipelined_streaming_is_deterministic() {
+    let cfg = MacroConfig::new(2, 3).with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
+    let program = MacroProgram::random(2, 3, 11);
+    let tokens: Vec<_> = (0..5u64).map(|t| token(3, 300 + t)).collect();
+    let mut a = AcceleratorRtl::build(&cfg, &program);
+    let mut b = AcceleratorRtl::build(&cfg, &program);
+    let (out_a, span_a) = a.run_pipelined(&tokens).expect("stream (a)");
+    let (out_b, span_b) = b.run_pipelined(&tokens).expect("stream (b)");
+    assert_eq!(out_a, out_b);
+    assert_eq!(span_a, span_b);
+    assert_eq!(out_a, program.reference_output(tokens.last().unwrap()));
+    assert_eq!(a.simulator().stats(), b.simulator().stats());
+}

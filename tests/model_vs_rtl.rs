@@ -67,8 +67,7 @@ fn data_dependent_spread_agreement() {
     let fast = rtl.run_token(&[[100i8; SUBVECTOR_LEN]]).expect("token");
     let slow = rtl.run_token(&[[0i8; SUBVECTOR_LEN]]).expect("token");
     let measured_delta = slow.latency.to_seconds() - fast.latency.to_seconds();
-    let predicted_delta =
-        model.block_latency_worst().encoder - model.block_latency_best().encoder;
+    let predicted_delta = model.block_latency_worst().encoder - model.block_latency_best().encoder;
     let ratio = measured_delta / predicted_delta;
     assert!(
         (0.7..=1.3).contains(&ratio),

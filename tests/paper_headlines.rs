@@ -30,7 +30,10 @@ fn abstract_headline_ratios() {
         "energy ratio vs [21]: {energy_ratio}"
     );
     let area_ratio = proposed.tops_per_mm2 / analog.area_efficiency_scaled_to(22.0);
-    assert!((area_ratio - 5.0).abs() < 0.5, "area ratio vs [21]: {area_ratio}");
+    assert!(
+        (area_ratio - 5.0).abs() < 0.5,
+        "area ratio vs [21]: {area_ratio}"
+    );
 }
 
 /// §IV: "Compared to [22], the proposed circuit achieves 4.0× the energy
@@ -60,13 +63,15 @@ fn stella_nera_comparison() {
 fn physical_parameters() {
     let cfg = MacroConfig::paper_flagship();
     assert_eq!(cfg.sram_bits(), 64 * 1024);
-    let r05 = MacroModel::new(cfg.clone().with_op(OperatingPoint::new(Volts(0.5), Corner::Ttg)))
-        .evaluate();
+    let r05 = MacroModel::new(
+        cfg.clone()
+            .with_op(OperatingPoint::new(Volts(0.5), Corner::Ttg)),
+    )
+    .evaluate();
     assert!((r05.area.total().as_mm2() - 0.20).abs() < 0.01);
     assert!((r05.freq_min.as_mega_hertz() - 31.2).abs() < 2.0);
     assert!((r05.freq_max.as_mega_hertz() - 56.2).abs() < 3.0);
-    let r08 = MacroModel::new(cfg.with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg)))
-        .evaluate();
+    let r08 = MacroModel::new(cfg.with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg))).evaluate();
     // The paper's 0.8 V spread (144–353 MHz) is wider than pure
     // alpha-power scaling predicts; the model lands inside it.
     assert!(r08.freq_min.as_mega_hertz() > 144.0 - 10.0);

@@ -105,6 +105,98 @@ proptest! {
             "decoder must dominate at ndec {}", ndec);
     }
 
+    /// INT8 quantisation round-trips within half a step, clamps at the
+    /// rails, and is monotone — for arbitrary scales and inputs.
+    #[test]
+    fn quant_round_trip_and_monotonicity(
+        scale in 0.01f32..5.0,
+        a in -500.0f32..500.0,
+        b in -500.0f32..500.0,
+    ) {
+        let s = QuantScale::new(scale);
+        for &x in &[a, b] {
+            let q = s.quantize(x);
+            prop_assert!((-127..=127).contains(&i32::from(q)));
+            // Round trip lands within half a step of the rail-clamped input.
+            let clamped = x.clamp(-127.0 * scale, 127.0 * scale);
+            let err = (s.dequantize(q) - clamped).abs();
+            prop_assert!(
+                err <= scale / 2.0 + scale * 1e-3,
+                "x {} scale {} err {}", x, scale, err
+            );
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(s.quantize(lo) <= s.quantize(hi), "quantisation is monotone");
+        // A fitted scale round-trips every one of its own samples.
+        let xs = [a, b, 0.5 * a, -b];
+        let f = QuantScale::fit(&xs);
+        for &x in &xs {
+            let err = (f.dequantize(f.quantize(x)) - x).abs();
+            prop_assert!(err <= f.scale() / 2.0 + 1e-3, "fit: x {} err {}", x, err);
+        }
+    }
+
+    /// BDT bucket indices stay inside the LUT address space for arbitrary
+    /// trees and inputs — float tree and quantised (hardware-form) tree.
+    #[test]
+    fn bdt_bucket_indices_in_bounds(
+        levels in 1usize..=4,
+        seed in 0u64..10_000,
+        x in proptest::collection::vec(-100.0f32..100.0, 9),
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dims: Vec<usize> = (0..levels).map(|_| rng.gen_range(0..9)).collect();
+        let thresholds: Vec<f32> = (0..(1usize << levels) - 1)
+            .map(|_| rng.gen_range(-80.0..80.0))
+            .collect();
+        let enc = BdtEncoder::from_parts(dims, thresholds).expect("valid parts");
+        let leaves = enc.num_leaves();
+        prop_assert_eq!(leaves, 1usize << levels);
+        prop_assert!(enc.encode_one(&x) < leaves);
+        // The deployed integer tree obeys the same bound, and its decision
+        // path visits exactly one comparator per level.
+        let qscale = QuantScale::new(0.75);
+        let q = enc.quantize(qscale);
+        let xq: Vec<i8> = x.iter().map(|&v| qscale.quantize(v)).collect();
+        prop_assert!(q.encode_one(&xq) < leaves);
+        prop_assert_eq!(q.decision_path(&xq).len(), levels);
+    }
+
+    /// Every tree of a random `MacroProgram` addresses the 16-entry
+    /// decoder LUT in bounds for arbitrary INT8 tokens — the amm ↔ core
+    /// boundary where a stray bucket index would read outside the SRAM.
+    #[test]
+    fn macro_program_codes_address_the_lut(
+        ndec in 1usize..=4,
+        ns in 1usize..=4,
+        program_seed in 0u64..1000,
+        token_seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let program = MacroProgram::random(ndec, ns, program_seed);
+        prop_assert_eq!(program.trees.len(), ns);
+        prop_assert_eq!(program.luts.len(), ns);
+        let mut rng = StdRng::seed_from_u64(token_seed);
+        for _ in 0..4 {
+            let token: Vec<[i8; SUBVECTOR_LEN]> = (0..ns)
+                .map(|_| {
+                    let mut x = [0i8; SUBVECTOR_LEN];
+                    for v in x.iter_mut() {
+                        *v = rng.gen_range(-128i32..=127) as i8;
+                    }
+                    x
+                })
+                .collect();
+            for (s, tree) in program.trees.iter().enumerate() {
+                prop_assert_eq!(program.luts[s].len(), ndec);
+                let code = tree.encode_one(&token[s]);
+                prop_assert!(code < 16, "subspace {} code {}", s, code);
+            }
+            prop_assert_eq!(program.reference_output(&token).len(), ndec);
+        }
+    }
+
     /// Conv mapping conserves operations exactly: issued × utilisation =
     /// useful, for arbitrary layer and macro shapes.
     #[test]

@@ -1,0 +1,71 @@
+//! Smoke test mirroring `examples/quickstart.rs`: train a MADDNESS
+//! operator, program the netlist, run tokens, and require bit-identity
+//! with the algorithm — so the README / `src/lib.rs` quick-start flow can
+//! never silently rot. Keep this in sync with the example.
+
+use maddpipe::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn quickstart_flow_end_to_end() {
+    // 1. A clustered matmul workload, as in the example.
+    let mut rng = StdRng::seed_from_u64(7);
+    let centers: Vec<Vec<f32>> = (0..12)
+        .map(|_| (0..18).map(|_| rng.gen_range(-3.0..3.0)).collect())
+        .collect();
+    let rows: Vec<Vec<f32>> = (0..400)
+        .map(|i| {
+            let c = &centers[i % centers.len()];
+            c.iter().map(|&v| v + rng.gen_range(-0.3f32..0.3)).collect()
+        })
+        .collect();
+    let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+    let x = Mat::from_rows(&refs);
+    let mut w = Mat::zeros(18, 4);
+    for r in 0..18 {
+        for c in 0..4 {
+            w[(r, c)] = ((r * 3 + c * 5) % 11) as f32 / 11.0 - 0.5;
+        }
+    }
+
+    // 2. Train the operator; the approximation must be decent on its own
+    // calibration distribution.
+    let op = MaddnessMatmul::train(&x, &w, MaddnessParams::default()).expect("training");
+    let exact = x.matmul(&w);
+    let approx = op.matmul(&x);
+    assert!(
+        nmse(&exact, &approx) < 0.2,
+        "nmse {}",
+        nmse(&exact, &approx)
+    );
+
+    // 3. Program the netlist and push tokens through the self-synchronous
+    // pipeline: every token must match the deployed integer path bit for
+    // bit.
+    let cfg = MacroConfig::new(op.out_features(), op.num_subspaces())
+        .with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
+    let program = MacroProgram::from_maddness(&op);
+    let mut rtl = AcceleratorRtl::build(&cfg, &program);
+    let scale = op.input_scale();
+    for t in 0..5 {
+        let row = x.row(t);
+        let mut token = vec![[0i8; SUBVECTOR_LEN]; op.num_subspaces()];
+        for (s, chunk) in row.chunks(9).enumerate() {
+            for (e, &v) in chunk.iter().enumerate() {
+                token[s][e] = scale.quantize(v);
+            }
+        }
+        let result = rtl.run_token(&token).expect("token completes");
+        let reference = op.decode_i16_wrapping(&op.encode_quantized(&Mat::from_rows(&[row])));
+        assert_eq!(result.outputs, reference[0], "token {t}");
+    }
+    assert!(rtl.simulator().violations().is_empty());
+
+    // 4. The flagship PPA evaluation used by the quick start.
+    let report = MacroModel::new(
+        MacroConfig::paper_flagship().with_op(OperatingPoint::new(Volts(0.5), Corner::Ttg)),
+    )
+    .evaluate();
+    assert!(report.tops_per_watt > 150.0);
+}

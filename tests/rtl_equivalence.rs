@@ -61,7 +61,7 @@ fn trained_operator_matches_netlist_on_real_rows() {
         .map(|i| {
             centers[i % centers.len()]
                 .iter()
-                .map(|&v| v + rng.gen_range(-0.2..0.2))
+                .map(|&v| v + rng.gen_range(-0.2f32..0.2))
                 .collect()
         })
         .collect();
@@ -109,7 +109,11 @@ fn extreme_lut_values_wrap_identically() {
         let mut rtl = AcceleratorRtl::build(&cfg, &program);
         let token = random_token(3, 5);
         let result = rtl.run_token(&token).expect("token completes");
-        assert_eq!(result.outputs, program.reference_output(&token), "fill {fill}");
+        assert_eq!(
+            result.outputs,
+            program.reference_output(&token),
+            "fill {fill}"
+        );
         assert_eq!(result.outputs[0], (fill as i16).wrapping_mul(3));
     }
 }
