@@ -1,20 +1,12 @@
 //! Criterion benchmark: raw event-kernel throughput of the simulator —
-//! events per second through gate chains and completion trees.
+//! events per second through gate chains, completion trees, wide-bus
+//! fanout and the full accelerator macro.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use maddpipe_bench::kernel_workloads::{
+    bus_fanout_sim, completion_tree_sim, inverter_chain, macro_testbench, BUS_WIDTH,
+};
 use maddpipe_sim::prelude::*;
-use maddpipe_sram::rcd::build_completion_tree;
-
-fn inverter_chain(n: usize) -> (Simulator, NetId, NetId) {
-    let lib = CellLibrary::new(Technology::n22(), OperatingPoint::default());
-    let mut b = CircuitBuilder::new(lib);
-    let input = b.input("in");
-    let mut node = input;
-    for i in 0..n {
-        node = b.inv(&format!("u{i}"), node);
-    }
-    (Simulator::new(b.build()), input, node)
-}
 
 fn bench_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_kernel");
@@ -33,11 +25,7 @@ fn bench_kernel(c: &mut Criterion) {
         });
     }
     group.bench_function("completion_tree_128", |bencher| {
-        let lib = CellLibrary::new(Technology::n22(), OperatingPoint::default());
-        let mut b = CircuitBuilder::new(lib);
-        let inputs: Vec<NetId> = (0..128).map(|i| b.input(format!("i{i}"))).collect();
-        let _out = build_completion_tree(&mut b, "rcd", &inputs);
-        let mut sim = Simulator::new(b.build());
+        let (mut sim, inputs) = completion_tree_sim();
         for &i in &inputs {
             sim.poke(i, Logic::Low);
         }
@@ -49,6 +37,37 @@ fn bench_kernel(c: &mut Criterion) {
             }
             high = !high;
             sim.run_to_quiescence().expect("propagate")
+        });
+    });
+    // A 16-bit bus whose every bit lands on one listener: the delta-cycle
+    // batching case. One iteration flips all 16 bits at the same
+    // timestamp; the kernel must evaluate the listening cell once, not 16
+    // times.
+    group.throughput(Throughput::Elements(BUS_WIDTH as u64));
+    group.bench_function("bus_fanout_16", |bencher| {
+        let (mut sim, bus) = bus_fanout_sim();
+        sim.poke_bus(&bus, 0);
+        sim.run_to_quiescence().expect("settle");
+        let mut pattern: u64 = 0xA5A5;
+        bencher.iter(|| {
+            sim.poke_bus(&bus, pattern & 0xFFFF);
+            pattern = !pattern;
+            sim.run_to_quiescence().expect("propagate")
+        });
+    });
+    group.finish();
+
+    // The end metric everything above serves: tokens per second through
+    // the full self-synchronous macro netlist.
+    let mut group = c.benchmark_group("macro_throughput");
+    group.sample_size(10);
+    group.bench_function("token_ndec2_ns2", |bencher| {
+        let (mut rtl, tokens) = macro_testbench();
+        let mut k = 0usize;
+        bencher.iter(|| {
+            let token = &tokens[k % tokens.len()];
+            k += 1;
+            rtl.run_token(token).expect("token completes")
         });
     });
     group.finish();

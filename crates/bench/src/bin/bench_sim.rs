@@ -1,0 +1,143 @@
+//! Machine-readable event-kernel performance snapshot.
+//!
+//! Times the same workloads as the `sim_kernel` Criterion group with a
+//! plain `Instant` loop and writes `results/BENCH_sim.json` (events/sec
+//! and tokens/sec), so the kernel's performance trajectory can be tracked
+//! across PRs with `git diff` instead of eyeballing bench logs.
+//!
+//! Run with `cargo run -p maddpipe-bench --bin bench_sim --release`.
+
+use maddpipe_bench::kernel_workloads::{
+    bus_fanout_sim, completion_tree_sim, inverter_chain, macro_testbench,
+};
+use maddpipe_sim::prelude::*;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median of repeated timed runs of `f`, where each run reports how many
+/// *units* (events, tokens) it processed. Returns units per second.
+fn median_rate(runs: usize, mut f: impl FnMut() -> u64) -> f64 {
+    let mut rates: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            let units = f();
+            units as f64 / t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    rates[rates.len() / 2]
+}
+
+fn chain_events_per_sec(n: usize, toggles: u64) -> f64 {
+    let (mut sim, input, _) = inverter_chain(n);
+    sim.poke(input, Logic::Low);
+    sim.run_to_quiescence().expect("settle");
+    let mut level = Logic::High;
+    median_rate(7, || {
+        let e0 = sim.stats().events_popped;
+        for _ in 0..toggles {
+            sim.poke(input, level);
+            level = !level;
+            sim.run_to_quiescence().expect("propagate");
+        }
+        sim.stats().events_popped - e0
+    })
+}
+
+fn tree_events_per_sec() -> f64 {
+    let (mut sim, inputs) = completion_tree_sim();
+    for &i in &inputs {
+        sim.poke(i, Logic::Low);
+    }
+    sim.run_to_quiescence().expect("settle");
+    let mut high = true;
+    median_rate(7, || {
+        let e0 = sim.stats().events_popped;
+        for _ in 0..2_000 {
+            for &i in &inputs {
+                sim.poke(i, Logic::from_bool(high));
+            }
+            high = !high;
+            sim.run_to_quiescence().expect("propagate");
+        }
+        sim.stats().events_popped - e0
+    })
+}
+
+fn bus_fanout_events_per_sec() -> f64 {
+    let (mut sim, bus) = bus_fanout_sim();
+    sim.poke_bus(&bus, 0);
+    sim.run_to_quiescence().expect("settle");
+    let mut pattern: u64 = 0xA5A5;
+    median_rate(7, || {
+        let e0 = sim.stats().events_popped;
+        for _ in 0..20_000 {
+            sim.poke_bus(&bus, pattern & 0xFFFF);
+            pattern = !pattern;
+            sim.run_to_quiescence().expect("propagate");
+        }
+        sim.stats().events_popped - e0
+    })
+}
+
+fn macro_tokens_per_sec() -> (f64, f64) {
+    let (mut rtl, tokens) = macro_testbench();
+    let mut k = 0usize;
+    let tokens_rate = median_rate(5, || {
+        let n = 64u64;
+        for _ in 0..n {
+            let token = &tokens[k % tokens.len()];
+            k += 1;
+            rtl.run_token(token).expect("token completes");
+        }
+        n
+    });
+    // Events per second while running the macro — the kernel-level view
+    // of the same workload.
+    let e0 = rtl.simulator().stats().events_popped;
+    let t0 = Instant::now();
+    for _ in 0..64 {
+        let token = &tokens[k % tokens.len()];
+        k += 1;
+        rtl.run_token(token).expect("token completes");
+    }
+    let events = rtl.simulator().stats().events_popped - e0;
+    let events_rate = events as f64 / t0.elapsed().as_secs_f64();
+    (tokens_rate, events_rate)
+}
+
+fn main() {
+    let chain64 = chain_events_per_sec(64, 20_000);
+    let chain512 = chain_events_per_sec(512, 4_000);
+    let tree = tree_events_per_sec();
+    let bus = bus_fanout_events_per_sec();
+    let (macro_tokens, macro_events) = macro_tokens_per_sec();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"maddpipe-bench-sim/v1\",");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"median rates from cargo run -p maddpipe-bench --bin bench_sim --release\","
+    );
+    let _ = writeln!(json, "  \"events_per_sec\": {{");
+    let _ = writeln!(json, "    \"inverter_chain_64\": {chain64:.0},");
+    let _ = writeln!(json, "    \"inverter_chain_512\": {chain512:.0},");
+    let _ = writeln!(json, "    \"completion_tree_128\": {tree:.0},");
+    let _ = writeln!(json, "    \"bus_fanout_16\": {bus:.0},");
+    let _ = writeln!(json, "    \"macro_ndec2_ns2\": {macro_events:.0}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"tokens_per_sec\": {{");
+    let _ = writeln!(json, "    \"macro_ndec2_ns2\": {macro_tokens:.1}");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    println!("{json}");
+    let dir = maddpipe_bench::results_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("BENCH_sim.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}

@@ -85,6 +85,113 @@ pub fn results_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("results"))
 }
 
+/// Shared workloads for the event-kernel benchmarks, used by both the
+/// Criterion bench (`benches/sim_kernel.rs`) and the `bench_sim` binary
+/// that records `results/BENCH_sim.json` — one definition, so the two
+/// always measure the same circuits.
+pub mod kernel_workloads {
+    use maddpipe_core::config::{MacroConfig, SUBVECTOR_LEN};
+    use maddpipe_core::macro_rtl::{AcceleratorRtl, MacroProgram};
+    use maddpipe_sim::cell::{Cell, EvalCtx};
+    use maddpipe_sim::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Width of the bus in the bus-fanout workload.
+    pub const BUS_WIDTH: usize = 16;
+
+    /// A 16-input parity reducer as one behavioural cell — every bit of a
+    /// bus lands on the same listener, the worst case for per-fanout-edge
+    /// evaluation and the best case for delta-cycle batching.
+    #[derive(Debug)]
+    pub struct WideParity {
+        delay: SimTime,
+    }
+
+    impl Cell for WideParity {
+        fn num_inputs(&self) -> usize {
+            BUS_WIDTH
+        }
+
+        fn num_outputs(&self) -> usize {
+            1
+        }
+
+        fn eval(&mut self, ctx: &mut EvalCtx<'_>) {
+            let mut acc = Logic::Low;
+            for pin in 0..BUS_WIDTH {
+                acc = acc ^ ctx.input(pin);
+            }
+            ctx.drive(0, acc, self.delay);
+        }
+    }
+
+    /// An `n`-stage inverter chain; returns the simulator, the chain
+    /// input and the chain output.
+    pub fn inverter_chain(n: usize) -> (Simulator, NetId, NetId) {
+        let lib = CellLibrary::new(Technology::n22(), OperatingPoint::default());
+        let mut b = CircuitBuilder::new(lib);
+        let input = b.input("in");
+        let mut node = input;
+        for i in 0..n {
+            node = b.inv(&format!("u{i}"), node);
+        }
+        (Simulator::new(b.build()), input, node)
+    }
+
+    /// A 128-input read-completion tree (the paper's per-column RCD
+    /// reduction); returns the simulator and the tree's input nets.
+    pub fn completion_tree_sim() -> (Simulator, Vec<NetId>) {
+        use maddpipe_sram::rcd::build_completion_tree;
+        let lib = CellLibrary::new(Technology::n22(), OperatingPoint::default());
+        let mut b = CircuitBuilder::new(lib);
+        let inputs: Vec<NetId> = (0..128).map(|i| b.input(format!("i{i}"))).collect();
+        let _out = build_completion_tree(&mut b, "rcd", &inputs);
+        (Simulator::new(b.build()), inputs)
+    }
+
+    /// A 16-bit bus fully fanned into one [`WideParity`] listener.
+    pub fn bus_fanout_sim() -> (Simulator, Vec<NetId>) {
+        let lib = CellLibrary::new(Technology::n22(), OperatingPoint::default());
+        let mut b = CircuitBuilder::new(lib);
+        let bus = b.bus("d", BUS_WIDTH);
+        let y = b.net("parity");
+        b.add_cell(
+            "wp0",
+            Box::new(WideParity {
+                delay: SimTime::from_picos(40.0),
+            }),
+            &bus,
+            &[y],
+        );
+        (Simulator::new(b.build()), bus)
+    }
+
+    /// A small but complete macro (2 decoders × 2 stages) plus a bag of
+    /// random tokens to stream through it.
+    #[allow(clippy::type_complexity)]
+    pub fn macro_testbench() -> (AcceleratorRtl, Vec<Vec<[i8; SUBVECTOR_LEN]>>) {
+        let cfg = MacroConfig::new(2, 2).with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
+        let program = MacroProgram::random(cfg.ndec, cfg.ns, 17);
+        let rtl = AcceleratorRtl::build(&cfg, &program);
+        let mut rng = StdRng::seed_from_u64(99);
+        let tokens = (0..16)
+            .map(|_| {
+                (0..cfg.ns)
+                    .map(|_| {
+                        let mut x = [0i8; SUBVECTOR_LEN];
+                        for v in x.iter_mut() {
+                            *v = rng.gen_range(-128i32..=127) as i8;
+                        }
+                        x
+                    })
+                    .collect()
+            })
+            .collect();
+        (rtl, tokens)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -90,7 +90,7 @@ impl Cell for HandshakeCtrl {
     }
 
     fn eval(&mut self, ctx: &mut EvalCtx<'_>) {
-        let Some(pin) = ctx.trigger() else {
+        if ctx.trigger().is_none() {
             // Power-up: precharged and idle.
             ctx.drive(0, Logic::Low, SimTime::ZERO);
             ctx.drive(1, Logic::Low, SimTime::ZERO);
@@ -99,15 +99,19 @@ impl Cell for HandshakeCtrl {
             ctx.drive(4, Logic::High, SimTime::ZERO);
             self.state = CtrlState::Idle;
             return;
-        };
+        }
+        // Edge checks rather than a single-trigger match: the kernel
+        // batches same-timestamp events into one delta cycle, so e.g. the
+        // upstream request withdrawal and the downstream acknowledge can
+        // land in one evaluation and both must be honoured.
         match self.state {
             CtrlState::Idle => {
-                if pin == 0 && ctx.input(0) == Logic::High {
+                if ctx.is_edge(0, Logic::High) {
                     self.start_token(ctx);
                 }
             }
             CtrlState::Eval => {
-                if pin == 2 && ctx.input(2) == Logic::High {
+                if ctx.is_edge(2, Logic::High) {
                     // Data latched after the GE pulse: hand it forward and
                     // acknowledge upstream.
                     ctx.drive(1, Logic::High, self.t_req);
@@ -118,11 +122,11 @@ impl Cell for HandshakeCtrl {
                 }
             }
             CtrlState::Hold => {
-                if pin == 0 && ctx.input(0) == Logic::Low {
+                if ctx.is_edge(0, Logic::Low) {
                     ctx.drive(0, Logic::Low, self.t_seq);
                     self.upstream_done = true;
                 }
-                if pin == 1 && ctx.input(1) == Logic::High {
+                if ctx.is_edge(1, Logic::High) {
                     ctx.drive(1, Logic::Low, self.t_seq);
                     self.downstream_done = true;
                 }
@@ -135,7 +139,7 @@ impl Cell for HandshakeCtrl {
                 }
             }
             CtrlState::Return => {
-                if pin == 2 && ctx.input(2) == Logic::Low {
+                if ctx.is_edge(2, Logic::Low) {
                     ctx.drive(4, Logic::High, self.t_seq);
                     self.state = CtrlState::Idle;
                     if ctx.input(0) == Logic::High {
@@ -278,14 +282,14 @@ mod tests {
     fn eval(
         cell: &mut HandshakeCtrl,
         inputs: [Logic; 3],
-        trigger: Option<usize>,
+        triggers: &[usize],
     ) -> Vec<maddpipe_sim::Drive> {
         let mut drives = Vec::new();
         let mut violations = Vec::new();
         let mut ctx = EvalCtx::for_test(
             SimTime::from_picos(1000.0),
             &inputs,
-            trigger,
+            triggers,
             &mut drives,
             &mut violations,
             "ctrl",
@@ -305,7 +309,7 @@ mod tests {
     #[test]
     fn powers_up_precharged_and_idle() {
         let mut c = fresh();
-        let drives = eval(&mut c, [Logic::X; 3], None);
+        let drives = eval(&mut c, [Logic::X; 3], &[]);
         // pche high, calce low, ack low, req low, ibe high.
         let find = |pin: usize| drives.iter().find(|d| d.out_pin == pin).unwrap().value;
         assert_eq!(find(2), Logic::High, "pche");
@@ -318,8 +322,8 @@ mod tests {
     #[test]
     fn request_starts_evaluation() {
         let mut c = fresh();
-        let _ = eval(&mut c, [Logic::X; 3], None);
-        let drives = eval(&mut c, [Logic::High, Logic::Low, Logic::Low], Some(0));
+        let _ = eval(&mut c, [Logic::X; 3], &[]);
+        let drives = eval(&mut c, [Logic::High, Logic::Low, Logic::Low], &[0]);
         // ibe low, pche low, calce high — in that causal order.
         let ibe = drives.iter().find(|d| d.out_pin == 4).unwrap();
         let pche = drives.iter().find(|d| d.out_pin == 2).unwrap();
@@ -336,9 +340,9 @@ mod tests {
     #[test]
     fn completion_raises_req_and_ack_together() {
         let mut c = fresh();
-        let _ = eval(&mut c, [Logic::X; 3], None);
-        let _ = eval(&mut c, [Logic::High, Logic::Low, Logic::Low], Some(0));
-        let drives = eval(&mut c, [Logic::High, Logic::Low, Logic::High], Some(2));
+        let _ = eval(&mut c, [Logic::X; 3], &[]);
+        let _ = eval(&mut c, [Logic::High, Logic::Low, Logic::Low], &[0]);
+        let drives = eval(&mut c, [Logic::High, Logic::Low, Logic::High], &[2]);
         let req = drives.iter().find(|d| d.out_pin == 1).unwrap();
         let ack = drives.iter().find(|d| d.out_pin == 0).unwrap();
         assert_eq!(req.value, Logic::High);
@@ -350,17 +354,17 @@ mod tests {
     #[test]
     fn return_to_zero_requires_both_neighbours() {
         let mut c = fresh();
-        let _ = eval(&mut c, [Logic::X; 3], None);
-        let _ = eval(&mut c, [Logic::High, Logic::Low, Logic::Low], Some(0));
-        let _ = eval(&mut c, [Logic::High, Logic::Low, Logic::High], Some(2));
+        let _ = eval(&mut c, [Logic::X; 3], &[]);
+        let _ = eval(&mut c, [Logic::High, Logic::Low, Logic::Low], &[0]);
+        let _ = eval(&mut c, [Logic::High, Logic::Low, Logic::High], &[2]);
         // Upstream drops first — no precharge yet.
-        let d1 = eval(&mut c, [Logic::Low, Logic::Low, Logic::High], Some(0));
+        let d1 = eval(&mut c, [Logic::Low, Logic::Low, Logic::High], &[0]);
         assert!(
             !d1.iter().any(|d| d.out_pin == 2 && d.value == Logic::High),
             "must not precharge before downstream acks"
         );
         // Downstream acks — now the return sequence fires.
-        let d2 = eval(&mut c, [Logic::Low, Logic::High, Logic::High], Some(1));
+        let d2 = eval(&mut c, [Logic::Low, Logic::High, Logic::High], &[1]);
         let pche = d2.iter().find(|d| d.out_pin == 2).unwrap();
         let calce = d2.iter().find(|d| d.out_pin == 3).unwrap();
         assert_eq!(pche.value, Logic::High);
@@ -374,13 +378,13 @@ mod tests {
     #[test]
     fn queued_request_restarts_immediately_after_return() {
         let mut c = fresh();
-        let _ = eval(&mut c, [Logic::X; 3], None);
-        let _ = eval(&mut c, [Logic::High, Logic::Low, Logic::Low], Some(0));
-        let _ = eval(&mut c, [Logic::High, Logic::Low, Logic::High], Some(2));
-        let _ = eval(&mut c, [Logic::Low, Logic::Low, Logic::High], Some(0));
-        let _ = eval(&mut c, [Logic::Low, Logic::High, Logic::High], Some(1));
+        let _ = eval(&mut c, [Logic::X; 3], &[]);
+        let _ = eval(&mut c, [Logic::High, Logic::Low, Logic::Low], &[0]);
+        let _ = eval(&mut c, [Logic::High, Logic::Low, Logic::High], &[2]);
+        let _ = eval(&mut c, [Logic::Low, Logic::Low, Logic::High], &[0]);
+        let _ = eval(&mut c, [Logic::Low, Logic::High, Logic::High], &[1]);
         // Next token already waiting (req high) when RCD falls:
-        let drives = eval(&mut c, [Logic::High, Logic::Low, Logic::Low], Some(2));
+        let drives = eval(&mut c, [Logic::High, Logic::Low, Logic::Low], &[2]);
         assert!(
             drives
                 .iter()

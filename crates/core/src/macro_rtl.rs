@@ -19,7 +19,7 @@ use maddpipe_amm::bdt::QuantizedBdt;
 use maddpipe_amm::maddness::MaddnessMatmul;
 use maddpipe_sim::cells::DelayLine;
 use maddpipe_sim::circuit::{CircuitBuilder, NetId};
-use maddpipe_sim::engine::{OscillationError, Simulator};
+use maddpipe_sim::engine::{EdgeWaitOutcome, OscillationError, Simulator};
 use maddpipe_sim::library::CellLibrary;
 use maddpipe_sim::logic::{u64_to_bits, Logic};
 use maddpipe_sim::time::SimTime;
@@ -426,8 +426,14 @@ impl AcceleratorRtl {
         Ok((self.read_outputs(), makespan))
     }
 
-    /// Steps the simulation until every `(net, value)` pair has been
+    /// Runs the simulation until every `(net, value)` pair has been
     /// observed *transitioning to* its value (edges seen in any order).
+    ///
+    /// Delegates to the kernel's [`Simulator::run_until_edges`], which
+    /// checks watched nets only when they actually transition — the
+    /// testbench no longer re-reads every watched net after every step.
+    /// The runaway budget is the simulator's configured event cap (see
+    /// [`Simulator::set_event_cap`]), not a constant of its own.
     ///
     /// # Panics
     ///
@@ -436,33 +442,15 @@ impl AcceleratorRtl {
     ///
     /// # Errors
     ///
-    /// Returns [`OscillationError`] when the event budget is exhausted.
+    /// Returns [`OscillationError`] when the event budget is exhausted;
+    /// its `events` field reports the events actually consumed.
     fn wait_edges(&mut self, conds: &[(NetId, Logic)]) -> Result<(), OscillationError> {
-        let mut seen = vec![false; conds.len()];
-        let mut prev: Vec<Logic> = conds.iter().map(|&(n, _)| self.sim.value(n)).collect();
-        let mut budget: u64 = 50_000_000;
-        while !seen.iter().all(|&b| b) {
-            if budget == 0 {
-                return Err(OscillationError {
-                    events: 50_000_000,
-                    time: self.sim.now(),
-                });
-            }
-            budget -= 1;
-            let stepped = self.sim.step();
-            assert!(
-                stepped.is_some(),
-                "circuit went quiescent while waiting for handshake edges {conds:?}"
-            );
-            for (i, &(net, value)) in conds.iter().enumerate() {
-                let cur = self.sim.value(net);
-                if !seen[i] && prev[i] != value && cur == value {
-                    seen[i] = true;
-                }
-                prev[i] = cur;
+        match self.sim.run_until_edges(conds)? {
+            EdgeWaitOutcome::Seen(_) => Ok(()),
+            EdgeWaitOutcome::Quiescent(_) => {
+                panic!("circuit went quiescent while waiting for handshake edges {conds:?}")
             }
         }
-        Ok(())
     }
 }
 

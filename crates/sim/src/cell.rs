@@ -88,12 +88,18 @@ impl fmt::Display for Violation {
 
 /// Evaluation context handed to [`Cell::eval`].
 ///
-/// Provides the current time, resolved input-pin values, which pin triggered
-/// the evaluation, and sinks for output drives and violation reports.
+/// Provides the current time, resolved input-pin values, which pins
+/// triggered the evaluation, and sinks for output drives and violation
+/// reports.
+///
+/// The kernel batches all events of one timestamp into a *delta cycle* and
+/// evaluates each affected cell once per delta, so several input pins may
+/// have changed together: `triggers` lists every changed pin (ascending pin
+/// order). An empty list marks the power-up evaluation at time zero.
 pub struct EvalCtx<'a> {
     pub(crate) now: SimTime,
     pub(crate) input_values: &'a [Logic],
-    pub(crate) trigger: Option<usize>,
+    pub(crate) triggers: &'a [usize],
     pub(crate) drives: &'a mut Vec<Drive>,
     pub(crate) violations: &'a mut Vec<Violation>,
     pub(crate) cell_name: &'a str,
@@ -102,11 +108,12 @@ pub struct EvalCtx<'a> {
 impl<'a> EvalCtx<'a> {
     /// Builds a standalone context for unit-testing a [`Cell`]
     /// implementation outside a simulator. Drives and violations are
-    /// appended to the provided buffers.
+    /// appended to the provided buffers; `triggers` lists the input pins
+    /// that changed this delta (empty = power-up).
     pub fn for_test(
         now: SimTime,
         input_values: &'a [Logic],
-        trigger: Option<usize>,
+        triggers: &'a [usize],
         drives: &'a mut Vec<Drive>,
         violations: &'a mut Vec<Violation>,
         cell_name: &'a str,
@@ -114,7 +121,7 @@ impl<'a> EvalCtx<'a> {
         EvalCtx {
             now,
             input_values,
-            trigger,
+            triggers,
             drives,
             violations,
             cell_name,
@@ -143,17 +150,34 @@ impl<'a> EvalCtx<'a> {
         self.input_values
     }
 
-    /// The input pin whose transition caused this evaluation, or `None` for
-    /// the power-up evaluation at time zero.
+    /// The lowest-numbered input pin whose transition caused this
+    /// evaluation, or `None` for the power-up evaluation at time zero.
+    ///
+    /// When several pins changed in the same delta cycle, prefer
+    /// [`EvalCtx::changed`] / [`EvalCtx::is_edge`], which see every
+    /// triggering pin rather than just the first.
     #[inline]
     pub fn trigger(&self) -> Option<usize> {
-        self.trigger
+        self.triggers.first().copied()
+    }
+
+    /// Every input pin that changed this delta cycle, ascending pin order.
+    /// Empty for the power-up evaluation.
+    #[inline]
+    pub fn triggers(&self) -> &[usize] {
+        self.triggers
+    }
+
+    /// `true` when input `pin` changed value this delta cycle.
+    #[inline]
+    pub fn changed(&self, pin: usize) -> bool {
+        self.triggers.contains(&pin)
     }
 
     /// `true` when `pin` just transitioned to `level` (edge detection).
     #[inline]
     pub fn is_edge(&self, pin: usize, level: Logic) -> bool {
-        self.trigger == Some(pin) && self.input(pin) == level
+        self.changed(pin) && self.input(pin) == level
     }
 
     /// Schedules an inertial transition on output `out_pin` after `delay`.
@@ -195,7 +219,7 @@ impl fmt::Debug for EvalCtx<'_> {
             .field("now", &self.now)
             .field("cell", &self.cell_name)
             .field("inputs", &self.input_values)
-            .field("trigger", &self.trigger)
+            .field("triggers", &self.triggers)
             .finish()
     }
 }
@@ -249,7 +273,7 @@ mod tests {
         let ctx = EvalCtx {
             now: SimTime::ZERO,
             input_values: &inputs,
-            trigger: Some(0),
+            triggers: &[0],
             drives: &mut drives,
             violations: &mut violations,
             cell_name: "t",
@@ -257,6 +281,27 @@ mod tests {
         assert!(ctx.is_edge(0, Logic::High));
         assert!(!ctx.is_edge(0, Logic::Low));
         assert!(!ctx.is_edge(1, Logic::Low), "pin 1 did not trigger");
+        assert_eq!(ctx.trigger(), Some(0));
+        assert!(ctx.changed(0) && !ctx.changed(1));
+    }
+
+    #[test]
+    fn ctx_multi_pin_delta_triggers() {
+        let mut drives = Vec::new();
+        let mut violations = Vec::new();
+        let inputs = [Logic::High, Logic::Low, Logic::High];
+        let ctx = EvalCtx {
+            now: SimTime::ZERO,
+            input_values: &inputs,
+            triggers: &[0, 2],
+            drives: &mut drives,
+            violations: &mut violations,
+            cell_name: "t",
+        };
+        assert_eq!(ctx.trigger(), Some(0), "first changed pin");
+        assert_eq!(ctx.triggers(), &[0, 2]);
+        assert!(ctx.is_edge(0, Logic::High) && ctx.is_edge(2, Logic::High));
+        assert!(!ctx.is_edge(1, Logic::Low), "pin 1 held its value");
     }
 
     #[test]
@@ -267,7 +312,7 @@ mod tests {
         let mut ctx = EvalCtx {
             now: SimTime::ZERO,
             input_values: &inputs,
-            trigger: None,
+            triggers: &[],
             drives: &mut drives,
             violations: &mut violations,
             cell_name: "t",

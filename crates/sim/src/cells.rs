@@ -15,12 +15,7 @@ use crate::time::SimTime;
 /// Drives the output according to the cell's sampled arcs: known values use
 /// the matching edge arc, `X` uses the worst arc.
 fn drive_resolved(ctx: &mut EvalCtx<'_>, pin: usize, value: Logic, t: SampledTiming) {
-    let delay = match value {
-        Logic::High => t.rise,
-        Logic::Low => t.fall,
-        Logic::X => t.worst(),
-    };
-    ctx.drive(pin, value, delay);
+    ctx.drive(pin, value, t.for_value(value));
 }
 
 macro_rules! simple_gate {
@@ -36,6 +31,19 @@ macro_rules! simple_gate {
             pub fn new(timing: SampledTiming) -> $name {
                 $name { timing }
             }
+
+            /// The pure logic function of this gate.
+            #[inline]
+            pub(crate) fn logic(v: &[Logic]) -> Logic {
+                let $vals = v;
+                $f
+            }
+
+            /// The sampled timing arcs of this instance.
+            #[inline]
+            pub(crate) fn timing(&self) -> SampledTiming {
+                self.timing
+            }
         }
 
         impl Cell for $name {
@@ -48,8 +56,7 @@ macro_rules! simple_gate {
             }
 
             fn eval(&mut self, ctx: &mut EvalCtx<'_>) {
-                let $vals = ctx.inputs();
-                let out = $f;
+                let out = Self::logic(ctx.inputs());
                 drive_resolved(ctx, 0, out, self.timing);
             }
         }
@@ -283,7 +290,7 @@ impl Cell for DLatch {
     fn eval(&mut self, ctx: &mut EvalCtx<'_>) {
         let d = ctx.input(0);
         let g = ctx.input(1);
-        if ctx.trigger() == Some(0) {
+        if ctx.changed(0) {
             self.last_d_change = Some(ctx.now());
         }
         match g {
@@ -413,13 +420,224 @@ impl Cell for PulseGen {
     }
 }
 
+macro_rules! cell_kind {
+    ($($(#[$meta:meta])* $variant:ident($inner:ty)),+ $(,)?) => {
+        /// Statically-dispatched behaviour of a netlist cell.
+        ///
+        /// The event kernel spends most of its time in [`CellKind::eval`],
+        /// so the shipped standard cells are enum variants the compiler can
+        /// dispatch with a jump table and inline — no vtable, no heap
+        /// indirection. Cells defined outside this crate (SRAM columns,
+        /// dual-rail comparators, handshake controllers) ride in through
+        /// the [`CellKind::Dynamic`] escape hatch, which preserves the open
+        /// [`Cell`] trait at the cost of one virtual call per evaluation.
+        #[derive(Debug)]
+        pub enum CellKind {
+            $($(#[$meta])* $variant($inner),)+
+            /// Escape hatch: any boxed [`Cell`] implementation.
+            Dynamic(Box<dyn Cell>),
+        }
+
+        impl CellKind {
+            /// Number of input pins.
+            pub fn num_inputs(&self) -> usize {
+                match self {
+                    $(CellKind::$variant(c) => c.num_inputs(),)+
+                    CellKind::Dynamic(c) => c.num_inputs(),
+                }
+            }
+
+            /// Number of output pins.
+            pub fn num_outputs(&self) -> usize {
+                match self {
+                    $(CellKind::$variant(c) => c.num_outputs(),)+
+                    CellKind::Dynamic(c) => c.num_outputs(),
+                }
+            }
+
+            /// Reacts to input changes (or power-up) by scheduling drives —
+            /// see [`Cell::eval`].
+            #[inline]
+            pub fn eval(&mut self, ctx: &mut EvalCtx<'_>) {
+                match self {
+                    $(CellKind::$variant(c) => c.eval(ctx),)+
+                    CellKind::Dynamic(c) => c.eval(ctx),
+                }
+            }
+
+            /// The shape of this cell as seen by the kernel's compiled
+            /// fanout table: a 1-input gate, a commutative 2-input gate,
+            /// or anything else.
+            pub(crate) fn shape(&self) -> GateShape {
+                match self {
+                    CellKind::Inverter(g) => GateShape::Unary {
+                        invert: true,
+                        timing: g.timing(),
+                    },
+                    CellKind::Buffer(g) => GateShape::Unary {
+                        invert: false,
+                        timing: g.timing(),
+                    },
+                    CellKind::Nand2(g) => GateShape::Binary {
+                        op: Gate2::Nand,
+                        timing: g.timing(),
+                    },
+                    CellKind::Nor2(g) => GateShape::Binary {
+                        op: Gate2::Nor,
+                        timing: g.timing(),
+                    },
+                    CellKind::And2(g) => GateShape::Binary {
+                        op: Gate2::And,
+                        timing: g.timing(),
+                    },
+                    CellKind::Or2(g) => GateShape::Binary {
+                        op: Gate2::Or,
+                        timing: g.timing(),
+                    },
+                    CellKind::Xor2(g) => GateShape::Binary {
+                        op: Gate2::Xor,
+                        timing: g.timing(),
+                    },
+                    _ => GateShape::Other,
+                }
+            }
+
+            /// For the stateless single-output combinational gates that the
+            /// kernel's compiled [`GateShape`] tables do *not* cover (the
+            /// wider NAND/NOR gates and the mux), the output value and
+            /// inertial delay implied by `inputs` — the kernel schedules it
+            /// directly, skipping the evaluation-context and drive-buffer
+            /// round trip. `None` for every other cell; the 1- and 2-input
+            /// gates never reach this because `CellFast` dispatches them
+            /// first.
+            #[inline]
+            pub(crate) fn gate_response(&self, inputs: &[Logic]) -> Option<(Logic, SimTime)> {
+                macro_rules! arm {
+                    ($g:expr, $gate:ident) => {{
+                        let v = $gate::logic(inputs);
+                        Some((v, $g.timing().for_value(v)))
+                    }};
+                }
+                match self {
+                    CellKind::Nand3(g) => arm!(g, Nand3),
+                    CellKind::Nand4(g) => arm!(g, Nand4),
+                    CellKind::Nor3(g) => arm!(g, Nor3),
+                    CellKind::Mux2(g) => arm!(g, Mux2),
+                    _ => None,
+                }
+            }
+        }
+
+        $(impl From<$inner> for CellKind {
+            fn from(cell: $inner) -> CellKind {
+                CellKind::$variant(cell)
+            }
+        })+
+
+        impl From<Box<dyn Cell>> for CellKind {
+            fn from(cell: Box<dyn Cell>) -> CellKind {
+                CellKind::Dynamic(cell)
+            }
+        }
+    };
+}
+
+cell_kind!(
+    /// Inverter.
+    Inverter(Inverter),
+    /// Buffer.
+    Buffer(Buffer),
+    /// 2-input NAND.
+    Nand2(Nand2),
+    /// 3-input NAND.
+    Nand3(Nand3),
+    /// 4-input NAND.
+    Nand4(Nand4),
+    /// 2-input NOR.
+    Nor2(Nor2),
+    /// 3-input NOR.
+    Nor3(Nor3),
+    /// 2-input AND.
+    And2(And2),
+    /// 2-input OR.
+    Or2(Or2),
+    /// 2-input XOR.
+    Xor2(Xor2),
+    /// 2:1 multiplexer.
+    Mux2(Mux2),
+    /// Mirror-adder full adder.
+    FullAdder(FullAdderCell),
+    /// Level-sensitive D-latch.
+    DLatch(DLatch),
+    /// Muller C-element.
+    CElement(CElement),
+    /// Edge-triggered pulse generator.
+    PulseGen(PulseGen),
+    /// Transport delay line.
+    DelayLine(DelayLine),
+    /// Constant tie cell.
+    Tie(Tie),
+);
+
+/// A commutative two-input gate function, for the kernel's compiled
+/// fanout table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Gate2 {
+    /// NAND.
+    Nand,
+    /// NOR.
+    Nor,
+    /// AND.
+    And,
+    /// OR.
+    Or,
+    /// XOR.
+    Xor,
+}
+
+impl Gate2 {
+    /// Applies the gate function (operand order is irrelevant — every
+    /// variant is commutative).
+    #[inline]
+    pub(crate) fn apply(self, a: Logic, b: Logic) -> Logic {
+        match self {
+            Gate2::Nand => !(a & b),
+            Gate2::Nor => !(a | b),
+            Gate2::And => a & b,
+            Gate2::Or => a | b,
+            Gate2::Xor => a ^ b,
+        }
+    }
+}
+
+/// How a cell looks to the kernel's compiled fanout table.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum GateShape {
+    /// A 1-input, 1-output stateless gate (inverter or buffer).
+    Unary {
+        /// `true` for an inverter.
+        invert: bool,
+        /// Sampled timing arcs.
+        timing: SampledTiming,
+    },
+    /// A commutative 2-input, 1-output stateless gate.
+    Binary {
+        /// The gate function.
+        op: Gate2,
+        /// Sampled timing arcs.
+        timing: SampledTiming,
+    },
+    /// Anything else — evaluated through the generic path.
+    Other,
+}
+
 macro_rules! builder_gate {
     ($(#[$meta:meta])* $fn_name:ident, $cell:ident, $class:ident, $n:expr) => {
         $(#[$meta])*
         pub fn $fn_name(&mut self, name: &str, inputs: [NetId; $n]) -> NetId {
             let t = self.library_mut().timing(CellClass::$class);
             let y = self.net(format!("{name}.y"));
-            self.add_cell(name, Box::new($cell::new(t)), &inputs, &[y]);
+            self.add_cell_kind(name, $cell::new(t), &inputs, &[y]);
             y
         }
     };
@@ -478,7 +696,7 @@ impl CircuitBuilder {
     pub fn mux2(&mut self, name: &str, a: NetId, b: NetId, sel: NetId) -> NetId {
         let t = self.library_mut().timing(CellClass::Mux2);
         let y = self.net(format!("{name}.y"));
-        self.add_cell(name, Box::new(Mux2::new(t)), &[a, b, sel], &[y]);
+        self.add_cell_kind(name, Mux2::new(t), &[a, b, sel], &[y]);
         y
     }
 
@@ -487,7 +705,7 @@ impl CircuitBuilder {
         let t = self.library_mut().timing(CellClass::FullAdder);
         let s = self.net(format!("{name}.s"));
         let c = self.net(format!("{name}.c"));
-        self.add_cell(name, Box::new(FullAdderCell::new(t)), &[a, b, cin], &[s, c]);
+        self.add_cell_kind(name, FullAdderCell::new(t), &[a, b, cin], &[s, c]);
         (s, c)
     }
 
@@ -497,7 +715,7 @@ impl CircuitBuilder {
         let t = self.library_mut().timing(CellClass::Latch);
         let setup = t.worst();
         let q = self.net(format!("{name}.q"));
-        self.add_cell(name, Box::new(DLatch::new(t, setup)), &[d, g], &[q]);
+        self.add_cell_kind(name, DLatch::new(t, setup), &[d, g], &[q]);
         q
     }
 
@@ -505,7 +723,7 @@ impl CircuitBuilder {
     pub fn c_element(&mut self, name: &str, a: NetId, b: NetId, reset_state: Logic) -> NetId {
         let t = self.library_mut().timing(CellClass::CElement);
         let q = self.net(format!("{name}.q"));
-        self.add_cell(name, Box::new(CElement::new(t, reset_state)), &[a, b], &[q]);
+        self.add_cell_kind(name, CElement::new(t, reset_state), &[a, b], &[q]);
         q
     }
 
@@ -518,26 +736,21 @@ impl CircuitBuilder {
         width: SimTime,
     ) -> NetId {
         let p = self.net(format!("{name}.p"));
-        self.add_cell(
-            name,
-            Box::new(PulseGen::new(delay, width)),
-            &[trigger],
-            &[p],
-        );
+        self.add_cell_kind(name, PulseGen::new(delay, width), &[trigger], &[p]);
         p
     }
 
     /// Adds a transport delay line; returns the delayed net.
     pub fn delay_line(&mut self, name: &str, input: NetId, delay: SimTime) -> NetId {
         let y = self.net(format!("{name}.y"));
-        self.add_cell(name, Box::new(DelayLine::new(delay)), &[input], &[y]);
+        self.add_cell_kind(name, DelayLine::new(delay), &[input], &[y]);
         y
     }
 
     /// Adds a constant tie cell; returns the constant net.
     pub fn tie(&mut self, name: &str, level: Logic) -> NetId {
         let y = self.net(format!("{name}.y"));
-        self.add_cell(name, Box::new(Tie::new(level)), &[], &[y]);
+        self.add_cell_kind(name, Tie::new(level), &[], &[y]);
         y
     }
 }
@@ -556,14 +769,14 @@ mod tests {
     fn eval_once(
         cell: &mut dyn Cell,
         inputs: &[Logic],
-        trigger: Option<usize>,
+        triggers: &[usize],
     ) -> Vec<crate::cell::Drive> {
         let mut drives = Vec::new();
         let mut violations = Vec::new();
         let mut ctx = EvalCtx {
             now: SimTime::from_picos(100.0),
             input_values: inputs,
-            trigger,
+            triggers,
             drives: &mut drives,
             violations: &mut violations,
             cell_name: "dut",
@@ -604,7 +817,7 @@ mod tests {
             ),
         ];
         for (mut cell, inputs, expected) in cases {
-            let drives = eval_once(cell.as_mut(), &inputs, Some(0));
+            let drives = eval_once(cell.as_mut(), &inputs, &[0]);
             assert_eq!(drives.len(), 1);
             assert_eq!(drives[0].value, expected, "inputs {inputs:?}");
         }
@@ -614,9 +827,9 @@ mod tests {
     fn rise_and_fall_use_their_arcs() {
         let t = sample_timing();
         let mut inv = Inverter::new(t);
-        let high = eval_once(&mut inv, &[Logic::Low], Some(0));
+        let high = eval_once(&mut inv, &[Logic::Low], &[0]);
         assert_eq!(high[0].delay, t.rise);
-        let low = eval_once(&mut inv, &[Logic::High], Some(0));
+        let low = eval_once(&mut inv, &[Logic::High], &[0]);
         assert_eq!(low[0].delay, t.fall);
     }
 
@@ -624,9 +837,9 @@ mod tests {
     fn mux_handles_unknown_select() {
         let t = sample_timing();
         let mut mux = Mux2::new(t);
-        let same = eval_once(&mut mux, &[Logic::High, Logic::High, Logic::X], Some(2));
+        let same = eval_once(&mut mux, &[Logic::High, Logic::High, Logic::X], &[2]);
         assert_eq!(same[0].value, Logic::High, "agreeing data defeats X select");
-        let diff = eval_once(&mut mux, &[Logic::High, Logic::Low, Logic::X], Some(2));
+        let diff = eval_once(&mut mux, &[Logic::High, Logic::Low, Logic::X], &[2]);
         assert_eq!(diff[0].value, Logic::X);
     }
 
@@ -642,7 +855,7 @@ mod tests {
                         Logic::from_bool(b == 1),
                         Logic::from_bool(c == 1),
                     ];
-                    let drives = eval_once(&mut fa, &inputs, Some(0));
+                    let drives = eval_once(&mut fa, &inputs, &[0]);
                     let sum = drives.iter().find(|d| d.out_pin == 0).unwrap();
                     let carry = drives.iter().find(|d| d.out_pin == 1).unwrap();
                     let total = a + b + c;
@@ -659,10 +872,10 @@ mod tests {
         let t = sample_timing();
         let mut latch = DLatch::new(t, SimTime::from_picos(5.0));
         // Transparent: G high, D high → Q high.
-        let d = eval_once(&mut latch, &[Logic::High, Logic::High], Some(0));
+        let d = eval_once(&mut latch, &[Logic::High, Logic::High], &[0]);
         assert_eq!(d[0].value, Logic::High);
         // Opaque: D change with G low produces no drive.
-        let none = eval_once(&mut latch, &[Logic::Low, Logic::Low], Some(0));
+        let none = eval_once(&mut latch, &[Logic::Low, Logic::Low], &[0]);
         assert!(none.is_empty(), "latch must ignore D while opaque");
     }
 
@@ -677,7 +890,7 @@ mod tests {
             let mut ctx = EvalCtx {
                 now: SimTime::from_picos(100.0),
                 input_values: &[Logic::High, Logic::High],
-                trigger: Some(0),
+                triggers: &[0],
                 drives: &mut drives,
                 violations: &mut violations,
                 cell_name: "lat",
@@ -689,7 +902,7 @@ mod tests {
             let mut ctx = EvalCtx {
                 now: SimTime::from_picos(110.0),
                 input_values: &[Logic::High, Logic::Low],
-                trigger: Some(1),
+                triggers: &[1],
                 drives: &mut drives,
                 violations: &mut violations,
                 cell_name: "lat",
@@ -704,26 +917,26 @@ mod tests {
     fn c_element_holds_state() {
         let t = sample_timing();
         let mut c = CElement::new(t, Logic::Low);
-        let up = eval_once(&mut c, &[Logic::High, Logic::High], Some(0));
+        let up = eval_once(&mut c, &[Logic::High, Logic::High], &[0]);
         assert_eq!(up[0].value, Logic::High);
         // Disagreeing inputs: hold previous state (High).
-        let hold = eval_once(&mut c, &[Logic::Low, Logic::High], Some(0));
+        let hold = eval_once(&mut c, &[Logic::Low, Logic::High], &[0]);
         assert_eq!(hold[0].value, Logic::High);
-        let down = eval_once(&mut c, &[Logic::Low, Logic::Low], Some(1));
+        let down = eval_once(&mut c, &[Logic::Low, Logic::Low], &[1]);
         assert_eq!(down[0].value, Logic::Low);
     }
 
     #[test]
     fn pulse_gen_emits_both_edges() {
         let mut p = PulseGen::new(SimTime::from_picos(5.0), SimTime::from_picos(20.0));
-        let drives = eval_once(&mut p, &[Logic::High], Some(0));
+        let drives = eval_once(&mut p, &[Logic::High], &[0]);
         assert_eq!(drives.len(), 2);
         assert_eq!(drives[0].value, Logic::High);
         assert_eq!(drives[0].delay, SimTime::from_picos(5.0));
         assert_eq!(drives[1].value, Logic::Low);
         assert_eq!(drives[1].delay, SimTime::from_picos(25.0));
         // Falling trigger edge: nothing.
-        let none = eval_once(&mut p, &[Logic::Low], Some(0));
+        let none = eval_once(&mut p, &[Logic::Low], &[0]);
         assert!(none.is_empty());
     }
 
@@ -736,7 +949,7 @@ mod tests {
     #[test]
     fn delay_line_uses_transport_mode() {
         let mut dl = DelayLine::new(SimTime::from_picos(7.0));
-        let drives = eval_once(&mut dl, &[Logic::High], Some(0));
+        let drives = eval_once(&mut dl, &[Logic::High], &[0]);
         assert_eq!(drives[0].mode, crate::cell::DriveMode::Transport);
         assert_eq!(drives[0].delay, SimTime::from_picos(7.0));
     }

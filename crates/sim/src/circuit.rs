@@ -8,6 +8,7 @@
 //! ready for simulation.
 
 use crate::cell::Cell;
+use crate::cells::CellKind;
 use crate::library::CellLibrary;
 use maddpipe_tech::units::Farads;
 use std::collections::HashMap;
@@ -60,11 +61,16 @@ pub(crate) struct Net {
     pub(crate) domain: DomainId,
     pub(crate) driver: Option<CellId>,
     pub(crate) fanout: Vec<(CellId, usize)>,
+    /// `true` when the same cell appears more than once in `fanout` (it
+    /// listens on several pins of this net) — the kernel's singleton-event
+    /// fast path must then fall back to the dedup machinery. Sealed by
+    /// [`CircuitBuilder::build`].
+    pub(crate) fanout_dup: bool,
 }
 
 pub(crate) struct CellInstance {
     pub(crate) name: String,
-    pub(crate) cell: Box<dyn Cell>,
+    pub(crate) cell: CellKind,
     pub(crate) inputs: Vec<NetId>,
     pub(crate) outputs: Vec<NetId>,
 }
@@ -216,6 +222,7 @@ impl CircuitBuilder {
             domain: self.current_domain,
             driver: None,
             fanout: Vec::new(),
+            fanout_dup: false,
         });
         id
     }
@@ -239,7 +246,12 @@ impl CircuitBuilder {
         self.nets[net.index()].extra_cap += cap;
     }
 
-    /// Instantiates an arbitrary [`Cell`].
+    /// Instantiates an arbitrary boxed [`Cell`] through the
+    /// [`CellKind::Dynamic`] escape hatch. Downstream crates modelling
+    /// macro-cells (SRAM columns, dual-rail comparators, handshake
+    /// controllers) use this; the shipped standard cells go through
+    /// [`CircuitBuilder::add_cell_kind`] (or the gate sugar), which the
+    /// kernel dispatches without a virtual call.
     ///
     /// # Panics
     ///
@@ -253,7 +265,26 @@ impl CircuitBuilder {
         inputs: &[NetId],
         outputs: &[NetId],
     ) -> CellId {
+        self.add_cell_kind(name, cell, inputs, outputs)
+    }
+
+    /// Instantiates a cell by behaviour [`CellKind`] (any shipped cell
+    /// struct converts via `Into`); this is the statically-dispatched fast
+    /// path of the event kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pin counts disagree with the cell, or if any output net
+    /// already has a driver.
+    pub fn add_cell_kind(
+        &mut self,
+        name: impl Into<String>,
+        cell: impl Into<CellKind>,
+        inputs: &[NetId],
+        outputs: &[NetId],
+    ) -> CellId {
         let name = name.into();
+        let cell = cell.into();
         assert_eq!(
             cell.num_inputs(),
             inputs.len(),
@@ -306,6 +337,13 @@ impl CircuitBuilder {
                 Farads::ZERO
             };
             net.cap = pin_cap + self_cap + net.extra_cap;
+            // Flag nets whose fanout lists the same cell on several pins;
+            // the kernel's singleton-event fast path keys off this.
+            net.fanout_dup = net
+                .fanout
+                .iter()
+                .enumerate()
+                .any(|(i, &(cell, _))| net.fanout[..i].iter().any(|&(c, _)| c == cell));
         }
         Circuit {
             nets: self.nets,

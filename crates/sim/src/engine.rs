@@ -5,17 +5,39 @@
 //! the regression tests rely on. Inertial cancellation is implemented with
 //! per-net generation counters: an inertial drive bumps the net's
 //! generation, and any queued event carrying a stale generation is dropped
-//! when popped (cheaper than surgically removing heap entries).
+//! when popped (cheaper than surgically removing queue entries).
+//!
+//! # Hot-path architecture
+//!
+//! The kernel advances in **delta cycles**: it drains every queued event
+//! that shares the earliest pending timestamp, applies the net updates,
+//! and only then evaluates each affected cell — exactly once per delta,
+//! however many of its input pins changed (a 16-bit bus landing on one
+//! listener used to cost 16 evaluations; it now costs one). Dirty cells
+//! are tracked with an epoch-stamped mark vector, so membership tests are
+//! O(1) and nothing is allocated per cycle. Evaluation itself is
+//! allocation-free: input values are snapshotted into a reusable scratch
+//! arena and cell behaviour is dispatched through the
+//! [`CellKind`](crate::cells::CellKind) enum (boxed trait objects remain
+//! as an escape hatch for downstream macro-cells); nets that feed exactly
+//! one simple gate are *compiled* into direct table entries that bypass
+//! the cell instance entirely. Testbenches that need to observe handshake
+//! edges register them with [`Simulator::run_until_edges`], which checks
+//! watched nets only when they actually transition instead of polling
+//! after every step.
+//!
+//! A deliberately naive implementation of the same semantics lives in
+//! [`crate::reference`]; a property test keeps the two in agreement.
 
 use crate::cell::{Drive, DriveMode, EvalCtx, Violation};
+use crate::cells::{Gate2, GateShape};
 use crate::circuit::{CellId, Circuit, DomainId, NetId};
 use crate::energy::{EnergyMeter, EnergyReport};
+use crate::library::SampledTiming;
 use crate::logic::{bits_to_u64, Logic};
 use crate::time::SimTime;
 use crate::trace::Trace;
 use maddpipe_tech::units::Joules;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +58,143 @@ impl Ord for Event {
 impl PartialOrd for Event {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// The pending-event priority queue, organised as *time buckets*.
+///
+/// Events only need priority ordering **across** timestamps — within one
+/// timestamp they are consumed in sequence-number order, and sequence
+/// numbers are handed out monotonically, so the push order within a bucket
+/// already *is* the pop order. The queue therefore keeps a short list of
+/// distinct pending timestamps (sorted descending, earliest last) with one
+/// event bucket each:
+///
+/// * pushing onto an existing timestamp is a short scan from the earliest
+///   end plus a `Vec` push — no sift, no per-event comparisons;
+/// * a delta cycle takes the earliest bucket *wholesale* (a 24-byte `Vec`
+///   header move), which makes wide same-time fronts (a 128-bit bus poke,
+///   a precharge broadcast) nearly free;
+/// * drained buckets are recycled through a pool, so a warmed-up queue
+///   never allocates.
+///
+/// Netlists keep only a handful of distinct timestamps in flight (a
+/// wavefront plus a few stragglers), so the linear scan beats a binary
+/// heap's `O(log n)` sift with its 32-byte element moves by a wide margin;
+/// determinism is untouched because `(time, seq)` order is preserved
+/// exactly.
+#[derive(Debug, Default)]
+struct EventQueue {
+    /// Single-event fast lane, only ever filled by a push into a
+    /// completely empty queue. That restriction makes its ordering free:
+    /// every event pushed later carries a higher sequence number, so when
+    /// timestamps tie, the front event is the correct first pop. The
+    /// dominant wavefront workload (pop one event, schedule its successor)
+    /// lives entirely in this slot and never touches a `Vec`.
+    front: Option<Event>,
+    /// `(timestamp, bucket)` pairs sorted strictly descending by time —
+    /// the earliest timestamp is `entries.last()`. Each bucket holds that
+    /// timestamp's events in push (= seq) order.
+    entries: Vec<(SimTime, Vec<Event>)>,
+    /// Drained buckets awaiting reuse.
+    pool: Vec<Vec<Event>>,
+    /// Total queued events.
+    len: usize,
+}
+
+impl EventQueue {
+    #[inline]
+    fn push(&mut self, ev: Event) {
+        self.len += 1;
+        if self.front.is_none() && self.entries.is_empty() {
+            self.front = Some(ev);
+            return;
+        }
+        // Hot arms first: joining the earliest pending timestamp (wide
+        // same-time fronts) or becoming the new earliest (a wavefront
+        // scheduling its successor past a straggler).
+        match self.entries.last_mut() {
+            Some((t, bucket)) if *t == ev.time => {
+                bucket.push(ev);
+                return;
+            }
+            Some((t, _)) if *t < ev.time => {}
+            _ => {
+                // No buckets yet, or `ev` is the new earliest bucket time.
+                let mut bucket = self.pool.pop().unwrap_or_default();
+                bucket.push(ev);
+                self.entries.push((ev.time, bucket));
+                return;
+            }
+        }
+        // Cold arm: `ev.time` lies beyond the earliest pending timestamp.
+        // Scan from the earliest end — in-flight timestamp counts are
+        // small, so a linear scan beats heap sifting.
+        let mut j = self.entries.len() - 1;
+        while j > 0 && self.entries[j - 1].0 < ev.time {
+            j -= 1;
+        }
+        if j > 0 && self.entries[j - 1].0 == ev.time {
+            self.entries[j - 1].1.push(ev);
+            return;
+        }
+        let mut bucket = self.pool.pop().unwrap_or_default();
+        bucket.push(ev);
+        self.entries.insert(j, (ev.time, bucket));
+    }
+
+    /// The earliest pending timestamp, without touching bucket contents.
+    #[inline]
+    fn earliest_time(&self) -> Option<SimTime> {
+        match (&self.front, self.entries.last()) {
+            (Some(f), Some((t, _))) => Some(f.time.min(*t)),
+            (Some(f), None) => Some(f.time),
+            (None, Some((t, _))) => Some(*t),
+            (None, None) => None,
+        }
+    }
+
+    /// Takes the front-lane event if it is scheduled at `t`.
+    #[inline]
+    fn take_front_at(&mut self, t: SimTime) -> Option<Event> {
+        match self.front {
+            Some(f) if f.time == t => {
+                self.len -= 1;
+                self.front.take()
+            }
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the bucket at timestamp `t` if one exists, in
+    /// seq order. Return the bucket via [`EventQueue::recycle`] when done.
+    #[inline]
+    fn pop_bucket_at(&mut self, t: SimTime) -> Option<Vec<Event>> {
+        match self.entries.last() {
+            Some((bt, _)) if *bt == t => {
+                let (_, bucket) = self.entries.pop().expect("peeked above");
+                self.len -= bucket.len();
+                Some(bucket)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns a drained bucket to the pool.
+    #[inline]
+    fn recycle(&mut self, mut bucket: Vec<Event>) {
+        bucket.clear();
+        self.pool.push(bucket);
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.front.is_none() && self.entries.is_empty()
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
     }
 }
 
@@ -81,8 +240,92 @@ pub struct SimStats {
     pub transitions: u64,
     /// Cell evaluations performed.
     pub evals: u64,
+    /// Delta cycles executed (one per distinct timestamp *round*; a
+    /// timestamp with zero-delay feedback takes several).
+    pub delta_cycles: u64,
     /// High-water mark of the event queue.
     pub max_queue: usize,
+}
+
+/// How a [`Simulator::run_until_edges`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeWaitOutcome {
+    /// Every watched `(net, value)` edge was observed; the time of the
+    /// delta cycle that completed the set.
+    Seen(SimTime),
+    /// The event queue drained before every edge arrived (the circuit is
+    /// quiescent at the given time, so the missing edges can never come).
+    Quiescent(SimTime),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    net: NetId,
+    value: Logic,
+    seen: bool,
+}
+
+/// Per-net hot record: everything a surviving transition needs, packed in
+/// one cache line instead of scattered across the `Net` table.
+#[derive(Debug, Clone, Copy)]
+struct NetHot {
+    /// Supply energy of a rising edge on this net.
+    rise: Joules,
+    /// Supply energy of a falling edge on this net.
+    fall: Joules,
+    /// Energy-accounting domain.
+    domain: DomainId,
+    /// Same cell listed on several fanout pins — see `Net::fanout_dup`.
+    fanout_dup: bool,
+}
+
+/// Compiled form of a cell, precomputed at [`Simulator::new`] and indexed
+/// by `CellId` — the batched evaluation path's counterpart of
+/// [`FanoutFast`]. Simple gates evaluate straight off the value table; all
+/// other cells take the generic `EvalCtx` path.
+#[derive(Debug, Clone, Copy)]
+enum CellFast {
+    Generic,
+    Unary {
+        input: NetId,
+        out: NetId,
+        timing: SampledTiming,
+        invert: bool,
+    },
+    Binary {
+        a: NetId,
+        b: NetId,
+        out: NetId,
+        timing: SampledTiming,
+        op: Gate2,
+    },
+}
+
+/// Compiled fanout of a net, precomputed at [`Simulator::new`].
+///
+/// Most nets drive exactly one simple gate; for those the evaluation is
+/// folded into a table entry the kernel can execute without touching the
+/// cell instance at all: no input gathering, no dispatch, no drive buffer.
+/// The result is bit-identical to the generic path — same logic function,
+/// same `SampledTiming::for_value` delay, same inertial scheduling.
+#[derive(Debug, Clone, Copy)]
+enum FanoutFast {
+    /// Evaluate the fanout through the generic cell path.
+    Generic,
+    /// One fanout: a 1-input gate (inverter/buffer) driving `out`.
+    Unary {
+        out: NetId,
+        timing: SampledTiming,
+        invert: bool,
+    },
+    /// One fanout: a commutative 2-input gate whose other input is
+    /// `other`, driving `out`.
+    Binary {
+        out: NetId,
+        timing: SampledTiming,
+        op: Gate2,
+        other: NetId,
+    },
 }
 
 /// The event-driven simulator.
@@ -104,16 +347,29 @@ pub struct Simulator {
     circuit: Circuit,
     values: Vec<Logic>,
     gens: Vec<u32>,
-    queue: BinaryHeap<Reverse<Event>>,
+    queue: EventQueue,
     now: SimTime,
     seq: u64,
     energy: EnergyMeter,
-    edge_energy: Vec<(Joules, Joules)>,
+    net_hot: Vec<NetHot>,
+    fanout_fast: Vec<FanoutFast>,
+    cell_fast: Vec<CellFast>,
     violations: Vec<Violation>,
     trace: Trace,
     stats: SimStats,
     event_cap: u64,
+    /// `true` while anything wants per-transition callbacks (waveform
+    /// tracing or edge watches) — one branch guards both on the hot path.
+    observers: bool,
+    // Reusable hot-path scratch state — nothing below is allocated per
+    // event once the simulator has warmed up.
     drive_buf: Vec<Drive>,
+    input_buf: Vec<Logic>,
+    dirty: Vec<CellId>,
+    dirty_mark: Vec<u64>,
+    pending_pins: Vec<Vec<usize>>,
+    epoch: u64,
+    watches: Vec<Watch>,
 }
 
 impl Simulator {
@@ -121,29 +377,95 @@ impl Simulator {
     /// cell at time zero.
     pub fn new(circuit: Circuit) -> Simulator {
         let n_nets = circuit.nets.len();
+        let n_cells = circuit.cells.len();
         let n_domains = circuit.domains.len();
-        let edge_energy = circuit
+        let net_hot = circuit
             .nets
             .iter()
-            .map(|net| circuit.library.edge_energy(net.cap))
+            .map(|net| {
+                let (rise, fall) = circuit.library.edge_energy(net.cap);
+                NetHot {
+                    rise,
+                    fall,
+                    domain: net.domain,
+                    fanout_dup: net.fanout_dup,
+                }
+            })
+            .collect();
+        // Compile the simple gates into direct per-cell entries for the
+        // batched evaluation path (see [`CellFast`]).
+        let cell_fast = circuit
+            .cells
+            .iter()
+            .map(|inst| match inst.cell.shape() {
+                GateShape::Unary { invert, timing } => CellFast::Unary {
+                    input: inst.inputs[0],
+                    out: inst.outputs[0],
+                    timing,
+                    invert,
+                },
+                GateShape::Binary { op, timing } => CellFast::Binary {
+                    a: inst.inputs[0],
+                    b: inst.inputs[1],
+                    out: inst.outputs[0],
+                    timing,
+                    op,
+                },
+                GateShape::Other => CellFast::Generic,
+            })
+            .collect();
+        // Compile the single-fanout simple-gate nets into direct table
+        // entries (see [`FanoutFast`]).
+        let fanout_fast = circuit
+            .nets
+            .iter()
+            .map(|net| {
+                let [(cell, pin)] = net.fanout.as_slice() else {
+                    return FanoutFast::Generic;
+                };
+                let inst = &circuit.cells[cell.index()];
+                match inst.cell.shape() {
+                    GateShape::Unary { invert, timing } => FanoutFast::Unary {
+                        out: inst.outputs[0],
+                        timing,
+                        invert,
+                    },
+                    GateShape::Binary { op, timing } => FanoutFast::Binary {
+                        out: inst.outputs[0],
+                        timing,
+                        op,
+                        other: inst.inputs[1 - pin],
+                    },
+                    GateShape::Other => FanoutFast::Generic,
+                }
+            })
             .collect();
         let mut sim = Simulator {
             values: vec![Logic::X; n_nets],
             gens: vec![0; n_nets],
-            queue: BinaryHeap::new(),
+            queue: EventQueue::default(),
             now: SimTime::ZERO,
             seq: 0,
             energy: EnergyMeter::new(n_domains),
-            edge_energy,
+            net_hot,
+            fanout_fast,
+            cell_fast,
             violations: Vec::new(),
             trace: Trace::new(n_nets),
             stats: SimStats::default(),
             event_cap: 50_000_000,
+            observers: false,
             drive_buf: Vec::new(),
+            input_buf: Vec::new(),
+            dirty: Vec::new(),
+            dirty_mark: vec![0; n_cells],
+            pending_pins: vec![Vec::new(); n_cells],
+            epoch: 0,
+            watches: Vec::new(),
             circuit,
         };
         for i in 0..sim.circuit.cells.len() {
-            sim.eval_cell(CellId(i as u32), None);
+            sim.eval_cell(CellId(i as u32), &[]);
         }
         sim
     }
@@ -203,6 +525,7 @@ impl Simulator {
     /// Enables waveform recording on a net.
     pub fn trace_net(&mut self, net: NetId) {
         self.trace.enable(net);
+        self.observers = true;
     }
 
     /// Enables waveform recording on every net (verbose; prefer
@@ -211,6 +534,7 @@ impl Simulator {
         for i in 0..self.circuit.nets.len() {
             self.trace.enable(NetId(i as u32));
         }
+        self.observers = true;
     }
 
     /// Timing/protocol violations recorded so far.
@@ -239,14 +563,20 @@ impl Simulator {
     }
 
     /// Replaces the runaway-protection event budget used by
-    /// [`Simulator::run_to_quiescence`].
+    /// [`Simulator::run_to_quiescence`] and the other bounded run methods.
     pub fn set_event_cap(&mut self, cap: u64) {
         self.event_cap = cap;
     }
 
-    /// Processes exactly one queued event (stale events are consumed
-    /// silently). Returns the time of the processed event, or `None` when
-    /// the queue is empty.
+    /// The configured runaway-protection event budget.
+    pub fn event_cap(&self) -> u64 {
+        self.event_cap
+    }
+
+    /// Processes one **delta cycle**: every queued event scheduled at the
+    /// earliest pending timestamp is drained and applied, then each
+    /// affected cell is evaluated once. Returns the current time after the
+    /// cycle, or `None` when the queue is empty.
     ///
     /// Useful for testbenches that must interleave stimulus with fine-
     /// grained observation (e.g. feeding a pipelined stream).
@@ -254,7 +584,7 @@ impl Simulator {
         if self.queue.is_empty() {
             return None;
         }
-        self.pop_and_apply();
+        self.delta_cycle();
         Some(self.now)
     }
 
@@ -265,16 +595,15 @@ impl Simulator {
     /// Returns [`OscillationError`] if the event budget is exhausted first,
     /// which indicates a combinational loop or unstable handshake.
     pub fn run_to_quiescence(&mut self) -> Result<SimTime, OscillationError> {
-        let mut budget = self.event_cap;
-        while let Some(&Reverse(ev)) = self.queue.peek() {
-            if budget == 0 {
+        let mut consumed: u64 = 0;
+        while !self.queue.is_empty() {
+            if consumed >= self.event_cap {
                 return Err(OscillationError {
-                    events: self.event_cap,
-                    time: ev.time,
+                    events: consumed,
+                    time: self.queue.earliest_time().expect("queue is non-empty"),
                 });
             }
-            budget -= 1;
-            self.pop_and_apply();
+            consumed += self.delta_cycle();
         }
         Ok(self.now)
     }
@@ -283,9 +612,9 @@ impl Simulator {
     /// later stay queued. Returns how the run ended.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
         loop {
-            match self.queue.peek() {
-                Some(&Reverse(ev)) if ev.time <= horizon => {
-                    self.pop_and_apply();
+            match self.queue.earliest_time() {
+                Some(t) if t <= horizon => {
+                    self.delta_cycle();
                 }
                 Some(_) => {
                     self.now = horizon;
@@ -316,21 +645,60 @@ impl Simulator {
         if self.value(net) == value {
             return Ok(Some(self.now));
         }
-        let mut budget = self.event_cap;
-        while let Some(&Reverse(ev)) = self.queue.peek() {
-            if budget == 0 {
-                return Err(OscillationError {
-                    events: self.event_cap,
-                    time: ev.time,
+        match self.run_until_edges(&[(net, value)])? {
+            EdgeWaitOutcome::Seen(t) => Ok(Some(t)),
+            EdgeWaitOutcome::Quiescent(_) => Ok(None),
+        }
+    }
+
+    /// Runs until every `(net, value)` pair has been observed
+    /// *transitioning to* its value, in any order. A net already sitting
+    /// at its target level does **not** count — an actual edge must be
+    /// seen, which is what four-phase handshake testbenches need (level
+    /// polling races with the previous token's identical levels).
+    ///
+    /// Watched nets are checked only when they actually transition, so
+    /// this costs nothing per event — unlike stepping the simulator and
+    /// re-reading every watched net after each step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OscillationError`] if the event budget is exhausted with
+    /// edges still missing; `events` reports the events actually consumed
+    /// by this call.
+    pub fn run_until_edges(
+        &mut self,
+        conds: &[(NetId, Logic)],
+    ) -> Result<EdgeWaitOutcome, OscillationError> {
+        if conds.is_empty() {
+            return Ok(EdgeWaitOutcome::Seen(self.now));
+        }
+        debug_assert!(self.watches.is_empty(), "run_until_edges re-entered");
+        self.watches.extend(conds.iter().map(|&(net, value)| Watch {
+            net,
+            value,
+            seen: false,
+        }));
+        self.observers = true;
+        let mut consumed: u64 = 0;
+        let outcome = loop {
+            if self.watches.iter().all(|w| w.seen) {
+                break Ok(EdgeWaitOutcome::Seen(self.now));
+            }
+            let Some(head_time) = self.queue.earliest_time() else {
+                break Ok(EdgeWaitOutcome::Quiescent(self.now));
+            };
+            if consumed >= self.event_cap {
+                break Err(OscillationError {
+                    events: consumed,
+                    time: head_time,
                 });
             }
-            budget -= 1;
-            self.pop_and_apply();
-            if self.value(net) == value {
-                return Ok(Some(self.now));
-            }
-        }
-        Ok(None)
+            consumed += self.delta_cycle();
+        };
+        self.watches.clear();
+        self.observers = self.trace.any_enabled();
+        outcome
     }
 
     /// Renders the recorded waveform as a VCD document.
@@ -344,97 +712,370 @@ impl Simulator {
     }
 
     fn schedule(&mut self, net: NetId, value: Logic, delay: SimTime, mode: DriveMode) {
+        Self::schedule_split(
+            &mut self.gens,
+            &mut self.seq,
+            &mut self.queue,
+            &mut self.stats,
+            self.now,
+            net,
+            value,
+            delay,
+            mode,
+        );
+    }
+
+    /// [`Simulator::schedule`] over explicit field borrows, so the eval
+    /// drain loop can keep its shared borrows of the circuit alive while
+    /// scheduling.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn schedule_split(
+        gens: &mut [u32],
+        seq: &mut u64,
+        queue: &mut EventQueue,
+        stats: &mut SimStats,
+        now: SimTime,
+        net: NetId,
+        value: Logic,
+        delay: SimTime,
+        mode: DriveMode,
+    ) {
         let gen = match mode {
             DriveMode::Inertial => {
-                let g = &mut self.gens[net.index()];
+                let g = &mut gens[net.index()];
                 *g = g.wrapping_add(1);
                 *g
             }
-            DriveMode::Transport => self.gens[net.index()],
+            DriveMode::Transport => gens[net.index()],
         };
-        self.seq += 1;
-        let ev = Event {
-            time: self.now + delay,
-            seq: self.seq,
+        *seq += 1;
+        queue.push(Event {
+            time: now + delay,
+            seq: *seq,
             net,
             value,
             gen,
-        };
-        self.queue.push(Reverse(ev));
-        self.stats.max_queue = self.stats.max_queue.max(self.queue.len());
+        });
+        stats.max_queue = stats.max_queue.max(queue.len());
     }
 
-    fn pop_and_apply(&mut self) {
-        let Reverse(ev) = self.queue.pop().expect("pop_and_apply on empty queue");
-        self.stats.events_popped += 1;
-        debug_assert!(ev.time >= self.now, "event time went backwards");
-        if ev.gen != self.gens[ev.net.index()] {
+    /// Executes one delta cycle: drains every event at the earliest queued
+    /// timestamp, applies the surviving net updates, then evaluates each
+    /// dirty cell exactly once with the full set of changed pins. Returns
+    /// the number of events popped (for budget accounting).
+    ///
+    /// Zero-delay drives issued during the evaluation phase land at the
+    /// same timestamp and are processed by the *next* delta cycle, so a
+    /// caller looping on this method regains control between rounds even
+    /// inside a zero-delay feedback knot.
+    fn delta_cycle(&mut self) -> u64 {
+        self.stats.delta_cycles += 1;
+        let t = self
+            .queue
+            .earliest_time()
+            .expect("delta_cycle on empty queue");
+        debug_assert!(t >= self.now, "event time went backwards");
+        // Everything scheduled at `t`: the front-lane event (always the
+        // lowest seq at its timestamp) and/or the bucket.
+        let front_ev = self.queue.take_front_at(t);
+        let bucket = self.queue.pop_bucket_at(t);
+        let popped = u64::from(front_ev.is_some()) + bucket.as_ref().map_or(0, |b| b.len() as u64);
+        self.stats.events_popped += popped;
+        match (front_ev, bucket) {
+            (Some(ev), None) => self.singleton_cycle(t, ev),
+            (None, Some(bucket)) if bucket.len() == 1 => {
+                let ev = bucket[0];
+                self.queue.recycle(bucket);
+                self.singleton_cycle(t, ev);
+            }
+            (front_ev, bucket) => {
+                // Batched path — phase A: apply every event scheduled at
+                // `t` in seq order, marking the fanout cells of each
+                // changed net dirty. Events pushed during phase B land in
+                // a fresh bucket at the same timestamp and are processed
+                // by the next delta cycle.
+                self.epoch += 1;
+                if let Some(ev) = front_ev {
+                    self.apply_batched(t, &ev);
+                }
+                if let Some(bucket) = bucket {
+                    for ev in bucket.iter() {
+                        self.apply_batched(t, ev);
+                    }
+                    self.queue.recycle(bucket);
+                }
+                // Phase B.
+                self.eval_dirty();
+            }
+        }
+        popped
+    }
+
+    /// The delta cycle of exactly one event — the dominant wavefront case.
+    /// Bit-identical to the batched path, but with no dirty-set
+    /// bookkeeping: each fanout cell is evaluated directly with its single
+    /// changed pin.
+    #[inline]
+    fn singleton_cycle(&mut self, t: SimTime, ev: Event) {
+        let ni = ev.net.index();
+        if ev.gen != self.gens[ni] {
             self.stats.events_stale += 1;
             return;
         }
-        self.now = ev.time;
-        let old = self.values[ev.net.index()];
-        if old == ev.value {
+        self.now = t;
+        if self.values[ni] == ev.value {
             return;
         }
-        self.values[ev.net.index()] = ev.value;
-        self.stats.transitions += 1;
-        self.record_edge(ev.net, ev.value);
-        self.trace.record(ev.time, ev.net, ev.value);
-        // Fan out: evaluate every cell listening on this net.
-        let fanout_len = self.circuit.nets[ev.net.index()].fanout.len();
-        for k in 0..fanout_len {
-            let (cell, pin) = self.circuit.nets[ev.net.index()].fanout[k];
-            self.eval_cell_triggered(cell, pin);
+        self.apply_transition(&ev);
+        match self.fanout_fast[ni] {
+            // Compiled fanout: the whole evaluation of a single listening
+            // simple gate, without touching the cell instance.
+            FanoutFast::Unary {
+                out,
+                timing,
+                invert,
+            } => {
+                self.stats.evals += 1;
+                let v = if invert { !ev.value } else { ev.value };
+                Self::schedule_split(
+                    &mut self.gens,
+                    &mut self.seq,
+                    &mut self.queue,
+                    &mut self.stats,
+                    t,
+                    out,
+                    v,
+                    timing.for_value(v),
+                    DriveMode::Inertial,
+                );
+            }
+            FanoutFast::Binary {
+                out,
+                timing,
+                op,
+                other,
+            } => {
+                self.stats.evals += 1;
+                let v = op.apply(ev.value, self.values[other.index()]);
+                Self::schedule_split(
+                    &mut self.gens,
+                    &mut self.seq,
+                    &mut self.queue,
+                    &mut self.stats,
+                    t,
+                    out,
+                    v,
+                    timing.for_value(v),
+                    DriveMode::Inertial,
+                );
+            }
+            FanoutFast::Generic => {
+                if self.net_hot[ni].fanout_dup {
+                    // Rare: one cell listens on several pins of this net,
+                    // so the dedup machinery must coalesce its
+                    // evaluations.
+                    self.epoch += 1;
+                    self.mark_fanout_dirty(ni);
+                    self.eval_dirty();
+                } else {
+                    let n_fanout = self.circuit.nets[ni].fanout.len();
+                    for k in 0..n_fanout {
+                        let (cell, pin) = self.circuit.nets[ni].fanout[k];
+                        self.eval_cell(cell, &[pin]);
+                    }
+                }
+            }
         }
     }
 
+    /// Phase-A handling of one event on the batched path: apply the
+    /// surviving change and stamp its fanout dirty.
+    #[inline]
+    fn apply_batched(&mut self, t: SimTime, ev: &Event) {
+        let ni = ev.net.index();
+        if ev.gen != self.gens[ni] {
+            self.stats.events_stale += 1;
+            return;
+        }
+        self.now = t;
+        if self.values[ni] == ev.value {
+            return;
+        }
+        self.apply_transition(ev);
+        self.mark_fanout_dirty(ni);
+    }
+
+    /// Commits a surviving net change: value store, transition statistics,
+    /// energy attribution, optional waveform capture and edge watches.
+    #[inline]
+    fn apply_transition(&mut self, ev: &Event) {
+        self.values[ev.net.index()] = ev.value;
+        self.stats.transitions += 1;
+        self.record_edge(ev.net, ev.value);
+        if self.observers {
+            if self.trace.any_enabled() {
+                self.trace.record(ev.time, ev.net, ev.value);
+            }
+            for w in &mut self.watches {
+                if !w.seen && w.net == ev.net && w.value == ev.value {
+                    w.seen = true;
+                }
+            }
+        }
+    }
+
+    /// Stamps every fanout cell of net `ni` dirty in the current epoch and
+    /// records which pin saw the change.
+    fn mark_fanout_dirty(&mut self, ni: usize) {
+        let epoch = self.epoch;
+        for &(cell, pin) in &self.circuit.nets[ni].fanout {
+            let ci = cell.index();
+            if self.dirty_mark[ci] != epoch {
+                self.dirty_mark[ci] = epoch;
+                self.dirty.push(cell);
+            }
+            self.pending_pins[ci].push(pin);
+        }
+    }
+
+    /// Evaluates each dirty cell once. Evaluations only schedule future
+    /// events, so the dirty list cannot grow while we walk it.
+    fn eval_dirty(&mut self) {
+        let n_dirty = self.dirty.len();
+        for k in 0..n_dirty {
+            let cell = self.dirty[k];
+            let ci = cell.index();
+            let mut pins = std::mem::take(&mut self.pending_pins[ci]);
+            // Canonical ascending pin order (application order is event
+            // order, which is a scheduling artefact cells must not see).
+            pins.sort_unstable();
+            self.eval_cell(cell, &pins);
+            pins.clear();
+            self.pending_pins[ci] = pins;
+        }
+        self.dirty.clear();
+    }
+
     fn record_edge(&mut self, net: NetId, new_value: Logic) {
-        let (rise, fall) = self.edge_energy[net.index()];
-        let domain: DomainId = self.circuit.nets[net.index()].domain;
+        let hot = &self.net_hot[net.index()];
         match new_value {
-            Logic::High => self.energy.record(domain, rise),
-            Logic::Low => self.energy.record(domain, fall),
+            Logic::High => self.energy.record(hot.domain, hot.rise),
+            Logic::Low => self.energy.record(hot.domain, hot.fall),
             Logic::X => {}
         }
     }
 
-    fn eval_cell_triggered(&mut self, cell: CellId, pin: usize) {
-        self.eval_cell(cell, Some(pin));
-    }
-
-    fn eval_cell(&mut self, cell: CellId, trigger: Option<usize>) {
+    fn eval_cell(&mut self, cell: CellId, triggers: &[usize]) {
         self.stats.evals += 1;
-        let mut drives = std::mem::take(&mut self.drive_buf);
-        drives.clear();
-        {
-            let inst = &mut self.circuit.cells[cell.index()];
-            let input_values: Vec<Logic> =
-                inst.inputs.iter().map(|n| self.values[n.index()]).collect();
-            let mut ctx = EvalCtx {
-                now: self.now,
-                input_values: &input_values,
-                trigger,
-                drives: &mut drives,
-                violations: &mut self.violations,
-                cell_name: &inst.name,
-            };
-            inst.cell.eval(&mut ctx);
+        let ci = cell.index();
+        // Compiled simple gates evaluate straight off the value table.
+        match self.cell_fast[ci] {
+            CellFast::Unary {
+                input,
+                out,
+                timing,
+                invert,
+            } => {
+                let v0 = self.values[input.index()];
+                let v = if invert { !v0 } else { v0 };
+                Self::schedule_split(
+                    &mut self.gens,
+                    &mut self.seq,
+                    &mut self.queue,
+                    &mut self.stats,
+                    self.now,
+                    out,
+                    v,
+                    timing.for_value(v),
+                    DriveMode::Inertial,
+                );
+                return;
+            }
+            CellFast::Binary {
+                a,
+                b,
+                out,
+                timing,
+                op,
+            } => {
+                let v = op.apply(self.values[a.index()], self.values[b.index()]);
+                Self::schedule_split(
+                    &mut self.gens,
+                    &mut self.seq,
+                    &mut self.queue,
+                    &mut self.stats,
+                    self.now,
+                    out,
+                    v,
+                    timing.for_value(v),
+                    DriveMode::Inertial,
+                );
+                return;
+            }
+            CellFast::Generic => {}
         }
-        let n_out = self.circuit.cells[cell.index()].outputs.len();
-        for &d in drives.iter() {
-            assert!(
-                d.out_pin < n_out,
-                "cell `{}` drove pin {} but has only {} outputs",
-                self.circuit.cells[cell.index()].name,
-                d.out_pin,
-                n_out
+        // Snapshot the input values into the reusable scratch arena; the
+        // borrows below are all of disjoint `Simulator` fields, so the
+        // whole evaluation is allocation-free.
+        let inst = &mut self.circuit.cells[ci];
+        self.input_buf.clear();
+        self.input_buf
+            .extend(inst.inputs.iter().map(|n| self.values[n.index()]));
+        // Combinational single-output gates that are not table-compiled
+        // (3- and 4-input NAND/NOR, muxes) still short-circuit past the
+        // evaluation context.
+        if let Some((value, delay)) = inst.cell.gate_response(&self.input_buf) {
+            let net = inst.outputs[0];
+            Self::schedule_split(
+                &mut self.gens,
+                &mut self.seq,
+                &mut self.queue,
+                &mut self.stats,
+                self.now,
+                net,
+                value,
+                delay,
+                DriveMode::Inertial,
             );
-            let net = self.circuit.cells[cell.index()].outputs[d.out_pin];
-            self.schedule(net, d.value, d.delay, d.mode);
+            return;
         }
-        drives.clear();
-        self.drive_buf = drives;
+        let mut ctx = EvalCtx {
+            now: self.now,
+            input_values: &self.input_buf,
+            triggers,
+            drives: &mut self.drive_buf,
+            violations: &mut self.violations,
+            cell_name: &inst.name,
+        };
+        inst.cell.eval(&mut ctx);
+        // Drain the requested drives. `add_cell` validated the pin counts
+        // when the netlist was built; a cell driving a pin it does not
+        // have is a bug in the cell itself, caught by the indexing below
+        // (and by this check in debug builds). The borrows are disjoint
+        // `Simulator` fields, so nothing is re-indexed per drive.
+        let outputs = &self.circuit.cells[ci].outputs;
+        for d in self.drive_buf.iter() {
+            debug_assert!(
+                d.out_pin < outputs.len(),
+                "cell `{}` drove pin {} but has only {} outputs",
+                self.circuit.cells[ci].name,
+                d.out_pin,
+                outputs.len()
+            );
+            Self::schedule_split(
+                &mut self.gens,
+                &mut self.seq,
+                &mut self.queue,
+                &mut self.stats,
+                self.now,
+                outputs[d.out_pin],
+                d.value,
+                d.delay,
+                d.mode,
+            );
+        }
+        self.drive_buf.clear();
     }
 }
 

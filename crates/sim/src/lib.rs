@@ -17,7 +17,10 @@
 //!   operating point, with optional local mismatch sampling.
 //! * [`circuit`] — netlist construction with energy domains.
 //! * [`engine`] — the event kernel: inertial/transport delays, oscillation
-//!   detection, deterministic replay.
+//!   detection, deterministic replay; delta-cycle batched, allocation-free
+//!   on the hot path.
+//! * [`reference`] — a deliberately naive kernel with identical semantics,
+//!   kept as the executable specification for golden-equivalence tests.
 //! * [`energy`] — per-domain switched-energy accounting (regenerates the
 //!   paper's Fig. 7 energy breakdown).
 //! * [`trace`] — waveform capture and VCD export.
@@ -51,12 +54,14 @@ pub mod energy;
 pub mod engine;
 pub mod library;
 pub mod logic;
+pub mod reference;
 pub mod time;
 pub mod trace;
 
 pub use cell::{Cell, Drive, DriveMode, EvalCtx, Violation, ViolationKind};
+pub use cells::CellKind;
 pub use circuit::{Circuit, CircuitBuilder, DomainId, NetId};
-pub use engine::{RunOutcome, SimStats, Simulator};
+pub use engine::{EdgeWaitOutcome, RunOutcome, SimStats, Simulator};
 pub use library::{CellClass, CellLibrary, SampledTiming};
 pub use logic::Logic;
 pub use time::SimTime;
@@ -64,8 +69,9 @@ pub use time::SimTime;
 /// Common imports for building and simulating netlists.
 pub mod prelude {
     pub use crate::cell::{Cell, EvalCtx, ViolationKind};
+    pub use crate::cells::CellKind;
     pub use crate::circuit::{Circuit, CircuitBuilder, DomainId, NetId};
-    pub use crate::engine::{RunOutcome, Simulator};
+    pub use crate::engine::{EdgeWaitOutcome, RunOutcome, Simulator};
     pub use crate::library::{CellClass, CellLibrary, SampledTiming};
     pub use crate::logic::Logic;
     pub use crate::time::SimTime;

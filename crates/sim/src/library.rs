@@ -133,6 +133,20 @@ impl SampledTiming {
     pub fn worst(self) -> SimTime {
         self.rise.max(self.fall)
     }
+
+    /// The arc a transition to `value` uses: rise for `High`, fall for
+    /// `Low`, the worst arc for `X`. This is the single delay-selection
+    /// rule of every combinational standard cell, shared so the
+    /// enum-dispatched kernel fast path and the boxed escape hatch cannot
+    /// drift apart.
+    #[inline]
+    pub fn for_value(self, value: crate::logic::Logic) -> SimTime {
+        match value {
+            crate::logic::Logic::High => self.rise,
+            crate::logic::Logic::Low => self.fall,
+            crate::logic::Logic::X => self.worst(),
+        }
+    }
 }
 
 /// A characterised, operating-point-bound cell library.
@@ -315,6 +329,9 @@ mod tests {
         assert_eq!(t.for_edge(true), t.rise);
         assert_eq!(t.for_edge(false), t.fall);
         assert_eq!(t.worst(), t.rise);
+        assert_eq!(t.for_value(crate::logic::Logic::High), t.rise);
+        assert_eq!(t.for_value(crate::logic::Logic::Low), t.fall);
+        assert_eq!(t.for_value(crate::logic::Logic::X), t.worst());
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub struct TraceEntry {
 #[derive(Debug, Clone)]
 pub struct Trace {
     enabled: Vec<bool>,
+    any_enabled: bool,
     entries: Vec<TraceEntry>,
 }
 
@@ -33,6 +34,7 @@ impl Trace {
     pub fn new(net_count: usize) -> Trace {
         Trace {
             enabled: vec![false; net_count],
+            any_enabled: false,
             entries: Vec::new(),
         }
     }
@@ -40,11 +42,20 @@ impl Trace {
     /// Starts recording a net.
     pub fn enable(&mut self, net: NetId) {
         self.enabled[net.index()] = true;
+        self.any_enabled = true;
     }
 
     /// `true` if the net is being recorded.
     pub fn is_enabled(&self, net: NetId) -> bool {
         self.enabled[net.index()]
+    }
+
+    /// `true` once any net has been enabled. The kernel reads this single
+    /// flag per transition so fully-untraced simulations — the common
+    /// bench configuration — skip the recording path entirely.
+    #[inline]
+    pub fn any_enabled(&self) -> bool {
+        self.any_enabled
     }
 
     /// Records a change if the net is enabled (called by the kernel).
@@ -146,6 +157,14 @@ mod tests {
             assert!(id.chars().all(|c| ('!'..='~').contains(&c)), "{id:?}");
             assert!(seen.insert(id), "duplicate identifier at {i}");
         }
+    }
+
+    #[test]
+    fn any_enabled_flips_on_first_enable() {
+        let mut t = Trace::new(3);
+        assert!(!t.any_enabled(), "fresh trace records nothing");
+        t.enable(NetId(2));
+        assert!(t.any_enabled());
     }
 
     #[test]

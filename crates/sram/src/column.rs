@@ -51,7 +51,27 @@ impl SramColumnCell {
         }
     }
 
-    fn asserted_rows(ctx: &EvalCtx<'_>) -> Vec<usize> {
+    /// Scans the one-hot wordlines without allocating: the evaluation runs
+    /// once per bitline event on the kernel hot path, so the common cases
+    /// (zero or one asserted row) must stay a register-only loop. Returns
+    /// `(count, lowest asserted row)`.
+    fn asserted_rows(ctx: &EvalCtx<'_>) -> (usize, usize) {
+        let mut count = 0;
+        let mut first = 0;
+        for r in 0..ROWS {
+            if ctx.input(1 + r).is_high() {
+                if count == 0 {
+                    first = r;
+                }
+                count += 1;
+            }
+        }
+        (count, first)
+    }
+
+    /// The asserted row list, materialised only on the (cold) violation
+    /// reporting paths.
+    fn asserted_row_list(ctx: &EvalCtx<'_>) -> Vec<usize> {
         (0..ROWS).filter(|&r| ctx.input(1 + r).is_high()).collect()
     }
 }
@@ -67,10 +87,11 @@ impl Cell for SramColumnCell {
 
     fn eval(&mut self, ctx: &mut EvalCtx<'_>) {
         let pche = ctx.input(0);
-        let rows = Self::asserted_rows(ctx);
+        let (n_rows, first_row) = Self::asserted_rows(ctx);
         match pche {
             Logic::High => {
-                if !rows.is_empty() {
+                if n_rows > 0 {
+                    let rows = Self::asserted_row_list(ctx);
                     ctx.report(
                         ViolationKind::Protocol,
                         format!("precharge asserted while RWL{rows:?} active — crowbar current"),
@@ -80,15 +101,16 @@ impl Cell for SramColumnCell {
                 ctx.drive(1, Logic::High, self.t_precharge);
             }
             Logic::Low => {
-                if rows.len() > 1 {
+                if n_rows > 1 {
+                    let rows = Self::asserted_row_list(ctx);
                     ctx.report(
                         ViolationKind::Protocol,
                         format!("multiple read wordlines asserted: {rows:?}"),
                     );
                     return;
                 }
-                if let Some(&row) = rows.first() {
-                    let bit = self.data.borrow()[row];
+                if n_rows == 1 {
+                    let bit = self.data.borrow()[first_row];
                     // Stored 1 discharges RBLB, stored 0 discharges RBL
                     // (differential read: exactly one rail falls).
                     let pin = if bit { 1 } else { 0 };

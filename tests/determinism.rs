@@ -107,6 +107,39 @@ fn mismatch_sampling_is_seeded_not_random() {
     assert_ne!(rc.latency, ra.latency, "different seed, different timing");
 }
 
+/// The kernel's event accounting is part of its contract: delta-cycle
+/// batching and compiled fanout changed how many evaluations a workload
+/// costs, and these counts pin the new behaviour so an accidental
+/// regression to per-fanout-edge evaluation (or double-scheduling) shows
+/// up as a count mismatch, not a silent slowdown.
+#[test]
+fn kernel_stats_are_pinned() {
+    use maddpipe::sim::prelude::*;
+    let lib = CellLibrary::new(Technology::n22(), OperatingPoint::default());
+    let mut b = CircuitBuilder::new(lib);
+    let a = b.input("a");
+    let n1 = b.inv("u0", a);
+    let n2 = b.inv("u1", n1);
+    let _n3 = b.inv("u2", n2);
+    let mut sim = Simulator::new(b.build());
+    sim.poke(a, Logic::Low);
+    sim.run_to_quiescence().expect("settle");
+    sim.poke(a, Logic::High);
+    sim.run_to_quiescence().expect("propagate");
+    let s = sim.stats();
+    // Power-up schedules one X drive per inverter; the first wave's u0
+    // re-drive supersedes n1's power-up event (the single stale pop) and
+    // the remaining X events are no-change pops sharing the first wave's
+    // delta cycles. After that, each wave is 4 events / 4 transitions /
+    // 3 evaluations — one per gate, never one per fanout edge.
+    assert_eq!(s.events_popped, 11, "3 power-up + 2 x (1 poke + 3 gates)");
+    assert_eq!(s.events_stale, 1, "n1's power-up X drive is superseded");
+    assert_eq!(s.transitions, 8, "2 x (input edge + 3 gate outputs)");
+    assert_eq!(s.evals, 9, "3 power-up + 2 x 3 wave evaluations");
+    assert_eq!(s.delta_cycles, 8, "power-up X pops share the wave deltas");
+    assert_eq!(s.max_queue, 4, "3 power-up drives + the first poke");
+}
+
 /// The pipelined streaming mode is deterministic too — same makespan and
 /// final outputs across independent builds.
 #[test]

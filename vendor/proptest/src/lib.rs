@@ -76,6 +76,93 @@ pub trait Strategy {
 
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the produced value through `map`, mirroring
+    /// `Strategy::prop_map`.
+    fn prop_map<T, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, map }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.map)(self.source.sample(rng))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4)
+);
+
+/// A uniform choice between boxed strategies of one value type — the
+/// engine behind [`prop_oneof!`]. (Upstream proptest supports weights;
+/// this shim draws uniformly.)
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Creates an empty union; sampling panics until an option is added.
+    pub fn empty() -> Union<V> {
+        Union {
+            options: Vec::new(),
+        }
+    }
+
+    /// Adds one alternative.
+    #[must_use]
+    pub fn or(mut self, option: impl Strategy<Value = V> + 'static) -> Union<V> {
+        self.options.push(Box::new(option));
+        self
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        assert!(!self.options.is_empty(), "prop_oneof! needs an option");
+        let i = rng.rng().gen_range(0..self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+/// Uniform choice between strategies producing the same type, mirroring
+/// `proptest::prop_oneof` (without weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let u = $crate::Union::empty();
+        $(let u = u.or($strat);)+
+        u
+    }};
 }
 
 macro_rules! int_strategy {
@@ -193,8 +280,8 @@ pub mod collection {
 /// `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
-        Strategy, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Map,
+        ProptestConfig, Strategy, TestRng, Union,
     };
 }
 

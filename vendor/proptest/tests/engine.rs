@@ -93,3 +93,30 @@ proptest! {
         prop_assert!(xs.len() < 8);
     }
 }
+
+#[test]
+fn prop_map_and_tuples_compose() {
+    use proptest::prelude::*;
+    let mut rng = TestRng::for_test("prop_map_and_tuples_compose");
+    let strat = (0u8..10, 100u8..110).prop_map(|(a, b)| u32::from(a) + u32::from(b));
+    for _ in 0..200 {
+        let v = strat.sample(&mut rng);
+        assert!((100..120).contains(&v), "{v}");
+    }
+}
+
+#[test]
+fn prop_oneof_draws_every_alternative() {
+    use proptest::prelude::*;
+    let mut rng = TestRng::for_test("prop_oneof_draws_every_alternative");
+    let strat = prop_oneof![
+        (0u8..1).prop_map(|_| "a"),
+        (0u8..1).prop_map(|_| "b"),
+        (0u8..1).prop_map(|_| "c"),
+    ];
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..200 {
+        seen.insert(strat.sample(&mut rng));
+    }
+    assert_eq!(seen.len(), 3, "all three arms must be reachable");
+}
