@@ -1,15 +1,19 @@
-//! Machine-readable event-kernel performance snapshot.
+//! Machine-readable event-kernel and backend performance snapshot.
 //!
 //! Times the same workloads as the `sim_kernel` Criterion group with a
-//! plain `Instant` loop and writes `results/BENCH_sim.json` (events/sec
-//! and tokens/sec), so the kernel's performance trajectory can be tracked
-//! across PRs with `git diff` instead of eyeballing bench logs.
+//! plain `Instant` loop — plus the execution backends of the unified
+//! session API — and writes `results/BENCH_sim.json` (events/sec and
+//! tokens/sec), so the performance trajectory can be tracked across PRs
+//! with `git diff` instead of eyeballing bench logs.
 //!
 //! Run with `cargo run -p maddpipe-bench --bin bench_sim --release`.
 
 use maddpipe_bench::kernel_workloads::{
     bus_fanout_sim, completion_tree_sim, inverter_chain, macro_testbench,
 };
+use maddpipe_core::config::MacroConfig;
+use maddpipe_core::macro_rtl::MacroProgram;
+use maddpipe_runtime::prelude::*;
 use maddpipe_sim::prelude::*;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -106,12 +110,50 @@ fn macro_tokens_per_sec() -> (f64, f64) {
     (tokens_rate, events_rate)
 }
 
+/// Functional-backend throughput at the paper's flagship shape, for the
+/// given worker count — the thread-scaling row of the snapshot.
+fn functional_tokens_per_sec(workers: usize) -> f64 {
+    let cfg = MacroConfig::paper_flagship();
+    let program = MacroProgram::random(cfg.ndec, cfg.ns, 7);
+    let batch = TokenBatch::random(cfg.ns, 1024, 11);
+    let mut session = Session::builder(cfg)
+        .program(program)
+        .backend(BackendKind::Functional { workers })
+        .build()
+        .expect("random program fits its own shape");
+    median_rate(7, || {
+        session.run(&batch).expect("batch completes");
+        batch.len() as u64
+    })
+}
+
+/// RTL-backend throughput on the small reference macro, per fidelity.
+fn rtl_tokens_per_sec(fidelity: Fidelity) -> f64 {
+    let cfg = MacroConfig::new(2, 2).with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
+    let program = MacroProgram::random(cfg.ndec, cfg.ns, 17);
+    let batch = TokenBatch::random(cfg.ns, 64, 99);
+    let mut session = Session::builder(cfg)
+        .program(program)
+        .backend(BackendKind::Rtl { fidelity })
+        .build()
+        .expect("random program fits its own shape");
+    median_rate(5, || {
+        session.run(&batch).expect("batch completes");
+        batch.len() as u64
+    })
+}
+
 fn main() {
     let chain64 = chain_events_per_sec(64, 20_000);
     let chain512 = chain_events_per_sec(512, 4_000);
     let tree = tree_events_per_sec();
     let bus = bus_fanout_events_per_sec();
     let (macro_tokens, macro_events) = macro_tokens_per_sec();
+    let fun_w1 = functional_tokens_per_sec(1);
+    let fun_w2 = functional_tokens_per_sec(2);
+    let fun_w4 = functional_tokens_per_sec(4);
+    let rtl_seq = rtl_tokens_per_sec(Fidelity::Sequential);
+    let rtl_pip = rtl_tokens_per_sec(Fidelity::Pipelined);
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema\": \"maddpipe-bench-sim/v1\",");
@@ -119,6 +161,10 @@ fn main() {
         json,
         "  \"note\": \"median rates from cargo run -p maddpipe-bench --bin bench_sim --release\","
     );
+    // Functional-backend thread scaling is only meaningful relative to
+    // the host's core count, so record it alongside the rates.
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let _ = writeln!(json, "  \"host_cpus\": {cpus},");
     let _ = writeln!(json, "  \"events_per_sec\": {{");
     let _ = writeln!(json, "    \"inverter_chain_64\": {chain64:.0},");
     let _ = writeln!(json, "    \"inverter_chain_512\": {chain512:.0},");
@@ -128,6 +174,13 @@ fn main() {
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"tokens_per_sec\": {{");
     let _ = writeln!(json, "    \"macro_ndec2_ns2\": {macro_tokens:.1}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"backend_tokens_per_sec\": {{");
+    let _ = writeln!(json, "    \"functional_flagship_w1\": {fun_w1:.0},");
+    let _ = writeln!(json, "    \"functional_flagship_w2\": {fun_w2:.0},");
+    let _ = writeln!(json, "    \"functional_flagship_w4\": {fun_w4:.0},");
+    let _ = writeln!(json, "    \"rtl_ndec2_ns2_sequential\": {rtl_seq:.1},");
+    let _ = writeln!(json, "    \"rtl_ndec2_ns2_pipelined\": {rtl_pip:.1}");
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 

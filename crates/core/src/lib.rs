@@ -40,7 +40,7 @@ pub mod sync_baseline;
 
 pub use calib::Calibration;
 pub use config::{MacroConfig, ACC_BITS, K, LEVELS, OPS_PER_LOOKUP, SUBVECTOR_LEN};
-pub use macro_rtl::{AcceleratorRtl, MacroProgram, TokenResult};
+pub use macro_rtl::{AcceleratorRtl, MacroProgram, PipelinedRun, TokenError, TokenResult};
 pub use mapping::{ConvMapping, ConvShape};
 pub use model::{MacroModel, PpaReport};
 pub use sync_baseline::{SyncPipelineModel, SyncReport};
@@ -50,7 +50,9 @@ pub mod prelude {
     pub use crate::calib::Calibration;
     pub use crate::config::{MacroConfig, K, LEVELS, SUBVECTOR_LEN};
     pub use crate::dlc::{ripple_depth, to_offset_binary};
-    pub use crate::macro_rtl::{AcceleratorRtl, MacroProgram, TokenResult};
+    pub use crate::macro_rtl::{
+        AcceleratorRtl, MacroProgram, PipelinedRun, TokenError, TokenResult,
+    };
     pub use crate::mapping::{ConvMapping, ConvShape};
     pub use crate::model::{
         AreaBreakdown, EnergyBreakdown, LatencyBreakdown, MacroModel, PpaReport,

@@ -15,6 +15,7 @@ use crate::adder::{build_rca, tie_low};
 use crate::block::{build_block, BlockPorts};
 use crate::config::{MacroConfig, ACC_BITS, K, LEVELS, SUBVECTOR_LEN};
 use crate::dlc::to_offset_binary;
+use core::fmt;
 use maddpipe_amm::bdt::QuantizedBdt;
 use maddpipe_amm::maddness::MaddnessMatmul;
 use maddpipe_sim::cells::DelayLine;
@@ -148,6 +149,78 @@ pub struct TokenResult {
     /// Time from request to output-register capture.
     pub latency: SimTime,
     /// Switching energy spent during this token (all domains).
+    pub energy: Joules,
+}
+
+/// Typed error for driving tokens through [`AcceleratorRtl`] — malformed
+/// stimulus and netlist-settling failures, previously a mix of `assert!`
+/// panics and raw [`OscillationError`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenError {
+    /// A token does not provide one subvector per pipeline stage.
+    ShapeMismatch {
+        /// Index of the offending token within the offered stream.
+        token: usize,
+        /// Pipeline stages the macro was built with.
+        expected: usize,
+        /// Subvectors the token actually carries.
+        got: usize,
+    },
+    /// An empty token stream was offered to the pipeline.
+    EmptyStream,
+    /// The netlist failed to settle, which indicates a handshake bug or a
+    /// combinational loop.
+    Oscillation(OscillationError),
+}
+
+impl fmt::Display for TokenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenError::ShapeMismatch {
+                token,
+                expected,
+                got,
+            } => write!(
+                f,
+                "token {token} carries {got} subvectors but the macro has {expected} stages"
+            ),
+            TokenError::EmptyStream => write!(f, "empty token stream"),
+            TokenError::Oscillation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TokenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TokenError::Oscillation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OscillationError> for TokenError {
+    fn from(e: OscillationError) -> TokenError {
+        TokenError::Oscillation(e)
+    }
+}
+
+/// Per-token observations from one pipelined streaming run
+/// ([`AcceleratorRtl::run_pipelined_observed`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelinedRun {
+    /// One output vector per input token, sampled at that token's
+    /// output-register strobe — not just the final token's.
+    pub outputs: Vec<Vec<i16>>,
+    /// Per-token latency: offer (request raised) to output-register
+    /// capture, including any time spent queued behind earlier tokens.
+    pub latencies: Vec<SimTime>,
+    /// When each token's outputs were captured, relative to the start of
+    /// the stream (consecutive differences are the achieved pipeline beat).
+    pub completions: Vec<SimTime>,
+    /// Total makespan of the stream, first offer to final drain.
+    pub makespan: SimTime,
+    /// Switching energy spent by the whole stream (all domains).
     pub energy: Joules,
 }
 
@@ -318,8 +391,29 @@ impl AcceleratorRtl {
         self.out_strobe
     }
 
-    fn poke_token_inputs(&mut self, token: &[[i8; SUBVECTOR_LEN]]) {
-        assert_eq!(token.len(), self.x_inputs.len(), "one subvector per stage");
+    /// Validates a token's shape against the macro, reporting the typed
+    /// [`TokenError::ShapeMismatch`] instead of panicking.
+    fn check_token_shape(
+        &self,
+        index: usize,
+        token: &[[i8; SUBVECTOR_LEN]],
+    ) -> Result<(), TokenError> {
+        if token.len() != self.x_inputs.len() {
+            return Err(TokenError::ShapeMismatch {
+                token: index,
+                expected: self.x_inputs.len(),
+                got: token.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn poke_token_inputs(
+        &mut self,
+        index: usize,
+        token: &[[i8; SUBVECTOR_LEN]],
+    ) -> Result<(), TokenError> {
+        self.check_token_shape(index, token)?;
         for (s, x) in token.iter().enumerate() {
             for (e, &v) in x.iter().enumerate() {
                 let code = to_offset_binary(v);
@@ -329,6 +423,7 @@ impl AcceleratorRtl {
                 }
             }
         }
+        Ok(())
     }
 
     fn read_outputs(&self) -> Vec<i16> {
@@ -348,13 +443,11 @@ impl AcceleratorRtl {
     ///
     /// # Errors
     ///
-    /// Returns [`OscillationError`] if the netlist fails to settle, which
-    /// indicates a handshake bug.
-    pub fn run_token(
-        &mut self,
-        token: &[[i8; SUBVECTOR_LEN]],
-    ) -> Result<TokenResult, OscillationError> {
-        self.poke_token_inputs(token);
+    /// Returns [`TokenError::ShapeMismatch`] when the token does not carry
+    /// one subvector per stage, and [`TokenError::Oscillation`] if the
+    /// netlist fails to settle, which indicates a handshake bug.
+    pub fn run_token(&mut self, token: &[[i8; SUBVECTOR_LEN]]) -> Result<TokenResult, TokenError> {
+        self.poke_token_inputs(0, token)?;
         self.sim.run_to_quiescence()?;
         let e0 = self.sim.total_energy();
         let t0 = self.sim.now();
@@ -390,17 +483,38 @@ impl AcceleratorRtl {
     ///
     /// # Errors
     ///
-    /// Returns [`OscillationError`] if the netlist fails to settle.
+    /// Returns [`TokenError::EmptyStream`] for an empty stream,
+    /// [`TokenError::ShapeMismatch`] for a malformed token, and
+    /// [`TokenError::Oscillation`] if the netlist fails to settle.
     pub fn run_pipelined(
         &mut self,
         tokens: &[Vec<[i8; SUBVECTOR_LEN]>],
-    ) -> Result<(Vec<i16>, SimTime), OscillationError> {
-        assert!(!tokens.is_empty(), "need at least one token");
+    ) -> Result<(Vec<i16>, SimTime), TokenError> {
+        let (_, makespan) = self.stream_tokens(tokens)?;
+        Ok((self.read_outputs(), makespan))
+    }
+
+    /// The shared pipelined driving loop: offers every token with overlap.
+    /// Returns the absolute offer times and the stream makespan.
+    fn stream_tokens(
+        &mut self,
+        tokens: &[Vec<[i8; SUBVECTOR_LEN]>],
+    ) -> Result<(Vec<SimTime>, SimTime), TokenError> {
+        if tokens.is_empty() {
+            return Err(TokenError::EmptyStream);
+        }
+        // Reject malformed streams before any stimulus is applied, so a
+        // shape error cannot leave a token half-way in the pipeline.
+        for (idx, token) in tokens.iter().enumerate() {
+            self.check_token_shape(idx, token)?;
+        }
         let t_start = self.sim.now();
+        let mut offers = Vec::with_capacity(tokens.len());
         let ibe0 = self.blocks[0].ibe;
         let last_ibe = self.blocks.last().expect("ns >= 1").ibe;
         for (idx, token) in tokens.iter().enumerate() {
-            self.poke_token_inputs(token);
+            self.poke_token_inputs(idx, token)?;
+            offers.push(self.sim.now());
             self.sim.poke(self.req0, Logic::High);
             self.wait_edges(&[(self.ack0, Logic::High)])?;
             self.sim.poke(self.req0, Logic::Low);
@@ -422,8 +536,132 @@ impl AcceleratorRtl {
                 self.wait_edges(&conds)?;
             }
         }
-        let makespan = self.sim.now().since(t_start);
-        Ok((self.read_outputs(), makespan))
+        Ok((offers, self.sim.now().since(t_start)))
+    }
+
+    /// Streams tokens with pipelining like [`AcceleratorRtl::run_pipelined`],
+    /// but captures **every** token's outputs — not just the final one — by
+    /// watching the output-register strobe: the shared register is sampled
+    /// at each strobe falling edge (the latch capture instant), one strobe
+    /// pulse per token.
+    ///
+    /// The capture rides on the waveform recorder, so this method clears
+    /// any previously recorded trace entries (traced-net selections are
+    /// kept). Enable tracing *after* an observed run when exporting VCDs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenError::EmptyStream`] for an empty stream,
+    /// [`TokenError::ShapeMismatch`] for a malformed token, and
+    /// [`TokenError::Oscillation`] if the netlist fails to settle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream does not produce exactly one strobe pulse per
+    /// token or the register holds unknown bits at a capture — protocol
+    /// bugs, like the quiescent-handshake panic of the wait helpers.
+    pub fn run_pipelined_observed(
+        &mut self,
+        tokens: &[Vec<[i8; SUBVECTOR_LEN]>],
+    ) -> Result<PipelinedRun, TokenError> {
+        // Arm the observers: the strobe plus every output-register bit.
+        // Remember which nets this call armed so they can be disarmed
+        // afterwards — a long-lived instance must not keep paying the
+        // recording cost on runs that no longer need it.
+        self.sim.clear_trace();
+        let mut armed = Vec::new();
+        let mut arm = |sim: &mut Simulator, net: NetId| {
+            if !sim.is_traced(net) {
+                sim.trace_net(net);
+                armed.push(net);
+            }
+        };
+        arm(&mut self.sim, self.out_strobe);
+        for bus in &self.out_bus {
+            for &net in bus {
+                arm(&mut self.sim, net);
+            }
+        }
+        // Snapshot the register state *before* the stream so the trace
+        // replay below starts from the correct values (the recorder only
+        // logs changes).
+        let mut bit_values: Vec<Vec<Logic>> = self
+            .out_bus
+            .iter()
+            .map(|bus| bus.iter().map(|&n| self.sim.value(n)).collect())
+            .collect();
+        let e0 = self.sim.total_energy();
+        let t_start = self.sim.now();
+        let streamed = self.stream_tokens(tokens);
+        // Disarm before error propagation so a rejected stream leaves the
+        // recorder exactly as it was found.
+        for net in armed {
+            self.sim.untrace_net(net);
+        }
+        let (offers, makespan) = streamed?;
+        let energy = self.sim.total_energy() - e0;
+
+        // Replay the recording: maintain the register image and sample it
+        // at each strobe falling edge. Latch outputs settle strictly
+        // between the strobe's rising and falling edges (the pulse width
+        // covers the latch D→Q delay), so in-order replay is exact.
+        let net_slot: std::collections::HashMap<NetId, (usize, usize)> = self
+            .out_bus
+            .iter()
+            .enumerate()
+            .flat_map(|(j, bus)| bus.iter().enumerate().map(move |(i, &n)| (n, (j, i))))
+            .collect();
+        let mut outputs = Vec::with_capacity(tokens.len());
+        let mut completions = Vec::with_capacity(tokens.len());
+        let mut strobe_level = Logic::Low;
+        for entry in self.sim.trace_entries() {
+            if entry.net == self.out_strobe {
+                let was_high = strobe_level == Logic::High;
+                strobe_level = entry.value;
+                if was_high && entry.value == Logic::Low {
+                    let sample: Vec<i16> = bit_values
+                        .iter()
+                        .map(|bits| {
+                            let mut word = 0u16;
+                            for (i, &bit) in bits.iter().enumerate() {
+                                match bit {
+                                    Logic::High => word |= 1 << i,
+                                    Logic::Low => {}
+                                    Logic::X => {
+                                        panic!("output register holds X at strobe capture")
+                                    }
+                                }
+                            }
+                            word as i16
+                        })
+                        .collect();
+                    outputs.push(sample);
+                    completions.push(entry.time.since(t_start));
+                }
+            } else if let Some(&(j, i)) = net_slot.get(&entry.net) {
+                bit_values[j][i] = entry.value;
+            }
+        }
+        assert_eq!(
+            outputs.len(),
+            tokens.len(),
+            "expected one output strobe per token"
+        );
+        let latencies = completions
+            .iter()
+            .zip(&offers)
+            .map(|(&c, &o)| (t_start + c).since(o))
+            .collect();
+        // The capture is complete; drop the recording so the next run (or
+        // a user-enabled waveform) starts clean.
+        self.sim.clear_trace();
+        Ok(PipelinedRun {
+            outputs,
+            latencies,
+            completions,
+            makespan,
+            energy,
+        })
     }
 
     /// Runs the simulation until every `(net, value)` pair has been
@@ -566,6 +804,77 @@ mod tests {
         );
         // The last token's outputs are read after the full drain.
         assert_eq!(final_out, program.reference_output(&tokens[2]));
+    }
+
+    #[test]
+    fn pipelined_observed_reports_every_token() {
+        let cfg = MacroConfig::new(2, 3).with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
+        let program = MacroProgram::random(cfg.ndec, cfg.ns, 23);
+        let mut rtl = AcceleratorRtl::build(&cfg, &program);
+        let tokens: Vec<Vec<[i8; SUBVECTOR_LEN]>> =
+            (0..5).map(|s| random_token(cfg.ns, 40 + s)).collect();
+        let run = rtl.run_pipelined_observed(&tokens).unwrap();
+        assert_eq!(run.outputs.len(), tokens.len());
+        for (t, token) in tokens.iter().enumerate() {
+            assert_eq!(run.outputs[t], program.reference_output(token), "token {t}");
+        }
+        // Completions are strictly ordered and latencies are positive.
+        for w in run.completions.windows(2) {
+            assert!(w[0] < w[1], "completions must be strictly increasing");
+        }
+        assert_eq!(run.latencies.len(), tokens.len());
+        for (t, &l) in run.latencies.iter().enumerate() {
+            assert!(l > SimTime::ZERO, "token {t} latency");
+        }
+        assert!(run.makespan >= *run.completions.last().unwrap());
+        assert!(run.energy.value() > 0.0);
+        // A second observed stream on the same instance starts clean.
+        let again = rtl.run_pipelined_observed(&tokens[..2]).unwrap();
+        assert_eq!(again.outputs[0], program.reference_output(&tokens[0]));
+        assert_eq!(again.outputs[1], program.reference_output(&tokens[1]));
+        // The observers are disarmed afterwards — later runs must not keep
+        // paying the recording cost.
+        let strobe = rtl.output_strobe();
+        assert!(!rtl.simulator().is_traced(strobe));
+        assert!(rtl.simulator().trace_entries().is_empty());
+        // A net the caller traced *before* an observed run stays traced.
+        rtl.simulator_mut().trace_net(strobe);
+        let _ = rtl.run_pipelined_observed(&tokens[..2]).unwrap();
+        assert!(rtl.simulator().is_traced(strobe));
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_typed_error_not_a_panic() {
+        let cfg = small_cfg();
+        let program = MacroProgram::random(cfg.ndec, cfg.ns, 1);
+        let mut rtl = AcceleratorRtl::build(&cfg, &program);
+        let short = random_token(cfg.ns - 1, 3);
+        assert_eq!(
+            rtl.run_token(&short),
+            Err(TokenError::ShapeMismatch {
+                token: 0,
+                expected: cfg.ns,
+                got: cfg.ns - 1,
+            })
+        );
+        // Streams report the offending token's index and reject the whole
+        // stream before any stimulus is applied.
+        let good = random_token(cfg.ns, 4);
+        let err = rtl
+            .run_pipelined(&[good.clone(), short.clone()])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TokenError::ShapeMismatch {
+                token: 1,
+                expected: cfg.ns,
+                got: cfg.ns - 1,
+            }
+        );
+        assert_eq!(rtl.run_pipelined(&[]).unwrap_err(), TokenError::EmptyStream);
+        // The instance is still usable after a rejected stream.
+        let ok = rtl.run_token(&good).unwrap();
+        assert_eq!(ok.outputs, program.reference_output(&good));
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! The backend abstraction: one trait, three implementations, one enum to
+//! pick between them.
+
+use crate::batch::{BatchResult, TokenBatch};
+use crate::error::BackendError;
+use maddpipe_core::config::{MacroConfig, LEVELS};
+use maddpipe_core::macro_rtl::{AcceleratorRtl, MacroProgram};
+
+/// How faithfully the RTL backend drives the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fidelity {
+    /// One token at a time, fully drained: exact per-token latency and
+    /// energy, no overlap.
+    #[default]
+    Sequential,
+    /// Self-synchronous streaming: token `t+1` enters while `t` is still
+    /// in flight. Per-token outputs are captured at each output-register
+    /// strobe; energy is reported per batch.
+    Pipelined,
+}
+
+/// Which backend a [`Session`](crate::session::Session) should execute on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Pure LUT math ([`MacroProgram::reference_output`]) sharded across
+    /// `workers` OS threads — the throughput backend.
+    Functional {
+        /// Worker threads (1 = run on the calling thread).
+        workers: usize,
+    },
+    /// The event-driven netlist — the fidelity backend.
+    Rtl {
+        /// Sequential handshaking or pipelined streaming.
+        fidelity: Fidelity,
+    },
+    /// The closed-form PPA model with data-dependent encoder timing — the
+    /// planning backend.
+    Analytic,
+}
+
+impl Default for BackendKind {
+    fn default() -> BackendKind {
+        BackendKind::Functional { workers: 1 }
+    }
+}
+
+/// A uniform executor of [`TokenBatch`]es against one programmed macro.
+///
+/// Implementations must produce bit-identical `outputs` for the same
+/// program and batch — that contract is enforced by the cross-backend
+/// golden tests (`tests/backend_equivalence.rs`).
+pub trait MacroBackend {
+    /// Short stable name for logs, stats and results files.
+    fn name(&self) -> &'static str;
+
+    /// Runs every token of the batch, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::ShapeMismatch`] for malformed tokens (the
+    /// batch is rejected before any work starts) and backend-specific
+    /// failures such as [`BackendError::Oscillation`].
+    fn run_batch(&mut self, batch: &TokenBatch) -> Result<BatchResult, BackendError>;
+
+    /// The underlying netlist, when this backend drives one — lets tests
+    /// probe violations and enable waveform tracing without leaving the
+    /// session API. Non-RTL backends return `None`.
+    fn rtl(&self) -> Option<&AcceleratorRtl> {
+        None
+    }
+
+    /// Mutable access to the underlying netlist, when this backend drives
+    /// one (energy-counter resets, waveform tracing, event caps).
+    fn rtl_mut(&mut self) -> Option<&mut AcceleratorRtl> {
+        None
+    }
+}
+
+/// Checks a program against a configuration: matching shape and hardware
+/// tree depth. Shared by the session builder and the backend constructors.
+///
+/// # Errors
+///
+/// Returns [`BackendError::ProgramMismatch`] on a shape disagreement and
+/// [`BackendError::MalformedProgram`] when a hash tree does not have the
+/// hardware's fixed depth.
+pub fn validate_program(cfg: &MacroConfig, program: &MacroProgram) -> Result<(), BackendError> {
+    if program.ndec() != cfg.ndec || program.ns() != cfg.ns {
+        return Err(BackendError::ProgramMismatch {
+            cfg_ndec: cfg.ndec,
+            cfg_ns: cfg.ns,
+            program_ndec: program.ndec(),
+            program_ns: program.ns(),
+        });
+    }
+    for (s, tree) in program.trees.iter().enumerate() {
+        if tree.levels() != LEVELS {
+            return Err(BackendError::MalformedProgram {
+                reason: format!(
+                    "stage {s} tree has {} levels, hardware encoder is {LEVELS}-level",
+                    tree.levels()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maddpipe_core::macro_rtl::MacroProgram;
+
+    #[test]
+    fn program_shape_is_validated() {
+        let cfg = MacroConfig::new(2, 2);
+        let good = MacroProgram::random(2, 2, 1);
+        assert!(validate_program(&cfg, &good).is_ok());
+        let wrong = MacroProgram::random(3, 2, 1);
+        assert_eq!(
+            validate_program(&cfg, &wrong),
+            Err(BackendError::ProgramMismatch {
+                cfg_ndec: 2,
+                cfg_ns: 2,
+                program_ndec: 3,
+                program_ns: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn default_kind_is_single_threaded_functional() {
+        assert_eq!(
+            BackendKind::default(),
+            BackendKind::Functional { workers: 1 }
+        );
+        assert_eq!(Fidelity::default(), Fidelity::Sequential);
+    }
+}

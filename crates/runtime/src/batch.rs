@@ -1,0 +1,249 @@
+//! Uniform input/output containers shared by every backend.
+
+use crate::error::BackendError;
+use maddpipe_amm::quant::QuantScale;
+use maddpipe_core::config::SUBVECTOR_LEN;
+use maddpipe_tech::units::{Joules, Seconds};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One inference token: one INT8 subvector per pipeline stage.
+pub type Token = Vec<[i8; SUBVECTOR_LEN]>;
+
+/// A non-empty batch of tokens, the unit of work every
+/// [`MacroBackend`](crate::backend::MacroBackend) accepts.
+///
+/// The batch itself does not know the macro shape; backends check each
+/// token against their program and report
+/// [`BackendError::ShapeMismatch`] with the offending index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenBatch {
+    tokens: Vec<Token>,
+}
+
+impl TokenBatch {
+    /// Wraps a non-empty token list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::EmptyBatch`] for an empty list.
+    pub fn new(tokens: Vec<Token>) -> Result<TokenBatch, BackendError> {
+        if tokens.is_empty() {
+            return Err(BackendError::EmptyBatch);
+        }
+        Ok(TokenBatch { tokens })
+    }
+
+    /// A batch of one token.
+    pub fn single(token: Token) -> TokenBatch {
+        TokenBatch {
+            tokens: vec![token],
+        }
+    }
+
+    /// `count` random tokens for an `ns`-stage macro (property tests and
+    /// benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn random(ns: usize, count: usize, seed: u64) -> TokenBatch {
+        assert!(count > 0, "a batch needs at least one token");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tokens = (0..count)
+            .map(|_| {
+                (0..ns)
+                    .map(|_| {
+                        let mut x = [0i8; SUBVECTOR_LEN];
+                        for v in x.iter_mut() {
+                            *v = rng.gen_range(-128i32..=127) as i8;
+                        }
+                        x
+                    })
+                    .collect()
+            })
+            .collect();
+        TokenBatch { tokens }
+    }
+
+    /// Quantises float feature rows into tokens: each row is split into
+    /// `ns` consecutive subvectors of up to [`SUBVECTOR_LEN`] elements
+    /// (shorter tails zero-padded) and quantised with `scale` — the glue
+    /// every caller of the macro used to hand-roll.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::EmptyBatch`] when `rows` is empty, and
+    /// [`BackendError::ShapeMismatch`] when a row carries more features
+    /// than `ns` subvectors can hold — truncating silently would compute
+    /// outputs on a prefix of the row.
+    pub fn from_f32_rows(
+        rows: &[&[f32]],
+        ns: usize,
+        scale: QuantScale,
+    ) -> Result<TokenBatch, BackendError> {
+        let tokens = rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let needed = row.len().div_ceil(SUBVECTOR_LEN);
+                if needed > ns {
+                    return Err(BackendError::ShapeMismatch {
+                        token: i,
+                        expected: ns,
+                        got: needed,
+                    });
+                }
+                let mut token = vec![[0i8; SUBVECTOR_LEN]; ns];
+                for (s, chunk) in row.chunks(SUBVECTOR_LEN).enumerate() {
+                    for (e, &v) in chunk.iter().enumerate() {
+                        token[s][e] = scale.quantize(v);
+                    }
+                }
+                Ok(token)
+            })
+            .collect::<Result<Vec<Token>, BackendError>>()?;
+        TokenBatch::new(tokens)
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Always `false` — the constructors reject empty batches.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The tokens, in submission order.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// Checks that every token provides one subvector per stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::ShapeMismatch`] naming the first offending
+    /// token.
+    pub fn check_shape(&self, expected_ns: usize) -> Result<(), BackendError> {
+        for (i, token) in self.tokens.iter().enumerate() {
+            if token.len() != expected_ns {
+                return Err(BackendError::ShapeMismatch {
+                    token: i,
+                    expected: expected_ns,
+                    got: token.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What one backend observed about one token. Outputs are always present;
+/// latency and energy only when the backend actually measures or models
+/// them (the functional backend reports neither).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenObservation {
+    /// One 16-bit result per decoder chain — bit-exact across backends.
+    pub outputs: Vec<i16>,
+    /// Request-to-capture latency in physical time, when measured. In
+    /// pipelined RTL mode this includes time queued behind earlier tokens.
+    pub latency: Option<Seconds>,
+    /// Switching energy attributed to this token, when measured. Pipelined
+    /// RTL streams only report the batch aggregate.
+    pub energy: Option<Joules>,
+}
+
+/// The result of running one [`TokenBatch`] through one backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResult {
+    /// Which backend produced this result (for logs and reports).
+    pub backend: &'static str,
+    /// One observation per input token, in submission order.
+    pub tokens: Vec<TokenObservation>,
+    /// Simulated/modelled wall time for the whole batch, when available.
+    pub makespan: Option<Seconds>,
+    /// Total switching energy of the batch, when measured.
+    pub energy: Option<Joules>,
+}
+
+impl BatchResult {
+    /// The per-token output vectors, in submission order.
+    pub fn outputs(&self) -> Vec<&[i16]> {
+        self.tokens.iter().map(|t| t.outputs.as_slice()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_batches_are_rejected() {
+        assert_eq!(TokenBatch::new(vec![]), Err(BackendError::EmptyBatch));
+        assert_eq!(
+            TokenBatch::from_f32_rows(&[], 2, QuantScale::UNIT),
+            Err(BackendError::EmptyBatch)
+        );
+    }
+
+    #[test]
+    fn shape_check_names_the_offender() {
+        let batch = TokenBatch::new(vec![
+            vec![[0i8; SUBVECTOR_LEN]; 2],
+            vec![[0i8; SUBVECTOR_LEN]; 3],
+        ])
+        .unwrap();
+        assert_eq!(
+            batch.check_shape(2),
+            Err(BackendError::ShapeMismatch {
+                token: 1,
+                expected: 2,
+                got: 3,
+            })
+        );
+        assert!(batch.check_shape(2).is_err());
+    }
+
+    #[test]
+    fn f32_rows_quantize_like_the_hand_rolled_glue() {
+        let row: Vec<f32> = (0..18).map(|i| i as f32 - 9.0).collect();
+        let scale = QuantScale::UNIT;
+        let batch = TokenBatch::from_f32_rows(&[&row], 2, scale).unwrap();
+        let token = &batch.tokens()[0];
+        assert_eq!(token.len(), 2);
+        for (s, chunk) in row.chunks(SUBVECTOR_LEN).enumerate() {
+            for (e, &v) in chunk.iter().enumerate() {
+                assert_eq!(token[s][e], scale.quantize(v));
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_rows_are_rejected_not_truncated() {
+        let row: Vec<f32> = vec![1.0; 3 * SUBVECTOR_LEN];
+        assert_eq!(
+            TokenBatch::from_f32_rows(&[&row], 2, QuantScale::UNIT),
+            Err(BackendError::ShapeMismatch {
+                token: 0,
+                expected: 2,
+                got: 3,
+            })
+        );
+        // A row that exactly fills, or underfills, its subvectors is fine.
+        assert!(TokenBatch::from_f32_rows(&[&row], 3, QuantScale::UNIT).is_ok());
+        assert!(TokenBatch::from_f32_rows(&[&row[..5]], 3, QuantScale::UNIT).is_ok());
+    }
+
+    #[test]
+    fn random_batches_are_deterministic() {
+        let a = TokenBatch::random(3, 4, 7);
+        let b = TokenBatch::random(3, 4, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+        assert_eq!(a.tokens()[0].len(), 3);
+    }
+}

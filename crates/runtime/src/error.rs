@@ -1,0 +1,154 @@
+//! The unified error type of the execution API.
+
+use core::fmt;
+use maddpipe_core::macro_rtl::TokenError;
+use maddpipe_sim::engine::OscillationError;
+
+/// Everything that can go wrong building or running a backend — one typed
+/// enum in place of the previous mix of `assert!` panics and raw
+/// [`OscillationError`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendError {
+    /// A batch must carry at least one token.
+    EmptyBatch,
+    /// A token does not provide one subvector per pipeline stage.
+    ShapeMismatch {
+        /// Index of the offending token within the batch.
+        token: usize,
+        /// Pipeline stages the macro was configured with.
+        expected: usize,
+        /// Subvectors the token actually carries.
+        got: usize,
+    },
+    /// The program's shape disagrees with the macro configuration.
+    ProgramMismatch {
+        /// Decoders per block in the configuration.
+        cfg_ndec: usize,
+        /// Pipeline stages in the configuration.
+        cfg_ns: usize,
+        /// Decoders per block in the program.
+        program_ndec: usize,
+        /// Pipeline stages in the program.
+        program_ns: usize,
+    },
+    /// The program cannot be executed by this backend (e.g. a hash tree
+    /// whose depth differs from the hardware's fixed 4 levels).
+    MalformedProgram {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A session was built without a program.
+    MissingProgram,
+    /// The RTL netlist failed to settle — a handshake bug or a
+    /// combinational loop.
+    Oscillation(OscillationError),
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::EmptyBatch => write!(f, "a token batch must not be empty"),
+            BackendError::ShapeMismatch {
+                token,
+                expected,
+                got,
+            } => write!(
+                f,
+                "token {token} carries {got} subvectors but the macro has {expected} stages"
+            ),
+            BackendError::ProgramMismatch {
+                cfg_ndec,
+                cfg_ns,
+                program_ndec,
+                program_ns,
+            } => write!(
+                f,
+                "program shape Ndec={program_ndec}/NS={program_ns} does not match \
+                 configuration Ndec={cfg_ndec}/NS={cfg_ns}"
+            ),
+            BackendError::MalformedProgram { reason } => {
+                write!(f, "malformed program: {reason}")
+            }
+            BackendError::MissingProgram => {
+                write!(f, "session builder needs a program before build()")
+            }
+            BackendError::Oscillation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BackendError::Oscillation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OscillationError> for BackendError {
+    fn from(e: OscillationError) -> BackendError {
+        BackendError::Oscillation(e)
+    }
+}
+
+impl From<TokenError> for BackendError {
+    fn from(e: TokenError) -> BackendError {
+        match e {
+            TokenError::ShapeMismatch {
+                token,
+                expected,
+                got,
+            } => BackendError::ShapeMismatch {
+                token,
+                expected,
+                got,
+            },
+            TokenError::EmptyStream => BackendError::EmptyBatch,
+            TokenError::Oscillation(o) => BackendError::Oscillation(o),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maddpipe_sim::time::SimTime;
+
+    #[test]
+    fn displays_are_informative() {
+        let s = BackendError::ShapeMismatch {
+            token: 3,
+            expected: 4,
+            got: 2,
+        }
+        .to_string();
+        assert!(s.contains("token 3") && s.contains('4') && s.contains('2'));
+        assert!(BackendError::EmptyBatch.to_string().contains("empty"));
+        let o = BackendError::from(OscillationError {
+            events: 9,
+            time: SimTime::ZERO,
+        });
+        assert!(o.to_string().contains("quiescence"));
+    }
+
+    #[test]
+    fn token_errors_translate() {
+        assert_eq!(
+            BackendError::from(TokenError::EmptyStream),
+            BackendError::EmptyBatch
+        );
+        assert_eq!(
+            BackendError::from(TokenError::ShapeMismatch {
+                token: 1,
+                expected: 2,
+                got: 3,
+            }),
+            BackendError::ShapeMismatch {
+                token: 1,
+                expected: 2,
+                got: 3,
+            }
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! The pure-math throughput backend.
+
+use crate::backend::MacroBackend;
+use crate::batch::{BatchResult, TokenBatch, TokenObservation};
+use crate::error::BackendError;
+use maddpipe_core::macro_rtl::MacroProgram;
+
+/// Executes batches with [`MacroProgram::reference_output`] — the exact
+/// wrapping-i16 LUT semantics of the silicon, with no timing model —
+/// sharding tokens across OS threads for throughput.
+///
+/// Observations carry outputs only: a functional evaluation measures
+/// neither latency nor energy.
+#[derive(Debug, Clone)]
+pub struct FunctionalBackend {
+    program: MacroProgram,
+    workers: usize,
+}
+
+impl FunctionalBackend {
+    /// Single-threaded backend for `program`.
+    pub fn new(program: MacroProgram) -> FunctionalBackend {
+        FunctionalBackend::with_workers(program, 1)
+    }
+
+    /// Backend sharding each batch across `workers` threads (clamped to at
+    /// least 1).
+    pub fn with_workers(program: MacroProgram, workers: usize) -> FunctionalBackend {
+        FunctionalBackend {
+            program,
+            workers: workers.max(1),
+        }
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &MacroProgram {
+        &self.program
+    }
+
+    /// Worker threads used per batch.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl MacroBackend for FunctionalBackend {
+    fn name(&self) -> &'static str {
+        "functional"
+    }
+
+    fn run_batch(&mut self, batch: &TokenBatch) -> Result<BatchResult, BackendError> {
+        batch.check_shape(self.program.ns())?;
+        let tokens = batch.tokens();
+        let outputs: Vec<Vec<i16>> = if self.workers == 1 || tokens.len() == 1 {
+            tokens
+                .iter()
+                .map(|t| self.program.reference_output(t))
+                .collect()
+        } else {
+            // Contiguous shards, one per worker; joining in spawn order
+            // restores submission order.
+            let chunk = tokens.len().div_ceil(self.workers);
+            let program = &self.program;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = tokens
+                    .chunks(chunk)
+                    .map(|shard| {
+                        scope.spawn(move || {
+                            shard
+                                .iter()
+                                .map(|t| program.reference_output(t))
+                                .collect::<Vec<Vec<i16>>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("worker thread must not panic"))
+                    .collect()
+            })
+        };
+        Ok(BatchResult {
+            backend: self.name(),
+            tokens: outputs
+                .into_iter()
+                .map(|outputs| TokenObservation {
+                    outputs,
+                    latency: None,
+                    energy: None,
+                })
+                .collect(),
+            makespan: None,
+            energy: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_and_serial_agree() {
+        let program = MacroProgram::random(3, 4, 77);
+        let batch = TokenBatch::random(4, 23, 5);
+        let mut serial = FunctionalBackend::new(program.clone());
+        let mut sharded = FunctionalBackend::with_workers(program, 4);
+        let a = serial.run_batch(&batch).unwrap();
+        let b = sharded.run_batch(&batch).unwrap();
+        assert_eq!(a.outputs(), b.outputs());
+        assert_eq!(a.tokens.len(), 23);
+        assert!(a.tokens[0].latency.is_none() && a.tokens[0].energy.is_none());
+    }
+
+    #[test]
+    fn zero_workers_clamp_to_one() {
+        let program = MacroProgram::random(1, 1, 0);
+        assert_eq!(FunctionalBackend::with_workers(program, 0).workers(), 1);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let program = MacroProgram::random(2, 2, 1);
+        let mut backend = FunctionalBackend::new(program);
+        let batch = TokenBatch::random(3, 2, 9);
+        assert_eq!(
+            backend.run_batch(&batch),
+            Err(BackendError::ShapeMismatch {
+                token: 0,
+                expected: 2,
+                got: 3,
+            })
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! # maddpipe-runtime
+//!
+//! The workspace's execution API: one way to run the paper's LUT macro,
+//! whatever the level of modelling detail.
+//!
+//! Historically every test, example and bench hand-rolled its own glue
+//! around three disjoint entry points — the event-driven netlist
+//! ([`maddpipe_core::macro_rtl::AcceleratorRtl`]), the pure LUT math
+//! ([`maddpipe_core::macro_rtl::MacroProgram::reference_output`]) and the
+//! closed-form PPA model ([`maddpipe_core::model::MacroModel`]). This
+//! crate unifies them behind one [`MacroBackend`] trait consuming
+//! [`TokenBatch`]es and producing [`BatchResult`]s:
+//!
+//! | backend | outputs | latency | energy | use it for |
+//! |---|---|---|---|---|
+//! | [`FunctionalBackend`] | bit-exact | — | — | throughput, golden refs |
+//! | [`RtlBackend`] | bit-exact | measured | measured | fidelity, timing |
+//! | [`AnalyticBackend`] | bit-exact | modelled (data-dependent) | modelled | planning, sweeps |
+//!
+//! On top sits the [`Session`] builder, which owns batching and aggregate
+//! [`SessionStats`] (tokens/s, total energy, p50/p99 token latency):
+//!
+//! ```
+//! use maddpipe_runtime::prelude::*;
+//! use maddpipe_core::prelude::*;
+//!
+//! let cfg = MacroConfig::new(2, 2);
+//! let program = MacroProgram::random(cfg.ndec, cfg.ns, 42);
+//! let mut session = Session::builder(cfg)
+//!     .program(program)
+//!     .backend(BackendKind::Rtl { fidelity: Fidelity::Pipelined })
+//!     .build()
+//!     .expect("program fits the configuration");
+//! let result = session.run(&TokenBatch::random(2, 4, 7)).expect("runs");
+//! assert_eq!(result.tokens.len(), 4); // per-token outputs, even pipelined
+//! println!("{}", session.stats());
+//! ```
+//!
+//! Every failure mode is a typed [`BackendError`] — malformed tokens and
+//! empty batches included, where the low-level testbench used to panic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod backend;
+pub mod batch;
+pub mod error;
+pub mod functional;
+pub mod rtl;
+pub mod session;
+
+pub use analytic::AnalyticBackend;
+pub use backend::{validate_program, BackendKind, Fidelity, MacroBackend};
+pub use batch::{BatchResult, Token, TokenBatch, TokenObservation};
+pub use error::BackendError;
+pub use functional::FunctionalBackend;
+pub use rtl::RtlBackend;
+pub use session::{Session, SessionBuilder, SessionStats};
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::analytic::AnalyticBackend;
+    pub use crate::backend::{BackendKind, Fidelity, MacroBackend};
+    pub use crate::batch::{BatchResult, Token, TokenBatch, TokenObservation};
+    pub use crate::error::BackendError;
+    pub use crate::functional::FunctionalBackend;
+    pub use crate::rtl::RtlBackend;
+    pub use crate::session::{Session, SessionBuilder, SessionStats};
+}

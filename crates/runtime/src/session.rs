@@ -1,0 +1,359 @@
+//! Batched inference sessions: one builder, one `run` call, aggregate
+//! statistics — regardless of which backend executes.
+
+use crate::analytic::AnalyticBackend;
+use crate::backend::{validate_program, BackendKind, MacroBackend};
+use crate::batch::{BatchResult, TokenBatch};
+use crate::error::BackendError;
+use crate::functional::FunctionalBackend;
+use crate::rtl::RtlBackend;
+use core::fmt;
+use maddpipe_core::config::MacroConfig;
+use maddpipe_core::macro_rtl::{AcceleratorRtl, MacroProgram};
+use maddpipe_tech::units::{Joules, Seconds};
+use std::time::{Duration, Instant};
+
+/// Builder for a [`Session`]; see [`Session::builder`].
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    cfg: MacroConfig,
+    program: Option<MacroProgram>,
+    kind: BackendKind,
+}
+
+impl SessionBuilder {
+    /// Sets the program to load into the macro (required).
+    #[must_use]
+    pub fn program(mut self, program: MacroProgram) -> SessionBuilder {
+        self.program = Some(program);
+        self
+    }
+
+    /// Picks the executing backend (defaults to single-threaded
+    /// functional).
+    #[must_use]
+    pub fn backend(mut self, kind: BackendKind) -> SessionBuilder {
+        self.kind = kind;
+        self
+    }
+
+    /// Validates the program against the configuration and constructs the
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::MissingProgram`] when no program was set,
+    /// and the constructor errors of the chosen backend
+    /// ([`BackendError::ProgramMismatch`],
+    /// [`BackendError::MalformedProgram`]).
+    pub fn build(self) -> Result<Session, BackendError> {
+        let program = self.program.ok_or(BackendError::MissingProgram)?;
+        validate_program(&self.cfg, &program)?;
+        let backend: Box<dyn MacroBackend> = match self.kind {
+            BackendKind::Functional { workers } => {
+                Box::new(FunctionalBackend::with_workers(program, workers))
+            }
+            BackendKind::Rtl { fidelity } => {
+                Box::new(RtlBackend::new(&self.cfg, &program, fidelity)?)
+            }
+            BackendKind::Analytic => Box::new(AnalyticBackend::new(&self.cfg, program)?),
+        };
+        Ok(Session {
+            cfg: self.cfg,
+            backend,
+            stats: SessionStats::default(),
+        })
+    }
+}
+
+/// A long-lived inference session: owns one programmed backend, accepts
+/// [`TokenBatch`]es, and accumulates [`SessionStats`] across batches.
+///
+/// ```
+/// use maddpipe_runtime::prelude::*;
+/// use maddpipe_core::prelude::*;
+///
+/// let cfg = MacroConfig::new(2, 2);
+/// let program = MacroProgram::random(cfg.ndec, cfg.ns, 7);
+/// let mut session = Session::builder(cfg)
+///     .program(program.clone())
+///     .backend(BackendKind::Functional { workers: 2 })
+///     .build()
+///     .unwrap();
+/// let batch = TokenBatch::random(2, 16, 1);
+/// let result = session.run(&batch).unwrap();
+/// assert_eq!(result.tokens[0].outputs,
+///            program.reference_output(&batch.tokens()[0]));
+/// assert_eq!(session.stats().tokens(), 16);
+/// ```
+pub struct Session {
+    cfg: MacroConfig,
+    backend: Box<dyn MacroBackend>,
+    stats: SessionStats,
+}
+
+impl Session {
+    /// Starts building a session for one macro configuration.
+    pub fn builder(cfg: MacroConfig) -> SessionBuilder {
+        SessionBuilder {
+            cfg,
+            program: None,
+            kind: BackendKind::default(),
+        }
+    }
+
+    /// Wraps a caller-constructed backend (downstream crates can implement
+    /// [`MacroBackend`] and still get sessions and stats).
+    pub fn from_backend(cfg: MacroConfig, backend: Box<dyn MacroBackend>) -> Session {
+        Session {
+            cfg,
+            backend,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Runs one batch and folds its measurements into the session stats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's [`BackendError`]s; a failed batch
+    /// contributes nothing to the statistics.
+    pub fn run(&mut self, batch: &TokenBatch) -> Result<BatchResult, BackendError> {
+        let t0 = Instant::now();
+        let result = self.backend.run_batch(batch)?;
+        self.stats.absorb(&result, t0.elapsed());
+        Ok(result)
+    }
+
+    /// Aggregate statistics over every successful batch so far.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// The executing backend's name.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// The session's macro configuration.
+    pub fn config(&self) -> &MacroConfig {
+        &self.cfg
+    }
+
+    /// The backend's netlist, when it drives one (RTL backends) — for
+    /// probing violations or enabling waveform tracing from tests.
+    pub fn rtl(&self) -> Option<&AcceleratorRtl> {
+        self.backend.rtl()
+    }
+
+    /// Mutable netlist access, when the backend drives one — for energy
+    /// resets, event caps and tracing.
+    pub fn rtl_mut(&mut self) -> Option<&mut AcceleratorRtl> {
+        self.backend.rtl_mut()
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("backend", &self.backend.name())
+            .field("cfg", &self.cfg)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// Aggregate measurements across every batch a [`Session`] has run.
+#[derive(Debug, Clone, Default)]
+pub struct SessionStats {
+    tokens: u64,
+    batches: u64,
+    wall: Duration,
+    energy: Joules,
+    measured_energy: bool,
+    /// Kept sorted (re-sorted once per absorbed batch), so percentile
+    /// queries are a direct index instead of a clone-and-sort.
+    latencies: Vec<f64>,
+}
+
+impl SessionStats {
+    fn absorb(&mut self, result: &BatchResult, wall: Duration) {
+        self.tokens += result.tokens.len() as u64;
+        self.batches += 1;
+        self.wall += wall;
+        if let Some(e) = result.energy {
+            self.energy += e;
+            self.measured_energy = true;
+        } else {
+            let mut any = false;
+            for obs in &result.tokens {
+                if let Some(e) = obs.energy {
+                    self.energy += e;
+                    any = true;
+                }
+            }
+            self.measured_energy |= any;
+        }
+        let unsorted_from = self.latencies.len();
+        self.latencies.extend(
+            result
+                .tokens
+                .iter()
+                .filter_map(|t| t.latency)
+                .map(|l| l.value()),
+        );
+        if self.latencies.len() > unsorted_from {
+            self.latencies
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        }
+    }
+
+    /// Tokens run so far.
+    pub fn tokens(&self) -> u64 {
+        self.tokens
+    }
+
+    /// Batches run so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Host wall-clock time spent inside [`Session::run`].
+    pub fn wall_time(&self) -> Duration {
+        self.wall
+    }
+
+    /// Host-side throughput: tokens per wall-clock second.
+    pub fn tokens_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.tokens as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Total measured/modelled energy, when any backend reported it.
+    pub fn total_energy(&self) -> Option<Joules> {
+        self.measured_energy.then_some(self.energy)
+    }
+
+    /// Median per-token latency, when measured.
+    pub fn p50_token_latency(&self) -> Option<Seconds> {
+        self.percentile(50.0)
+    }
+
+    /// 99th-percentile per-token latency, when measured.
+    pub fn p99_token_latency(&self) -> Option<Seconds> {
+        self.percentile(99.0)
+    }
+
+    /// Arbitrary latency percentile (nearest-rank), when measured.
+    pub fn percentile(&self, p: f64) -> Option<Seconds> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.latencies.len() as f64).ceil() as usize;
+        Some(Seconds(
+            self.latencies[rank.clamp(1, self.latencies.len()) - 1],
+        ))
+    }
+}
+
+impl fmt::Display for SessionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tokens in {} batches, {:.0} tokens/s",
+            self.tokens,
+            self.batches,
+            self.tokens_per_sec()
+        )?;
+        if let (Some(p50), Some(p99)) = (self.p50_token_latency(), self.p99_token_latency()) {
+            write!(f, ", token latency p50 {p50} / p99 {p99}")?;
+        }
+        if let Some(e) = self.total_energy() {
+            write!(f, ", {e} total")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Fidelity;
+
+    #[test]
+    fn builder_requires_a_program() {
+        assert_eq!(
+            Session::builder(MacroConfig::new(1, 1))
+                .build()
+                .unwrap_err(),
+            BackendError::MissingProgram
+        );
+    }
+
+    #[test]
+    fn builder_rejects_mismatched_programs() {
+        let err = Session::builder(MacroConfig::new(2, 2))
+            .program(MacroProgram::random(2, 3, 0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BackendError::ProgramMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn stats_accumulate_across_batches() {
+        let cfg = MacroConfig::new(2, 2);
+        let program = MacroProgram::random(2, 2, 5);
+        let mut s = Session::builder(cfg)
+            .program(program)
+            .backend(BackendKind::Analytic)
+            .build()
+            .unwrap();
+        s.run(&TokenBatch::random(2, 3, 1)).unwrap();
+        s.run(&TokenBatch::random(2, 5, 2)).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.tokens(), 8);
+        assert_eq!(stats.batches(), 2);
+        assert!(stats.total_energy().unwrap().value() > 0.0);
+        let p50 = stats.p50_token_latency().unwrap();
+        let p99 = stats.p99_token_latency().unwrap();
+        assert!(p50 <= p99 && p50.value() > 0.0);
+        let text = stats.to_string();
+        assert!(text.contains("8 tokens") && text.contains("p50"), "{text}");
+    }
+
+    #[test]
+    fn failed_batches_do_not_pollute_stats() {
+        let cfg = MacroConfig::new(1, 2);
+        let mut s = Session::builder(cfg)
+            .program(MacroProgram::random(1, 2, 5))
+            .build()
+            .unwrap();
+        let wrong = TokenBatch::random(3, 2, 1);
+        assert!(s.run(&wrong).is_err());
+        assert_eq!(s.stats().tokens(), 0);
+        assert_eq!(s.stats().batches(), 0);
+        assert!(s.stats().p50_token_latency().is_none());
+        assert!(s.stats().total_energy().is_none());
+        assert!(s.rtl().is_none(), "functional backend has no netlist");
+    }
+
+    #[test]
+    fn rtl_sessions_expose_the_netlist() {
+        let cfg = MacroConfig::new(1, 1);
+        let mut s = Session::builder(cfg)
+            .program(MacroProgram::random(1, 1, 2))
+            .backend(BackendKind::Rtl {
+                fidelity: Fidelity::Sequential,
+            })
+            .build()
+            .unwrap();
+        s.run(&TokenBatch::random(1, 2, 3)).unwrap();
+        assert!(s.rtl().unwrap().simulator().violations().is_empty());
+        assert_eq!(s.backend_name(), "rtl-sequential");
+        assert!(s.stats().tokens_per_sec() > 0.0);
+    }
+}

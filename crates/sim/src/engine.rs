@@ -528,6 +528,24 @@ impl Simulator {
         self.observers = true;
     }
 
+    /// Discards the recorded waveform entries, keeping the traced-net set.
+    /// Long-lived testbenches that replay the trace after every run call
+    /// this between runs so the recording does not grow without bound.
+    pub fn clear_trace(&mut self) {
+        self.trace.clear_entries();
+    }
+
+    /// Stops waveform recording on a net (recorded entries are kept).
+    pub fn untrace_net(&mut self, net: NetId) {
+        self.trace.disable(net);
+        self.observers = self.trace.any_enabled() || !self.watches.is_empty();
+    }
+
+    /// `true` while the net is being recorded.
+    pub fn is_traced(&self, net: NetId) -> bool {
+        self.trace.is_enabled(net)
+    }
+
     /// Enables waveform recording on every net (verbose; prefer
     /// [`Simulator::trace_net`] on the handful of nets of interest).
     pub fn trace_all(&mut self) {

@@ -19,7 +19,7 @@
 //! * [`engine`] — the event kernel: inertial/transport delays, oscillation
 //!   detection, deterministic replay; delta-cycle batched, allocation-free
 //!   on the hot path.
-//! * [`reference`] — a deliberately naive kernel with identical semantics,
+//! * [`reference`](mod@reference) — a deliberately naive kernel with identical semantics,
 //!   kept as the executable specification for golden-equivalence tests.
 //! * [`energy`] — per-domain switched-energy accounting (regenerates the
 //!   paper's Fig. 7 energy breakdown).

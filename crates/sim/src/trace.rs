@@ -45,6 +45,14 @@ impl Trace {
         self.any_enabled = true;
     }
 
+    /// Stops recording a net (already-recorded entries are kept). When the
+    /// last net is disabled the kernel's fully-untraced fast path is
+    /// restored.
+    pub fn disable(&mut self, net: NetId) {
+        self.enabled[net.index()] = false;
+        self.any_enabled = self.enabled.iter().any(|&e| e);
+    }
+
     /// `true` if the net is being recorded.
     pub fn is_enabled(&self, net: NetId) -> bool {
         self.enabled[net.index()]
@@ -69,6 +77,13 @@ impl Trace {
     /// All recorded entries in time order.
     pub fn entries(&self) -> &[TraceEntry] {
         &self.entries
+    }
+
+    /// Discards the recorded entries while keeping the enabled-net set —
+    /// testbenches that observe the same nets over many runs reset the
+    /// recording between runs instead of accumulating entries forever.
+    pub fn clear_entries(&mut self) {
+        self.entries.clear();
     }
 
     /// Entries for one net, in time order.

@@ -52,7 +52,7 @@ fn main() {
         mapping.image_latency(&model)
     );
 
-    // Extract the trained layer-1 operator and drive the netlist with it.
+    // Extract the trained layer-1 operator and open an RTL session on it.
     let op = {
         let conv = &mut amm_net.layer1.conv;
         match &conv.exec {
@@ -63,31 +63,38 @@ fn main() {
     let program = MacroProgram::from_maddness(&op);
     let rtl_cfg = MacroConfig::new(op.out_features(), op.num_subspaces())
         .with_op(OperatingPoint::new(Volts(0.5), Corner::Ttg));
-    let mut rtl = AcceleratorRtl::build(&rtl_cfg, &program);
-    // One output pixel of one test image = one token.
+    let mut session = Session::builder(rtl_cfg)
+        .program(program)
+        .backend(BackendKind::Rtl {
+            fidelity: Fidelity::Sequential,
+        })
+        .build()
+        .expect("layer program fits the macro");
+    // A few output pixels of one test image = one token batch.
     let (img, _) = test_set.batch(0, 1);
     let patches = maddpipe::nn::layers::im2col3x3(&{
         // layer1 input = prep block output.
         let mut prep = net.prep.clone();
         prep.forward(&img, false)
     });
-    let scale = op.input_scale();
-    let mut token = vec![[0i8; SUBVECTOR_LEN]; op.num_subspaces()];
-    for (s, chunk) in patches.row(0).chunks(9).enumerate() {
-        for (e, &v) in chunk.iter().enumerate() {
-            token[s][e] = scale.quantize(v);
-        }
+    let pixel_rows: Vec<&[f32]> = (0..4).map(|p| patches.row(p * 64)).collect();
+    let batch = TokenBatch::from_f32_rows(&pixel_rows, op.num_subspaces(), op.input_scale())
+        .expect("non-empty batch");
+    let result = session.run(&batch).expect("batch completes");
+    for (p, (obs, row)) in result.tokens.iter().zip(&pixel_rows).enumerate() {
+        let reference = op.decode_i16_wrapping(&op.encode_quantized(&Mat::from_rows(&[row])));
+        assert_eq!(obs.outputs, reference[0], "pixel {p}: netlist ≡ algorithm");
     }
-    let result = rtl.run_token(&token).expect("token completes");
-    let reference =
-        op.decode_i16_wrapping(&op.encode_quantized(&Mat::from_rows(&[patches.row(0)])));
-    assert_eq!(result.outputs, reference[0], "netlist ≡ algorithm");
     println!(
-        "\none output pixel through the netlist: {} kernels in {}, {} \
-         (bit-identical to the algorithm)",
-        result.outputs.len(),
-        result.latency,
-        result.energy
+        "\n{} output pixels through the netlist: {} kernels each, {} \
+         (bit-identical to the algorithm; p50 token latency {})",
+        result.tokens.len(),
+        result.tokens[0].outputs.len(),
+        result.energy.expect("RTL measures energy"),
+        session
+            .stats()
+            .p50_token_latency()
+            .expect("RTL measures latency"),
     );
     let report = model.evaluate();
     println!(

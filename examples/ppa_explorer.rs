@@ -1,7 +1,10 @@
 //! Design-space exploration: sweep the macro's two architectural knobs
 //! (Ndec, NS) and the supply voltage, print the PPA landscape, and mark
 //! the Pareto-efficient points in the (TOPS/W, TOPS/mm²) plane — the
-//! trade-off the paper's Fig. 6 and Table I explore.
+//! trade-off the paper's Fig. 6 and Table I explore. The Pareto points
+//! are then exercised with real tokens on the analytic backend of the
+//! `Session` API, whose per-token latency follows each token's actual
+//! comparator ripple depths.
 //!
 //! Run with: `cargo run --example ppa_explorer --release`
 
@@ -53,4 +56,34 @@ fn main() {
          marginal efficiency but amplifies local-variation risk (Table I discussion).\n\
          energy efficiency is set by VDD; area efficiency by VDD and Ndec."
     );
+
+    // ── Token-level view of the Pareto points ──────────────────────────
+    // The sweep above is envelope arithmetic; an analytic `Session` runs
+    // actual tokens, so the latency spread (p50 vs p99) reflects the
+    // data-dependent DLC ripple of real inputs rather than best/worst
+    // bounds.
+    println!("\nPareto points under a 256-token batch (analytic backend):");
+    for ((ndec, ns, vdd, _), is_pareto) in points.iter().zip(&pareto) {
+        if !*is_pareto {
+            continue;
+        }
+        let cfg =
+            MacroConfig::new(*ndec, *ns).with_op(OperatingPoint::new(Volts(*vdd), Corner::Ttg));
+        let program = MacroProgram::random(*ndec, *ns, 42);
+        let mut session = Session::builder(cfg)
+            .program(program)
+            .backend(BackendKind::Analytic)
+            .build()
+            .expect("random program fits its own shape");
+        session
+            .run(&TokenBatch::random(*ns, 256, 7))
+            .expect("analytic batch completes");
+        let stats = session.stats();
+        println!(
+            "  Ndec={ndec:<2} NS={ns:<2} {vdd:.1}V: token latency p50 {} / p99 {}, energy {}",
+            stats.p50_token_latency().expect("analytic models latency"),
+            stats.p99_token_latency().expect("analytic models latency"),
+            stats.total_energy().expect("analytic models energy"),
+        );
+    }
 }

@@ -1,6 +1,8 @@
-//! Quickstart: train a MADDNESS operator, program the accelerator netlist,
-//! run tokens through the self-synchronous pipeline, and confirm the
-//! silicon-level result is bit-identical to the algorithm.
+//! Quickstart: train a MADDNESS operator, program the accelerator, and run
+//! the same token batch through two execution backends of the unified
+//! `Session` API — the event-driven netlist and the threaded functional
+//! evaluator — confirming the silicon-level result is bit-identical to
+//! the algorithm.
 //!
 //! Run with: `cargo run --example quickstart --release`
 
@@ -44,43 +46,78 @@ fn main() {
         op.num_prototypes()
     );
 
-    // ── 3. Program the accelerator and run the pipeline ────────────────
+    // ── 3. Program the accelerator and open an inference session ───────
     let cfg = MacroConfig::new(op.out_features(), op.num_subspaces())
         .with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
     let program = MacroProgram::from_maddness(&op);
-    let mut rtl = AcceleratorRtl::build(&cfg, &program);
+    let mut rtl_session = Session::builder(cfg.clone())
+        .program(program.clone())
+        .backend(BackendKind::Rtl {
+            fidelity: Fidelity::Pipelined,
+        })
+        .build()
+        .expect("program fits the configuration");
     println!(
         "built macro: {} (cells: {}, nets: {})",
         cfg,
-        rtl.simulator().circuit().cell_count(),
-        rtl.simulator().circuit().net_count()
+        rtl_session
+            .rtl()
+            .expect("rtl backend")
+            .simulator()
+            .circuit()
+            .cell_count(),
+        rtl_session
+            .rtl()
+            .expect("rtl backend")
+            .simulator()
+            .circuit()
+            .net_count()
     );
 
-    let scale = op.input_scale();
-    let mut exact_matches = 0;
+    // Quantise ten calibration rows into one token batch and stream them
+    // through the self-synchronous pipeline with overlap.
     let n_tokens = 10;
-    for t in 0..n_tokens {
-        let row = x.row(t);
-        let mut token = vec![[0i8; SUBVECTOR_LEN]; op.num_subspaces()];
-        for (s, chunk) in row.chunks(9).enumerate() {
-            for (e, &v) in chunk.iter().enumerate() {
-                token[s][e] = scale.quantize(v);
-            }
-        }
-        let result = rtl.run_token(&token).expect("token completes");
-        let reference = op.decode_i16_wrapping(&op.encode_quantized(&Mat::from_rows(&[row])));
-        if result.outputs == reference[0] {
+    let rows10: Vec<&[f32]> = (0..n_tokens).map(|t| x.row(t)).collect();
+    let batch = TokenBatch::from_f32_rows(&rows10, op.num_subspaces(), op.input_scale())
+        .expect("non-empty batch");
+    let result = rtl_session.run(&batch).expect("batch completes");
+    let mut exact_matches = 0;
+    for (t, obs) in result.tokens.iter().enumerate() {
+        let reference = op.decode_i16_wrapping(&op.encode_quantized(&Mat::from_rows(&[x.row(t)])));
+        if obs.outputs == reference[0] {
             exact_matches += 1;
         }
-        if t == 0 {
-            println!(
-                "token 0: outputs {:?}, latency {}, energy {}",
-                result.outputs, result.latency, result.energy
-            );
-        }
     }
+    println!(
+        "token 0: outputs {:?}, latency {}",
+        result.tokens[0].outputs,
+        result.tokens[0].latency.expect("RTL measures latency"),
+    );
+    println!(
+        "pipelined batch: makespan {}, energy {}",
+        result.makespan.expect("RTL measures time"),
+        result.energy.expect("RTL measures energy"),
+    );
     println!("{exact_matches}/{n_tokens} tokens bit-identical between netlist and algorithm");
     assert_eq!(exact_matches, n_tokens);
+
+    // The same batch through the threaded functional backend — same API,
+    // same bits, no netlist.
+    let mut fun_session = Session::builder(cfg.clone())
+        .program(program)
+        .backend(BackendKind::Functional { workers: 2 })
+        .build()
+        .expect("program fits the configuration");
+    let fun = fun_session.run(&batch).expect("batch completes");
+    assert_eq!(
+        fun.outputs(),
+        result.outputs(),
+        "backends agree bit for bit"
+    );
+    println!(
+        "functional backend agrees on all {n_tokens} tokens; session stats: {}",
+        rtl_session.stats()
+    );
 
     // ── 4. The paper's flagship PPA ─────────────────────────────────────
     let report = MacroModel::new(

@@ -16,6 +16,7 @@
 //! | [`sram`] | two-port 10T-SRAM columns, read-completion detection, replica study |
 //! | [`amm`] | the MADDNESS algorithm: BDT hashing, ridge prototypes, INT8 LUTs |
 //! | [`core`] | the accelerator: DLC encoder, decoders, self-synchronous pipeline, PPA model |
+//! | [`runtime`] | the execution API: batched [`runtime::Session`]s over functional / RTL / analytic backends |
 //! | [`baselines`] | models of the compared accelerators (\[21\] analog DTC, \[22\] Stella Nera) |
 //! | [`nn`] | ResNet9 + synthetic CIFAR + MADDNESS layer substitution |
 //!
@@ -48,6 +49,7 @@ pub use maddpipe_amm as amm;
 pub use maddpipe_baselines as baselines;
 pub use maddpipe_core as core;
 pub use maddpipe_nn as nn;
+pub use maddpipe_runtime as runtime;
 pub use maddpipe_sim as sim;
 pub use maddpipe_sram as sram;
 pub use maddpipe_tech as tech;
@@ -58,5 +60,6 @@ pub mod prelude {
     pub use maddpipe_baselines::prelude::*;
     pub use maddpipe_core::prelude::*;
     pub use maddpipe_nn::prelude::*;
+    pub use maddpipe_runtime::prelude::*;
     pub use maddpipe_sram::{ReplicaStudy, SramModel};
 }

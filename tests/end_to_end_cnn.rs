@@ -38,29 +38,41 @@ fn trained_cnn_layer_runs_on_the_netlist() {
     assert_eq!(mapping.tokens, 256);
     assert!((mapping.utilization - 1.0).abs() < 1e-12);
 
-    // Run three real patches through the netlist.
+    // Run three real patches through the netlist — one pipelined batch on
+    // the session API, with per-token outputs captured at the strobe.
     let program = MacroProgram::from_maddness(&op);
     let rtl_cfg = MacroConfig::new(8, 4).with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
-    let mut rtl = AcceleratorRtl::build(&rtl_cfg, &program);
+    let mut session = Session::builder(rtl_cfg)
+        .program(program)
+        .backend(BackendKind::Rtl {
+            fidelity: Fidelity::Pipelined,
+        })
+        .build()
+        .expect("layer program fits the macro");
     let (img, _) = train_set.batch(0, 1);
     let prep_out = {
         let mut prep = net.prep.clone();
         prep.forward(&img, false)
     };
     let patches = im2col3x3(&prep_out);
-    let scale = op.input_scale();
-    for row_idx in [0usize, 100, 255] {
-        let row = patches.row(row_idx);
-        let mut token = vec![[0i8; SUBVECTOR_LEN]; 4];
-        for (s, chunk) in row.chunks(9).enumerate() {
-            for (e, &v) in chunk.iter().enumerate() {
-                token[s][e] = scale.quantize(v);
-            }
-        }
-        let result = rtl.run_token(&token).expect("token completes");
+    let pixels = [0usize, 100, 255];
+    let rows: Vec<&[f32]> = pixels.iter().map(|&r| patches.row(r)).collect();
+    let batch = TokenBatch::from_f32_rows(&rows, op.num_subspaces(), op.input_scale())
+        .expect("non-empty batch");
+    let result = session.run(&batch).expect("batch completes");
+    for ((obs, &row_idx), row) in result.tokens.iter().zip(&pixels).zip(&rows) {
         let expected = op.decode_i16_wrapping(&op.encode_quantized(&Mat::from_rows(&[row])));
-        assert_eq!(result.outputs, expected[0], "pixel {row_idx}");
+        assert_eq!(obs.outputs, expected[0], "pixel {row_idx}");
     }
+    assert!(
+        session
+            .rtl()
+            .expect("rtl backend")
+            .simulator()
+            .violations()
+            .is_empty(),
+        "pipelined streaming must not violate timing"
+    );
 }
 
 #[test]

@@ -40,27 +40,46 @@ fn quickstart_flow_end_to_end() {
         nmse(&exact, &approx)
     );
 
-    // 3. Program the netlist and push tokens through the self-synchronous
-    // pipeline: every token must match the deployed integer path bit for
-    // bit.
+    // 3. Program the netlist and stream a batch through the
+    // self-synchronous pipeline via the session API: every token must
+    // match the deployed integer path bit for bit, and the functional
+    // backend must agree.
     let cfg = MacroConfig::new(op.out_features(), op.num_subspaces())
         .with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
     let program = MacroProgram::from_maddness(&op);
-    let mut rtl = AcceleratorRtl::build(&cfg, &program);
-    let scale = op.input_scale();
-    for t in 0..5 {
-        let row = x.row(t);
-        let mut token = vec![[0i8; SUBVECTOR_LEN]; op.num_subspaces()];
-        for (s, chunk) in row.chunks(9).enumerate() {
-            for (e, &v) in chunk.iter().enumerate() {
-                token[s][e] = scale.quantize(v);
-            }
-        }
-        let result = rtl.run_token(&token).expect("token completes");
+    let mut session = Session::builder(cfg.clone())
+        .program(program.clone())
+        .backend(BackendKind::Rtl {
+            fidelity: Fidelity::Pipelined,
+        })
+        .build()
+        .expect("program fits the configuration");
+    let rows5: Vec<&[f32]> = (0..5).map(|t| x.row(t)).collect();
+    let batch = TokenBatch::from_f32_rows(&rows5, op.num_subspaces(), op.input_scale())
+        .expect("non-empty batch");
+    let result = session.run(&batch).expect("batch completes");
+    for (t, (obs, row)) in result.tokens.iter().zip(&rows5).enumerate() {
         let reference = op.decode_i16_wrapping(&op.encode_quantized(&Mat::from_rows(&[row])));
-        assert_eq!(result.outputs, reference[0], "token {t}");
+        assert_eq!(obs.outputs, reference[0], "token {t}");
     }
-    assert!(rtl.simulator().violations().is_empty());
+    assert!(session
+        .rtl()
+        .expect("rtl backend")
+        .simulator()
+        .violations()
+        .is_empty());
+    let mut functional = Session::builder(cfg)
+        .program(program)
+        .backend(BackendKind::Functional { workers: 2 })
+        .build()
+        .expect("program fits the configuration");
+    let fun = functional.run(&batch).expect("batch completes");
+    assert_eq!(
+        fun.outputs(),
+        result.outputs(),
+        "backends agree bit for bit"
+    );
+    assert_eq!(session.stats().tokens(), 5);
 
     // 4. The flagship PPA evaluation used by the quick start.
     let report = MacroModel::new(

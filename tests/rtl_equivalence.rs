@@ -1,24 +1,12 @@
 //! Cross-crate integration: the event-driven netlist must be functionally
 //! identical to the MADDNESS algorithm — for arbitrary programs, arbitrary
-//! inputs, and operators trained on real data.
+//! inputs, and operators trained on real data. All flows drive the macro
+//! through the unified `Session` API.
 
 use maddpipe::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-
-fn random_token(ns: usize, seed: u64) -> Vec<[i8; SUBVECTOR_LEN]> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..ns)
-        .map(|_| {
-            let mut x = [0i8; SUBVECTOR_LEN];
-            for v in x.iter_mut() {
-                *v = rng.gen_range(-128i32..=127) as i8;
-            }
-            x
-        })
-        .collect()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig {
@@ -38,12 +26,17 @@ proptest! {
         let cfg = MacroConfig::new(ndec, ns)
             .with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
         let program = MacroProgram::random(ndec, ns, program_seed);
-        let mut rtl = AcceleratorRtl::build(&cfg, &program);
-        for t in 0..3u64 {
-            let token = random_token(ns, token_seed.wrapping_add(t));
-            let result = rtl.run_token(&token).expect("token completes");
-            prop_assert_eq!(&result.outputs, &program.reference_output(&token));
+        let mut session = Session::builder(cfg)
+            .program(program.clone())
+            .backend(BackendKind::Rtl { fidelity: Fidelity::Sequential })
+            .build()
+            .expect("program fits");
+        let batch = TokenBatch::random(ns, 3, token_seed);
+        let result = session.run(&batch).expect("batch completes");
+        for (t, token) in batch.tokens().iter().enumerate() {
+            prop_assert_eq!(&result.tokens[t].outputs, &program.reference_output(token));
         }
+        let rtl = session.rtl().expect("rtl backend");
         prop_assert!(rtl.simulator().violations().is_empty(),
             "violations: {:?}", rtl.simulator().violations());
     }
@@ -77,19 +70,21 @@ fn trained_operator_matches_netlist_on_real_rows() {
     let program = MacroProgram::from_maddness(&op);
     let cfg = MacroConfig::new(op.out_features(), op.num_subspaces())
         .with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
-    let mut rtl = AcceleratorRtl::build(&cfg, &program);
-    let scale = op.input_scale();
-    for r in (0..x.rows()).step_by(37) {
-        let row = x.row(r);
-        let mut token = vec![[0i8; SUBVECTOR_LEN]; op.num_subspaces()];
-        for (s, chunk) in row.chunks(9).enumerate() {
-            for (e, &v) in chunk.iter().enumerate() {
-                token[s][e] = scale.quantize(v);
-            }
-        }
-        let result = rtl.run_token(&token).expect("token completes");
+    let mut session = Session::builder(cfg)
+        .program(program)
+        .backend(BackendKind::Rtl {
+            fidelity: Fidelity::Sequential,
+        })
+        .build()
+        .expect("trained program fits");
+    let picked: Vec<usize> = (0..x.rows()).step_by(37).collect();
+    let picked_rows: Vec<&[f32]> = picked.iter().map(|&r| x.row(r)).collect();
+    let batch = TokenBatch::from_f32_rows(&picked_rows, op.num_subspaces(), op.input_scale())
+        .expect("non-empty batch");
+    let result = session.run(&batch).expect("batch completes");
+    for ((obs, &r), row) in result.tokens.iter().zip(&picked).zip(&picked_rows) {
         let expected = op.decode_i16_wrapping(&op.encode_quantized(&Mat::from_rows(&[row])));
-        assert_eq!(result.outputs, expected[0], "row {r}");
+        assert_eq!(obs.outputs, expected[0], "row {r}");
     }
 }
 
@@ -106,14 +101,20 @@ fn extreme_lut_values_wrap_identically() {
             trees: vec![tree.clone(); 3],
             luts: vec![vec![[fill; 16]]; 3],
         };
-        let mut rtl = AcceleratorRtl::build(&cfg, &program);
-        let token = random_token(3, 5);
-        let result = rtl.run_token(&token).expect("token completes");
+        let mut session = Session::builder(cfg.clone())
+            .program(program.clone())
+            .backend(BackendKind::Rtl {
+                fidelity: Fidelity::Sequential,
+            })
+            .build()
+            .expect("program fits");
+        let batch = TokenBatch::random(3, 1, 5);
+        let result = session.run(&batch).expect("batch completes");
         assert_eq!(
-            result.outputs,
-            program.reference_output(&token),
+            result.tokens[0].outputs,
+            program.reference_output(&batch.tokens()[0]),
             "fill {fill}"
         );
-        assert_eq!(result.outputs[0], (fill as i16).wrapping_mul(3));
+        assert_eq!(result.tokens[0].outputs[0], (fill as i16).wrapping_mul(3));
     }
 }

@@ -228,7 +228,8 @@ pub mod collection {
     use core::ops::Range;
     use rand::Rng;
 
-    /// A length constraint for [`vec`]: either exact or a half-open range.
+    /// A length constraint for [`vec()`](fn@vec): either exact or a
+    /// half-open range.
     pub struct SizeRange {
         lo: usize,
         hi: usize, // exclusive
