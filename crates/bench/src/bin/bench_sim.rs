@@ -127,6 +127,28 @@ fn functional_tokens_per_sec(workers: usize) -> f64 {
     })
 }
 
+/// Sharded-backend throughput on a wide layer (64 decoder chains = 4×
+/// the flagship macro width) split across `shards` functional macro
+/// instances — the shard-scaling row of the snapshot. Like the
+/// functional thread scaling, interpret against `host_cpus`.
+fn sharded_tokens_per_sec(shards: usize) -> f64 {
+    let cfg = MacroConfig::new(64, MacroConfig::paper_flagship().ns);
+    let program = MacroProgram::random(cfg.ndec, cfg.ns, 7);
+    let batch = TokenBatch::random(cfg.ns, 512, 11);
+    let mut session = Session::builder(cfg)
+        .program(program)
+        .backend(BackendKind::Sharded {
+            shards,
+            inner: ShardKind::Functional { workers: 1 },
+        })
+        .build()
+        .expect("random program fits its own shape");
+    median_rate(7, || {
+        session.run(&batch).expect("batch completes");
+        batch.len() as u64
+    })
+}
+
 /// RTL-backend throughput on the small reference macro, per fidelity.
 fn rtl_tokens_per_sec(fidelity: Fidelity) -> f64 {
     let cfg = MacroConfig::new(2, 2).with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
@@ -152,6 +174,9 @@ fn main() {
     let fun_w1 = functional_tokens_per_sec(1);
     let fun_w2 = functional_tokens_per_sec(2);
     let fun_w4 = functional_tokens_per_sec(4);
+    let shd_s1 = sharded_tokens_per_sec(1);
+    let shd_s2 = sharded_tokens_per_sec(2);
+    let shd_s4 = sharded_tokens_per_sec(4);
     let rtl_seq = rtl_tokens_per_sec(Fidelity::Sequential);
     let rtl_pip = rtl_tokens_per_sec(Fidelity::Pipelined);
 
@@ -179,6 +204,9 @@ fn main() {
     let _ = writeln!(json, "    \"functional_flagship_w1\": {fun_w1:.0},");
     let _ = writeln!(json, "    \"functional_flagship_w2\": {fun_w2:.0},");
     let _ = writeln!(json, "    \"functional_flagship_w4\": {fun_w4:.0},");
+    let _ = writeln!(json, "    \"sharded_wide64_s1\": {shd_s1:.0},");
+    let _ = writeln!(json, "    \"sharded_wide64_s2\": {shd_s2:.0},");
+    let _ = writeln!(json, "    \"sharded_wide64_s4\": {shd_s4:.0},");
     let _ = writeln!(json, "    \"rtl_ndec2_ns2_sequential\": {rtl_seq:.1},");
     let _ = writeln!(json, "    \"rtl_ndec2_ns2_pipelined\": {rtl_pip:.1}");
     let _ = writeln!(json, "  }}");

@@ -48,6 +48,29 @@ impl ConvShape {
         self.out_h * self.out_w
     }
 
+    /// Splits the layer into per-macro sub-layers along the output-channel
+    /// axis: contiguous groups of at most `max_out` kernels, all other
+    /// dimensions unchanged. The last group carries the remainder when
+    /// `out_channels` is not a multiple of `max_out` — exactly how the
+    /// `tiles_out` tiling of [`ConvMapping`] assigns kernels to macros, and
+    /// the geometry behind the runtime's sharded serving plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_out` is zero.
+    pub fn split_out_channels(&self, max_out: usize) -> Vec<ConvShape> {
+        assert!(max_out > 0, "a shard must own at least one output channel");
+        (0..self.out_channels)
+            .step_by(max_out)
+            .map(|start| ConvShape {
+                in_channels: self.in_channels,
+                out_channels: max_out.min(self.out_channels - start),
+                out_h: self.out_h,
+                out_w: self.out_w,
+            })
+            .collect()
+    }
+
     /// Exact multiply–accumulate operation count of the layer (3×3
     /// kernels), counted as 2 ops per MAC.
     pub fn ops(&self) -> usize {
@@ -93,6 +116,20 @@ impl ConvMapping {
             tokens,
             utilization: useful / issued,
         }
+    }
+
+    /// The sharded tiling of `shape` on `cfg`: one `(sub-layer, mapping)`
+    /// pair per output-channel tile, each sub-layer narrow enough
+    /// (`out_channels ≤ cfg.ndec`, so `tiles_out == 1`) to be served by its
+    /// own macro instance. Pixel tokens fan out to every shard in parallel
+    /// instead of being serialised through `tiles_out` passes on a single
+    /// macro — the organisation the runtime's `ShardedBackend` executes.
+    pub fn sharded(shape: ConvShape, cfg: &MacroConfig) -> Vec<(ConvShape, ConvMapping)> {
+        shape
+            .split_out_channels(cfg.ndec)
+            .into_iter()
+            .map(|sub| (sub, ConvMapping::new(sub, cfg)))
+            .collect()
     }
 
     /// Wall-clock time for one image at the model's average beat.
@@ -197,5 +234,46 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_dimension_rejected() {
         let _ = ConvShape::new(0, 1, 1, 1);
+    }
+
+    #[test]
+    fn split_out_channels_covers_the_layer() {
+        let shape = ConvShape::new(32, 37, 8, 8);
+        let subs = shape.split_out_channels(16);
+        assert_eq!(
+            subs.iter().map(|s| s.out_channels).collect::<Vec<_>>(),
+            vec![16, 16, 5],
+            "last shard carries the remainder"
+        );
+        for sub in &subs {
+            assert_eq!(sub.in_channels, 32);
+            assert_eq!((sub.out_h, sub.out_w), (8, 8));
+        }
+        // A split wider than the layer degenerates to a single shard.
+        assert_eq!(shape.split_out_channels(64), vec![shape]);
+    }
+
+    #[test]
+    fn sharded_mapping_matches_single_macro_tiling() {
+        let cfg = MacroConfig::new(16, 32);
+        let shape = ConvShape::new(32, 37, 8, 8);
+        let single = ConvMapping::new(shape, &cfg);
+        let shards = ConvMapping::sharded(shape, &cfg);
+        assert_eq!(shards.len(), single.tiles_out, "one shard per kernel tile");
+        for (sub, m) in &shards {
+            assert_eq!(m.tiles_out, 1, "each shard fits one macro");
+            assert_eq!(m.tiles_in, single.tiles_in);
+            assert_eq!(m.tokens, shape.pixels() * m.tiles_in);
+            assert!(sub.out_channels <= cfg.ndec);
+        }
+        // Ops are conserved: the shard sub-layers partition the kernels.
+        let total: usize = shards.iter().map(|(s, _)| s.out_channels).sum();
+        assert_eq!(total, shape.out_channels);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output channel")]
+    fn zero_width_shards_rejected() {
+        let _ = ConvShape::new(1, 4, 1, 1).split_out_channels(0);
     }
 }

@@ -1,5 +1,14 @@
-//! The backend abstraction: one trait, three implementations, one enum to
-//! pick between them.
+//! The backend abstraction: one trait ([`MacroBackend`]), four
+//! implementations, one enum ([`BackendKind`]) to pick between them.
+//!
+//! The contract that makes the implementations interchangeable inside a
+//! [`Session`](crate::session::Session): **every backend produces
+//! bit-identical `outputs` for the same program and batch**. Latency and
+//! energy differ by design — measured on RTL, modelled analytically,
+//! absent functionally — but the 16-bit result of each decoder chain is
+//! the wrapping LUT sum of the silicon, whoever computes it. The golden
+//! proptest in `tests/backend_equivalence.rs` holds every kind (the
+//! sharded composition included) to that contract.
 
 use crate::batch::{BatchResult, TokenBatch};
 use crate::error::BackendError;
@@ -36,11 +45,56 @@ pub enum BackendKind {
     /// The closed-form PPA model with data-dependent encoder timing — the
     /// planning backend.
     Analytic,
+    /// `shards` macro instances serving one wide program in parallel, each
+    /// owning a contiguous slice of the decoder chains (an even
+    /// [`ShardPlan`](crate::plan::ShardPlan) over `cfg.ndec`) and running
+    /// `inner` on its own worker thread — the serving-scale backend.
+    Sharded {
+        /// Macro instances the decoder chains are partitioned across.
+        shards: usize,
+        /// The backend kind every shard executes on.
+        inner: ShardKind,
+    },
 }
 
 impl Default for BackendKind {
     fn default() -> BackendKind {
         BackendKind::Functional { workers: 1 }
+    }
+}
+
+/// The backend one shard of a
+/// [`ShardedBackend`](crate::sharded::ShardedBackend) executes on — the
+/// three *leaf* kinds of [`BackendKind`] (shards do not nest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardKind {
+    /// Pure LUT math on `workers` threads per shard.
+    Functional {
+        /// Worker threads per shard (1 = the shard's own thread).
+        workers: usize,
+    },
+    /// The event-driven netlist, one per shard.
+    Rtl {
+        /// Sequential handshaking or pipelined streaming.
+        fidelity: Fidelity,
+    },
+    /// The closed-form PPA model, one per shard.
+    Analytic,
+}
+
+impl Default for ShardKind {
+    fn default() -> ShardKind {
+        ShardKind::Functional { workers: 1 }
+    }
+}
+
+impl From<ShardKind> for BackendKind {
+    fn from(kind: ShardKind) -> BackendKind {
+        match kind {
+            ShardKind::Functional { workers } => BackendKind::Functional { workers },
+            ShardKind::Rtl { fidelity } => BackendKind::Rtl { fidelity },
+            ShardKind::Analytic => BackendKind::Analytic,
+        }
     }
 }
 
@@ -53,7 +107,11 @@ pub trait MacroBackend {
     /// Short stable name for logs, stats and results files.
     fn name(&self) -> &'static str;
 
-    /// Runs every token of the batch, in order.
+    /// Runs every token of the batch, in order. A successful result
+    /// carries exactly one [`TokenObservation`](crate::batch::TokenObservation)
+    /// per input token, in submission order — compositions such as the
+    /// sharded backend rely on that alignment when they reassemble
+    /// outputs.
     ///
     /// # Errors
     ///

@@ -1,4 +1,15 @@
 //! Uniform input/output containers shared by every backend.
+//!
+//! A [`TokenBatch`] is the unit of work: a non-empty, ordered list of
+//! tokens, each one INT8 subvector per pipeline stage. A [`BatchResult`]
+//! mirrors it one [`TokenObservation`] per token, in submission order —
+//! the alignment every composition (sessions accumulating statistics,
+//! the sharded backend stitching output slices) relies on. Outputs are
+//! always present and bit-identical across backends; `latency`/`energy`
+//! are `Option`s because only backends that measure or model them report
+//! them. Batches never imply a macro shape: backends check each token
+//! against their own program and answer with typed
+//! [`BackendError`] values.
 
 use crate::error::BackendError;
 use maddpipe_amm::quant::QuantScale;

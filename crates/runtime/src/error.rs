@@ -1,4 +1,14 @@
 //! The unified error type of the execution API.
+//!
+//! Every failure a backend or session can hit is a [`BackendError`]
+//! variant — construction-time shape disagreements, malformed batches,
+//! netlists that fail to settle, shard plans that don't partition the
+//! program, and shards that fail or disappear mid-serving. Backends
+//! never panic on user input; a batch either completes whole (one
+//! observation per token) or is rejected whole with one of these values.
+//! Shard failures wrap the shard's own error in
+//! [`BackendError::Shard`], preserving the chain via
+//! [`std::error::Error::source`].
 
 use core::fmt;
 use maddpipe_core::macro_rtl::TokenError;
@@ -42,6 +52,28 @@ pub enum BackendError {
     /// The RTL netlist failed to settle — a handshake bug or a
     /// combinational loop.
     Oscillation(OscillationError),
+    /// A shard plan cannot be constructed or does not fit the program it
+    /// is asked to partition (zero shards, more shards than decoder
+    /// chains, width disagreement, a shard breaking the
+    /// one-observation-per-token contract, …).
+    InvalidShardPlan {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// One shard of a sharded backend failed; the whole batch was
+    /// rejected and no partial output was assembled.
+    Shard {
+        /// Index of the failing shard within the plan.
+        shard: usize,
+        /// The shard's own typed failure.
+        source: Box<BackendError>,
+    },
+    /// A shard worker thread disappeared (panicked or shut down) before
+    /// answering — the sharded backend can no longer serve batches.
+    ShardLost {
+        /// Index of the lost shard within the plan.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for BackendError {
@@ -73,6 +105,15 @@ impl fmt::Display for BackendError {
                 write!(f, "session builder needs a program before build()")
             }
             BackendError::Oscillation(e) => write!(f, "{e}"),
+            BackendError::InvalidShardPlan { reason } => {
+                write!(f, "invalid shard plan: {reason}")
+            }
+            BackendError::Shard { shard, source } => {
+                write!(f, "shard {shard} failed: {source}")
+            }
+            BackendError::ShardLost { shard } => {
+                write!(f, "shard {shard} worker is gone (panicked or shut down)")
+            }
         }
     }
 }
@@ -81,6 +122,7 @@ impl std::error::Error for BackendError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             BackendError::Oscillation(e) => Some(e),
+            BackendError::Shard { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -130,6 +172,25 @@ mod tests {
             time: SimTime::ZERO,
         });
         assert!(o.to_string().contains("quiescence"));
+    }
+
+    #[test]
+    fn shard_errors_name_the_shard_and_expose_the_source() {
+        let inner = BackendError::EmptyBatch;
+        let e = BackendError::Shard {
+            shard: 3,
+            source: Box::new(inner.clone()),
+        };
+        assert!(e.to_string().contains("shard 3"), "{e}");
+        use std::error::Error as _;
+        assert_eq!(e.source().unwrap().to_string(), inner.to_string());
+        assert!(BackendError::ShardLost { shard: 1 }
+            .to_string()
+            .contains("shard 1"));
+        let p = BackendError::InvalidShardPlan {
+            reason: "0 shards".into(),
+        };
+        assert!(p.to_string().contains("0 shards"));
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //! | [`FunctionalBackend`] | bit-exact | — | — | throughput, golden refs |
 //! | [`RtlBackend`] | bit-exact | measured | measured | fidelity, timing |
 //! | [`AnalyticBackend`] | bit-exact | modelled (data-dependent) | modelled | planning, sweeps |
+//! | [`ShardedBackend`] | bit-exact | max over shards | sum over shards | serving wide layers on many macros |
+//!
+//! The first three run one macro; the [`ShardedBackend`] composes them: a
+//! [`ShardPlan`] partitions a wide program's decoder chains into
+//! contiguous slices, one worker thread per shard owns an inner backend
+//! of any kind, and every batch is fanned out and reassembled in order.
 //!
 //! On top sits the [`Session`] builder, which owns batching and aggregate
 //! [`SessionStats`] (tokens/s, total energy, p50/p99 token latency):
@@ -47,24 +53,30 @@ pub mod backend;
 pub mod batch;
 pub mod error;
 pub mod functional;
+pub mod plan;
 pub mod rtl;
 pub mod session;
+pub mod sharded;
 
 pub use analytic::AnalyticBackend;
-pub use backend::{validate_program, BackendKind, Fidelity, MacroBackend};
+pub use backend::{validate_program, BackendKind, Fidelity, MacroBackend, ShardKind};
 pub use batch::{BatchResult, Token, TokenBatch, TokenObservation};
 pub use error::BackendError;
 pub use functional::FunctionalBackend;
+pub use plan::ShardPlan;
 pub use rtl::RtlBackend;
 pub use session::{Session, SessionBuilder, SessionStats};
+pub use sharded::{ShardFactory, ShardedBackend};
 
 /// Common imports.
 pub mod prelude {
     pub use crate::analytic::AnalyticBackend;
-    pub use crate::backend::{BackendKind, Fidelity, MacroBackend};
+    pub use crate::backend::{BackendKind, Fidelity, MacroBackend, ShardKind};
     pub use crate::batch::{BatchResult, Token, TokenBatch, TokenObservation};
     pub use crate::error::BackendError;
     pub use crate::functional::FunctionalBackend;
+    pub use crate::plan::ShardPlan;
     pub use crate::rtl::RtlBackend;
     pub use crate::session::{Session, SessionBuilder, SessionStats};
+    pub use crate::sharded::ShardedBackend;
 }

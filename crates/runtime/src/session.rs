@@ -1,5 +1,13 @@
 //! Batched inference sessions: one builder, one `run` call, aggregate
 //! statistics — regardless of which backend executes.
+//!
+//! A [`Session`] is the front door of the execution API: it validates the
+//! program against the configuration once, constructs the chosen backend
+//! (functional, RTL, analytic, or a sharded fleet of those), and then
+//! treats it purely through the [`MacroBackend`] contract — so
+//! [`SessionStats`] (tokens/s, total energy, p50/p99 token latency)
+//! accumulate identically whatever executes the batches, and swapping
+//! [`BackendKind`]s never changes a single output bit.
 
 use crate::analytic::AnalyticBackend;
 use crate::backend::{validate_program, BackendKind, MacroBackend};
@@ -7,6 +15,7 @@ use crate::batch::{BatchResult, TokenBatch};
 use crate::error::BackendError;
 use crate::functional::FunctionalBackend;
 use crate::rtl::RtlBackend;
+use crate::sharded::ShardedBackend;
 use core::fmt;
 use maddpipe_core::config::MacroConfig;
 use maddpipe_core::macro_rtl::{AcceleratorRtl, MacroProgram};
@@ -57,6 +66,9 @@ impl SessionBuilder {
                 Box::new(RtlBackend::new(&self.cfg, &program, fidelity)?)
             }
             BackendKind::Analytic => Box::new(AnalyticBackend::new(&self.cfg, program)?),
+            BackendKind::Sharded { shards, inner } => {
+                Box::new(ShardedBackend::uniform(&self.cfg, &program, shards, inner)?)
+            }
         };
         Ok(Session {
             cfg: self.cfg,
@@ -339,6 +351,33 @@ mod tests {
         assert!(s.stats().p50_token_latency().is_none());
         assert!(s.stats().total_energy().is_none());
         assert!(s.rtl().is_none(), "functional backend has no netlist");
+    }
+
+    #[test]
+    fn sharded_sessions_are_first_class() {
+        use crate::backend::ShardKind;
+        let cfg = MacroConfig::new(6, 2);
+        let program = MacroProgram::random(6, 2, 13);
+        let mut s = Session::builder(cfg)
+            .program(program.clone())
+            .backend(BackendKind::Sharded {
+                shards: 3,
+                inner: ShardKind::Analytic,
+            })
+            .build()
+            .unwrap();
+        let batch = TokenBatch::random(2, 4, 6);
+        let result = s.run(&batch).unwrap();
+        assert_eq!(s.backend_name(), "sharded");
+        for (t, token) in batch.tokens().iter().enumerate() {
+            assert_eq!(result.tokens[t].outputs, program.reference_output(token));
+        }
+        // Shard measurements flow into the session stats unchanged.
+        let stats = s.stats();
+        assert_eq!(stats.tokens(), 4);
+        assert!(stats.total_energy().unwrap().value() > 0.0);
+        assert!(stats.p50_token_latency().is_some());
+        assert!(s.rtl().is_none(), "netlists live on the shard workers");
     }
 
     #[test]

@@ -1,0 +1,611 @@
+//! Sharded multi-macro serving: one wide program, many macro instances.
+//!
+//! The paper's macro is a fixed-width tile (`ndec` decoder chains); a
+//! wide CNN layer maps onto it as `tiles_out` serial passes
+//! ([`ConvMapping`](maddpipe_core::mapping::ConvMapping)). The
+//! [`ShardedBackend`] turns those serial passes into parallel macros: a
+//! [`ShardPlan`] slices the program's decoder chains into contiguous
+//! ranges, one long-lived worker thread per shard builds and owns its own
+//! inner [`MacroBackend`] (any mix of functional / RTL / analytic), every
+//! [`TokenBatch`] fans out to all shards, and per-token outputs are
+//! reassembled in plan order — bit-identical to the single wide macro,
+//! with latency aggregated as the max over shards and energy as the sum.
+//!
+//! Inner backends never cross threads: each is constructed *on* its
+//! worker, so backends that are not `Send` (the event-driven netlist)
+//! shard exactly like the pure-math ones. A failure in any shard rejects
+//! the whole batch with a typed [`BackendError::Shard`] — no partial
+//! output ever escapes.
+
+use crate::backend::{validate_program, MacroBackend, ShardKind};
+use crate::batch::{BatchResult, TokenBatch, TokenObservation};
+use crate::error::BackendError;
+use crate::plan::ShardPlan;
+use maddpipe_core::config::MacroConfig;
+use maddpipe_core::macro_rtl::MacroProgram;
+use maddpipe_tech::units::{Joules, Seconds};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// Builds one shard's backend on its worker thread. The closure runs
+/// exactly once, off the caller's thread — which is what lets non-`Send`
+/// backends (the RTL netlist) participate.
+pub type ShardFactory =
+    Box<dyn FnOnce() -> Result<Box<dyn MacroBackend>, BackendError> + Send + 'static>;
+
+/// One batch travelling to a shard worker, with the channel its result
+/// comes back on. The batch is shared, not copied: every shard reads
+/// the same `Arc`'d tokens.
+struct Job {
+    batch: Arc<TokenBatch>,
+    reply: mpsc::Sender<Result<BatchResult, BackendError>>,
+}
+
+/// A shard worker: the sending half of its job queue plus its thread
+/// handle. Dropping the sender is the shutdown signal; `Drop` then joins
+/// the thread so no worker outlives the backend.
+struct Worker {
+    jobs: Option<mpsc::Sender<Job>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        drop(self.jobs.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// N macro instances serving one wide program behind the ordinary
+/// [`MacroBackend`] interface.
+///
+/// ```
+/// use maddpipe_runtime::prelude::*;
+/// use maddpipe_core::prelude::*;
+///
+/// let cfg = MacroConfig::new(6, 2); // 6 decoder chains, 2 stages
+/// let program = MacroProgram::random(cfg.ndec, cfg.ns, 3);
+/// let mut wide = FunctionalBackend::new(program.clone());
+/// let mut sharded = ShardedBackend::uniform(
+///     &cfg,
+///     &program,
+///     3,
+///     ShardKind::Functional { workers: 1 },
+/// )
+/// .unwrap();
+/// let batch = TokenBatch::random(cfg.ns, 4, 8);
+/// assert_eq!(
+///     sharded.run_batch(&batch).unwrap().outputs(),
+///     wide.run_batch(&batch).unwrap().outputs(),
+/// );
+/// ```
+pub struct ShardedBackend {
+    plan: ShardPlan,
+    ns: usize,
+    workers: Vec<Worker>,
+}
+
+impl ShardedBackend {
+    /// Partitions `program` across `plan.shards()` macro instances, shard
+    /// `s` executing on a backend of kind `kinds[s]` built from the
+    /// sub-program of `plan.range(s)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::ProgramMismatch`] /
+    /// [`BackendError::MalformedProgram`] when the wide program does not
+    /// fit `cfg`, [`BackendError::InvalidShardPlan`] when the plan does
+    /// not cover the program's decoder chains or `kinds` does not provide
+    /// one kind per shard, and [`BackendError::Shard`] when a shard's own
+    /// backend fails to construct.
+    pub fn new(
+        cfg: &MacroConfig,
+        program: &MacroProgram,
+        plan: ShardPlan,
+        kinds: &[ShardKind],
+    ) -> Result<ShardedBackend, BackendError> {
+        validate_program(cfg, program)?;
+        if kinds.len() != plan.shards() {
+            return Err(BackendError::InvalidShardPlan {
+                reason: format!("{} backend kinds for {} shards", kinds.len(), plan.shards()),
+            });
+        }
+        let subs = plan.split(program)?;
+        let ns = program.ns();
+        let factories = subs
+            .into_iter()
+            .zip(kinds)
+            .map(|(sub, &kind)| {
+                let mut shard_cfg = cfg.clone();
+                shard_cfg.ndec = sub.ndec();
+                let factory: ShardFactory = Box::new(move || {
+                    Ok(match kind {
+                        ShardKind::Functional { workers } => Box::new(
+                            crate::functional::FunctionalBackend::with_workers(sub, workers),
+                        )
+                            as Box<dyn MacroBackend>,
+                        ShardKind::Rtl { fidelity } => {
+                            Box::new(crate::rtl::RtlBackend::new(&shard_cfg, &sub, fidelity)?)
+                        }
+                        ShardKind::Analytic => {
+                            Box::new(crate::analytic::AnalyticBackend::new(&shard_cfg, sub)?)
+                        }
+                    })
+                });
+                factory
+            })
+            .collect();
+        ShardedBackend::from_factories(plan, ns, factories)
+    }
+
+    /// [`ShardedBackend::new`] with an even [`ShardPlan`] over `cfg.ndec`
+    /// and the same `kind` on every shard — what
+    /// [`BackendKind::Sharded`](crate::backend::BackendKind::Sharded)
+    /// builds.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedBackend::new`], plus
+    /// [`BackendError::InvalidShardPlan`] when `shards` is zero or
+    /// exceeds `cfg.ndec`.
+    pub fn uniform(
+        cfg: &MacroConfig,
+        program: &MacroProgram,
+        shards: usize,
+        kind: ShardKind,
+    ) -> Result<ShardedBackend, BackendError> {
+        let plan = ShardPlan::even(cfg.ndec, shards)?;
+        let kinds = vec![kind; shards];
+        ShardedBackend::new(cfg, program, plan, &kinds)
+    }
+
+    /// Spawns one worker per factory and waits until every shard's
+    /// backend is built. The factories run on their worker threads, so
+    /// they may build non-`Send` backends; each must produce a backend
+    /// whose outputs-per-token width matches its plan range and whose
+    /// stage count is `ns`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::InvalidShardPlan`] when the factory count
+    /// disagrees with the plan, [`BackendError::Shard`] when a factory
+    /// fails, and [`BackendError::ShardLost`] when a worker dies while
+    /// constructing.
+    pub fn from_factories(
+        plan: ShardPlan,
+        ns: usize,
+        factories: Vec<ShardFactory>,
+    ) -> Result<ShardedBackend, BackendError> {
+        if factories.len() != plan.shards() {
+            return Err(BackendError::InvalidShardPlan {
+                reason: format!(
+                    "{} shard factories for {} shards",
+                    factories.len(),
+                    plan.shards()
+                ),
+            });
+        }
+        let mut workers = Vec::with_capacity(factories.len());
+        let mut readiness = Vec::with_capacity(factories.len());
+        for (shard, factory) in factories.into_iter().enumerate() {
+            let (job_tx, job_rx) = mpsc::channel::<Job>();
+            let (ready_tx, ready_rx) = mpsc::channel::<Result<(), BackendError>>();
+            let handle = std::thread::Builder::new()
+                .name(format!("maddpipe-shard-{shard}"))
+                .spawn(move || {
+                    let mut backend = match factory() {
+                        Ok(backend) => {
+                            let _ = ready_tx.send(Ok(()));
+                            backend
+                        }
+                        Err(e) => {
+                            let _ = ready_tx.send(Err(e));
+                            return;
+                        }
+                    };
+                    while let Ok(job) = job_rx.recv() {
+                        let _ = job.reply.send(backend.run_batch(&job.batch));
+                    }
+                })
+                .expect("the host can spawn a shard worker thread");
+            workers.push(Worker {
+                jobs: Some(job_tx),
+                handle: Some(handle),
+            });
+            readiness.push(ready_rx);
+        }
+        for (shard, ready) in readiness.into_iter().enumerate() {
+            match ready.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    return Err(BackendError::Shard {
+                        shard,
+                        source: Box::new(e),
+                    })
+                }
+                Err(_) => return Err(BackendError::ShardLost { shard }),
+            }
+        }
+        Ok(ShardedBackend { plan, ns, workers })
+    }
+
+    /// The partition this backend serves.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Pipeline stages every shard expects per token.
+    pub fn ns(&self) -> usize {
+        self.ns
+    }
+
+    /// Fans `batch` out to every shard and collects the per-shard results
+    /// in plan order. First failure wins (lowest shard index); the rest
+    /// are discarded. The batch is cloned once and shared by `Arc` — the
+    /// fan-out itself copies no token data.
+    fn scatter_gather(&self, batch: &TokenBatch) -> Result<Vec<BatchResult>, BackendError> {
+        let shared = Arc::new(batch.clone());
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for (shard, worker) in self.workers.iter().enumerate() {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let jobs = worker.jobs.as_ref().expect("sender lives as long as self");
+            jobs.send(Job {
+                batch: Arc::clone(&shared),
+                reply: reply_tx,
+            })
+            .map_err(|_| BackendError::ShardLost { shard })?;
+            replies.push(reply_rx);
+        }
+        let mut results = Vec::with_capacity(replies.len());
+        for (shard, reply) in replies.into_iter().enumerate() {
+            let result = reply
+                .recv()
+                .map_err(|_| BackendError::ShardLost { shard })?
+                .map_err(|e| BackendError::Shard {
+                    shard,
+                    source: Box::new(e),
+                })?;
+            if result.tokens.len() != batch.len() {
+                return Err(BackendError::Shard {
+                    shard,
+                    source: Box::new(BackendError::InvalidShardPlan {
+                        reason: format!(
+                            "shard returned {} observations for a {}-token batch",
+                            result.tokens.len(),
+                            batch.len()
+                        ),
+                    }),
+                });
+            }
+            let width = self.plan.widths()[shard];
+            if let Some(obs) = result.tokens.iter().find(|o| o.outputs.len() != width) {
+                return Err(BackendError::Shard {
+                    shard,
+                    source: Box::new(BackendError::InvalidShardPlan {
+                        reason: format!(
+                            "shard produced {}-wide outputs but its plan range is {} chains",
+                            obs.outputs.len(),
+                            width
+                        ),
+                    }),
+                });
+            }
+            results.push(result);
+        }
+        Ok(results)
+    }
+}
+
+impl MacroBackend for ShardedBackend {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    /// Runs the batch on every shard concurrently. Per token, `outputs`
+    /// is the concatenation of the shard slices in plan order, `latency`
+    /// the **max** over shards that measured one (the token is done when
+    /// its slowest slice is), and `energy` the **sum** over shards that
+    /// measured it; the batch `makespan` and `energy` aggregate the same
+    /// way.
+    fn run_batch(&mut self, batch: &TokenBatch) -> Result<BatchResult, BackendError> {
+        batch.check_shape(self.ns)?;
+        let shard_results = self.scatter_gather(batch)?;
+        let mut tokens = Vec::with_capacity(batch.len());
+        for t in 0..batch.len() {
+            let mut outputs = Vec::with_capacity(self.plan.out_channels());
+            let mut latency: Option<Seconds> = None;
+            let mut energy: Option<Joules> = None;
+            for result in &shard_results {
+                let obs = &result.tokens[t];
+                outputs.extend_from_slice(&obs.outputs);
+                if let Some(l) = obs.latency {
+                    latency = Some(latency.map_or(l, |m| if l > m { l } else { m }));
+                }
+                if let Some(e) = obs.energy {
+                    energy = Some(energy.map_or(e, |sum| sum + e));
+                }
+            }
+            tokens.push(TokenObservation {
+                outputs,
+                latency,
+                energy,
+            });
+        }
+        let makespan = shard_results
+            .iter()
+            .filter_map(|r| r.makespan)
+            .reduce(|a, b| if a > b { a } else { b });
+        let energy = shard_results
+            .iter()
+            .filter_map(|r| r.energy)
+            .reduce(|a, b| a + b);
+        Ok(BatchResult {
+            backend: self.name(),
+            tokens,
+            makespan,
+            energy,
+        })
+    }
+}
+
+impl core::fmt::Debug for ShardedBackend {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShardedBackend")
+            .field("plan", &self.plan)
+            .field("ns", &self.ns)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Fidelity;
+    use crate::functional::FunctionalBackend;
+    use maddpipe_sim::engine::OscillationError;
+    use maddpipe_sim::time::SimTime;
+    use maddpipe_tech::corner::{Corner, OperatingPoint};
+    use maddpipe_tech::units::Volts;
+
+    fn wide_setup(ndec: usize, ns: usize) -> (MacroConfig, MacroProgram, TokenBatch) {
+        let cfg = MacroConfig::new(ndec, ns).with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
+        let program = MacroProgram::random(ndec, ns, 31);
+        let batch = TokenBatch::random(ns, 5, 17);
+        (cfg, program, batch)
+    }
+
+    #[test]
+    fn sharded_matches_the_wide_macro_even_when_ragged() {
+        // 7 chains over 3 shards: widths [3, 2, 2] — not divisible.
+        let (cfg, program, batch) = wide_setup(7, 2);
+        let mut wide = FunctionalBackend::new(program.clone());
+        let mut sharded =
+            ShardedBackend::uniform(&cfg, &program, 3, ShardKind::Functional { workers: 1 })
+                .unwrap();
+        let expect = wide.run_batch(&batch).unwrap();
+        let got = sharded.run_batch(&batch).unwrap();
+        assert_eq!(got.outputs(), expect.outputs());
+        assert_eq!(sharded.plan().widths(), &[3, 2, 2]);
+        assert_eq!(got.backend, "sharded");
+        // Functional shards measure nothing, so neither does the whole.
+        assert!(got
+            .tokens
+            .iter()
+            .all(|t| t.latency.is_none() && t.energy.is_none()));
+        assert!(got.makespan.is_none() && got.energy.is_none());
+    }
+
+    #[test]
+    fn single_shard_plan_is_the_identity() {
+        let (cfg, program, batch) = wide_setup(4, 2);
+        let mut wide = FunctionalBackend::new(program.clone());
+        let mut one =
+            ShardedBackend::uniform(&cfg, &program, 1, ShardKind::Functional { workers: 2 })
+                .unwrap();
+        assert_eq!(
+            one.run_batch(&batch).unwrap().outputs(),
+            wide.run_batch(&batch).unwrap().outputs()
+        );
+        assert_eq!(one.plan().shards(), 1);
+        assert_eq!(one.ns(), 2);
+    }
+
+    #[test]
+    fn mixed_shard_kinds_agree_and_aggregate_measurements() {
+        let (cfg, program, batch) = wide_setup(3, 2);
+        let plan = ShardPlan::even(3, 3).unwrap();
+        let kinds = [
+            ShardKind::Rtl {
+                fidelity: Fidelity::Sequential,
+            },
+            ShardKind::Analytic,
+            ShardKind::Functional { workers: 1 },
+        ];
+        let mut sharded = ShardedBackend::new(&cfg, &program, plan, &kinds).unwrap();
+        let got = sharded.run_batch(&batch).unwrap();
+        for (t, token) in batch.tokens().iter().enumerate() {
+            assert_eq!(got.tokens[t].outputs, program.reference_output(token));
+            // RTL and analytic shards both measure: max / sum are present.
+            assert!(got.tokens[t].latency.is_some());
+            assert!(got.tokens[t].energy.is_some());
+        }
+        assert!(got.makespan.is_some());
+        assert!(got.energy.unwrap().value() > 0.0);
+    }
+
+    #[test]
+    fn latency_is_max_and_energy_is_sum_over_shards() {
+        let (cfg, program, batch) = wide_setup(4, 2);
+        let plan = ShardPlan::even(4, 2).unwrap();
+        let kinds = [ShardKind::Analytic, ShardKind::Analytic];
+        // The same batch on the two analytic half-macros, run directly.
+        let subs = plan.split(&program).unwrap();
+        let halves: Vec<BatchResult> = subs
+            .into_iter()
+            .map(|sub| {
+                let mut half_cfg = cfg.clone();
+                half_cfg.ndec = sub.ndec();
+                crate::analytic::AnalyticBackend::new(&half_cfg, sub)
+                    .unwrap()
+                    .run_batch(&batch)
+                    .unwrap()
+            })
+            .collect();
+        let mut sharded = ShardedBackend::new(&cfg, &program, plan, &kinds).unwrap();
+        let got = sharded.run_batch(&batch).unwrap();
+        for t in 0..batch.len() {
+            let max_latency = halves
+                .iter()
+                .map(|h| h.tokens[t].latency.unwrap())
+                .reduce(|a, b| if a > b { a } else { b })
+                .unwrap();
+            let sum_energy: f64 = halves
+                .iter()
+                .map(|h| h.tokens[t].energy.unwrap().value())
+                .sum();
+            assert_eq!(got.tokens[t].latency.unwrap(), max_latency);
+            assert!((got.tokens[t].energy.unwrap().value() - sum_energy).abs() < 1e-24);
+        }
+    }
+
+    /// An inner backend that serves `ok_batches` batches, then fails with
+    /// a typed error — the "one macro went down mid-serving" case.
+    struct FlakyBackend {
+        inner: FunctionalBackend,
+        ok_batches: usize,
+        served: usize,
+    }
+
+    impl MacroBackend for FlakyBackend {
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+        fn run_batch(&mut self, batch: &TokenBatch) -> Result<BatchResult, BackendError> {
+            if self.served >= self.ok_batches {
+                return Err(BackendError::Oscillation(OscillationError {
+                    events: 1,
+                    time: SimTime::ZERO,
+                }));
+            }
+            self.served += 1;
+            self.inner.run_batch(batch)
+        }
+    }
+
+    #[test]
+    fn a_failing_shard_rejects_the_batch_without_partial_output() {
+        let (_, program, batch) = wide_setup(4, 2);
+        let plan = ShardPlan::even(4, 2).unwrap();
+        let subs = plan.split(&program).unwrap();
+        let mut factories: Vec<ShardFactory> = Vec::new();
+        for (s, sub) in subs.into_iter().enumerate() {
+            factories.push(Box::new(move || {
+                Ok(if s == 1 {
+                    Box::new(FlakyBackend {
+                        inner: FunctionalBackend::new(sub),
+                        ok_batches: 1,
+                        served: 0,
+                    })
+                } else {
+                    Box::new(FunctionalBackend::new(sub)) as Box<dyn MacroBackend>
+                })
+            }));
+        }
+        let mut sharded = ShardedBackend::from_factories(plan, 2, factories).unwrap();
+        // First batch: both shards healthy.
+        let first = sharded.run_batch(&batch).unwrap();
+        assert_eq!(first.tokens.len(), batch.len());
+        // Second batch: shard 1 fails mid-serving — the whole batch is
+        // rejected as a typed error naming the shard, no partial result.
+        let err = sharded.run_batch(&batch).unwrap_err();
+        match err {
+            BackendError::Shard { shard, source } => {
+                assert_eq!(shard, 1);
+                assert!(matches!(*source, BackendError::Oscillation(_)));
+            }
+            other => panic!("expected a Shard error, got {other:?}"),
+        }
+        // The healthy shard keeps serving; the sharded backend keeps
+        // rejecting whole batches while shard 1 stays down.
+        assert!(sharded.run_batch(&batch).is_err());
+    }
+
+    #[test]
+    fn wrong_width_shards_are_a_typed_error_not_wrong_outputs() {
+        let (_, program, batch) = wide_setup(4, 2);
+        let plan = ShardPlan::even(4, 2).unwrap();
+        let subs = plan.split(&program).unwrap();
+        // Shard 1 mistakenly runs the *wide* program: right token count,
+        // wrong output width. The contract check must catch it instead of
+        // stitching a 6-wide result.
+        let wide_program = program.clone();
+        let factories: Vec<ShardFactory> = vec![
+            Box::new({
+                let sub = subs[0].clone();
+                move || Ok(Box::new(FunctionalBackend::new(sub)) as Box<dyn MacroBackend>)
+            }),
+            Box::new(move || {
+                Ok(Box::new(FunctionalBackend::new(wide_program)) as Box<dyn MacroBackend>)
+            }),
+        ];
+        let mut sharded = ShardedBackend::from_factories(plan, 2, factories).unwrap();
+        match sharded.run_batch(&batch).unwrap_err() {
+            BackendError::Shard { shard, source } => {
+                assert_eq!(shard, 1);
+                assert!(matches!(*source, BackendError::InvalidShardPlan { .. }));
+            }
+            other => panic!("expected a Shard error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn construction_errors_are_typed() {
+        let (cfg, program, _) = wide_setup(4, 2);
+        // More shards than chains.
+        assert!(matches!(
+            ShardedBackend::uniform(&cfg, &program, 5, ShardKind::default()),
+            Err(BackendError::InvalidShardPlan { .. })
+        ));
+        // Kind list does not match the plan.
+        let plan = ShardPlan::even(4, 2).unwrap();
+        assert!(matches!(
+            ShardedBackend::new(&cfg, &program, plan.clone(), &[ShardKind::default()]),
+            Err(BackendError::InvalidShardPlan { .. })
+        ));
+        // Program too narrow for the configuration.
+        let narrow = MacroProgram::random(3, 2, 1);
+        assert!(matches!(
+            ShardedBackend::new(&cfg, &narrow, plan.clone(), &[ShardKind::default(); 2]),
+            Err(BackendError::ProgramMismatch { .. })
+        ));
+        // A factory that fails reports which shard could not come up.
+        let failing: Vec<ShardFactory> = vec![
+            Box::new(|| Err(BackendError::MissingProgram)),
+            Box::new(|| Err(BackendError::MissingProgram)),
+        ];
+        match ShardedBackend::from_factories(plan, 2, failing).unwrap_err() {
+            BackendError::Shard { shard, source } => {
+                assert_eq!(shard, 0);
+                assert_eq!(*source, BackendError::MissingProgram);
+            }
+            other => panic!("expected a Shard error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected_before_fanout() {
+        let (cfg, program, _) = wide_setup(4, 2);
+        let mut sharded = ShardedBackend::uniform(&cfg, &program, 2, ShardKind::default()).unwrap();
+        let wrong = TokenBatch::random(3, 2, 1);
+        assert_eq!(
+            sharded.run_batch(&wrong).unwrap_err(),
+            BackendError::ShapeMismatch {
+                token: 0,
+                expected: 2,
+                got: 3,
+            }
+        );
+    }
+}

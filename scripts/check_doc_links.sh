@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Checks the repo's narrative docs for broken references:
+#
+#  1. every local markdown-link target in README.md and
+#     docs/ARCHITECTURE.md points at a file or directory that exists;
+#  2. every backtick-quoted repo path in docs/ARCHITECTURE.md
+#     (crates/…, tests/…, examples/…, results/…, src/…, vendor/…,
+#     scripts/…) exists, so the architecture page cannot drift from the
+#     tree it describes.
+#
+# Run from anywhere: paths resolve relative to the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+check_path() {
+    local doc="$1" ref="$2"
+    local path="${ref%%#*}" # drop in-page anchors
+    [ -z "$path" ] && return 0
+    if [ ! -e "$path" ]; then
+        echo "BROKEN: $doc -> $ref"
+        fail=1
+    fi
+}
+
+for doc in README.md docs/ARCHITECTURE.md; do
+    if [ ! -f "$doc" ]; then
+        echo "BROKEN: $doc is missing"
+        fail=1
+        continue
+    fi
+    # Markdown link targets: ](target), skipping absolute URLs/anchors.
+    while IFS= read -r target; do
+        check_path "$doc" "$target"
+    done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//' \
+             | grep -vE '^(https?:|#|mailto:)' || true)
+done
+
+# Backtick-quoted repo paths in the architecture page.
+while IFS= read -r target; do
+    check_path docs/ARCHITECTURE.md "$target"
+done < <(grep -oE '`[A-Za-z0-9_./-]+`' docs/ARCHITECTURE.md | tr -d '`' \
+         | grep -E '^(crates|tests|examples|results|src|vendor|scripts|docs)/' \
+         | sort -u || true)
+
+if [ "$fail" -eq 0 ]; then
+    echo "doc links OK"
+fi
+exit "$fail"

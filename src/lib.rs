@@ -16,7 +16,7 @@
 //! | [`sram`] | two-port 10T-SRAM columns, read-completion detection, replica study |
 //! | [`amm`] | the MADDNESS algorithm: BDT hashing, ridge prototypes, INT8 LUTs |
 //! | [`core`] | the accelerator: DLC encoder, decoders, self-synchronous pipeline, PPA model |
-//! | [`runtime`] | the execution API: batched [`runtime::Session`]s over functional / RTL / analytic backends |
+//! | [`runtime`] | the execution API: batched [`runtime::Session`]s over functional / RTL / analytic / sharded backends |
 //! | [`baselines`] | models of the compared accelerators (\[21\] analog DTC, \[22\] Stella Nera) |
 //! | [`nn`] | ResNet9 + synthetic CIFAR + MADDNESS layer substitution |
 //!

@@ -60,10 +60,50 @@ proptest! {
             BackendKind::Rtl { fidelity: Fidelity::Sequential },
             BackendKind::Rtl { fidelity: Fidelity::Pipelined },
             BackendKind::Analytic,
+            // One macro per decoder chain, RTL netlists on the workers —
+            // the finest partition still matches the wide reference.
+            BackendKind::Sharded {
+                shards: ndec,
+                inner: ShardKind::Rtl { fidelity: Fidelity::Sequential },
+            },
         ] {
             let got = outputs_of(&cfg, &program, kind, &batch);
             prop_assert_eq!(&got, &golden, "{:?}", kind);
         }
+    }
+
+    /// The sharded serving contract: a wide program split across ≥2 macro
+    /// shards (including widths that do not divide evenly) is pinned
+    /// bit-identical, token by token, to the single-macro functional
+    /// backend running the unsplit program on the same batch.
+    #[test]
+    fn sharded_serving_matches_the_single_macro(
+        ndec in 2usize..=9,
+        ns in 1usize..=3,
+        shards in 2usize..=4,
+        program_seed in 0u64..1000,
+        token_seed in 0u64..1000,
+    ) {
+        let shards = shards.min(ndec); // never an empty shard; stays ≥ 2
+        let cfg = MacroConfig::new(ndec, ns);
+        let program = MacroProgram::random(ndec, ns, program_seed);
+        let batch = TokenBatch::random(ns, 5, token_seed);
+        let single = outputs_of(
+            &cfg,
+            &program,
+            BackendKind::Functional { workers: 1 },
+            &batch,
+        );
+        let sharded = outputs_of(
+            &cfg,
+            &program,
+            BackendKind::Sharded {
+                shards,
+                inner: ShardKind::Functional { workers: 1 },
+            },
+            &batch,
+        );
+        prop_assert_eq!(&sharded, &single, "{} shards over {} chains", shards, ndec);
     }
 }
 
@@ -113,6 +153,21 @@ fn observation_coverage_matches_backend_capabilities() {
         .tokens
         .iter()
         .all(|t| t.latency.is_some() && t.energy.is_some()));
+
+    // Sharded over measuring shards: per-token latency is the max over
+    // shard slices, energy the sum — both present, like its inners.
+    let shd = run(BackendKind::Sharded {
+        shards: 2,
+        inner: ShardKind::Rtl {
+            fidelity: Fidelity::Sequential,
+        },
+    });
+    assert!(shd
+        .tokens
+        .iter()
+        .all(|t| t.latency.is_some() && t.energy.is_some()));
+    assert!(shd.makespan.is_some());
+    assert!(shd.energy.expect("summed over shards").value() > 0.0);
     // The modelled forward latency tracks the measured token latency
     // within the model-vs-RTL contract's tolerance band.
     for (a, m) in ana.tokens.iter().zip(&seq.tokens) {
@@ -141,6 +196,10 @@ fn shape_errors_are_typed_everywhere() {
             fidelity: Fidelity::Pipelined,
         },
         BackendKind::Analytic,
+        BackendKind::Sharded {
+            shards: 2,
+            inner: ShardKind::Functional { workers: 1 },
+        },
     ] {
         let mut session = Session::builder(cfg.clone())
             .program(program.clone())
