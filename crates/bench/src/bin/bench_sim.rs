@@ -16,7 +16,7 @@ use maddpipe_core::macro_rtl::MacroProgram;
 use maddpipe_runtime::prelude::*;
 use maddpipe_sim::prelude::*;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Median of repeated timed runs of `f`, where each run reports how many
 /// *units* (events, tokens) it processed. Returns units per second.
@@ -149,6 +149,67 @@ fn sharded_tokens_per_sec(shards: usize) -> f64 {
     })
 }
 
+/// Serving-queue throughput and latency at the flagship shape:
+/// `clients` submitter threads push bursts through one `ServeQueue` over
+/// a single-worker functional backend. Returns the median tokens/s plus
+/// the queue-wait p50/p99 (µs) and mean coalesced micro-batch size
+/// accumulated over *all* timed repetitions (the queue is long-lived,
+/// like the sessions of the sibling benches) — the queue-side view
+/// `SessionStats` adds on top of the backend rates above. Like the
+/// thread/shard scaling, interpret against `host_cpus`.
+fn serving_queue_snapshot(clients: usize) -> (f64, f64, f64, f64) {
+    let cfg = MacroConfig::paper_flagship();
+    let ns = cfg.ns;
+    let program = MacroProgram::random(cfg.ndec, cfg.ns, 7);
+    let requests_per_client = 16usize;
+    let tokens_per_request = 64usize;
+    // One long-lived queue, like the sessions of the sibling benches:
+    // construction and shutdown stay outside the timed serve spans.
+    let queue = Session::builder(cfg)
+        .program(program)
+        .backend(BackendKind::Functional { workers: 1 })
+        .into_serving(
+            QueuePolicy::default()
+                .with_max_batch(256)
+                .with_max_linger(Duration::from_micros(100)),
+        )
+        .expect("queue comes up");
+    // Pre-generate every client's bursts, mirroring the pre-built batch
+    // of the sibling benches; the timed span clones and serves them.
+    let bursts: Vec<Vec<TokenBatch>> = (0..clients)
+        .map(|c| {
+            (0..requests_per_client)
+                .map(|r| TokenBatch::random(ns, tokens_per_request, (c * 1000 + r) as u64))
+                .collect()
+        })
+        .collect();
+    let rate = median_rate(5, || {
+        std::thread::scope(|scope| {
+            for burst in &bursts {
+                let queue = &queue;
+                scope.spawn(move || {
+                    let tickets: Vec<_> = burst
+                        .iter()
+                        .map(|batch| queue.submit(batch.clone()).expect("within the depth bound"))
+                        .collect();
+                    for ticket in tickets {
+                        ticket.wait().expect("served");
+                    }
+                });
+            }
+        });
+        (clients * requests_per_client * tokens_per_request) as u64
+    });
+    let stats = queue.shutdown();
+    let wait_us = |p: Option<Duration>| p.map_or(0.0, |d| d.as_secs_f64() * 1e6);
+    (
+        rate,
+        wait_us(stats.p50_queue_wait()),
+        wait_us(stats.p99_queue_wait()),
+        stats.mean_coalesced_batch(),
+    )
+}
+
 /// RTL-backend throughput on the small reference macro, per fidelity.
 fn rtl_tokens_per_sec(fidelity: Fidelity) -> f64 {
     let cfg = MacroConfig::new(2, 2).with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
@@ -179,6 +240,8 @@ fn main() {
     let shd_s4 = sharded_tokens_per_sec(4);
     let rtl_seq = rtl_tokens_per_sec(Fidelity::Sequential);
     let rtl_pip = rtl_tokens_per_sec(Fidelity::Pipelined);
+    let (sq_c1, _, _, _) = serving_queue_snapshot(1);
+    let (sq_c4, sq_p50, sq_p99, sq_coalesced) = serving_queue_snapshot(4);
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema\": \"maddpipe-bench-sim/v1\",");
@@ -209,6 +272,19 @@ fn main() {
     let _ = writeln!(json, "    \"sharded_wide64_s4\": {shd_s4:.0},");
     let _ = writeln!(json, "    \"rtl_ndec2_ns2_sequential\": {rtl_seq:.1},");
     let _ = writeln!(json, "    \"rtl_ndec2_ns2_pipelined\": {rtl_pip:.1}");
+    let _ = writeln!(json, "  }},");
+    // The async serving queue in front of the flagship functional
+    // backend: throughput at 1/4 submitter threads plus the queue-side
+    // latency picture of the 4-client run.
+    let _ = writeln!(json, "  \"serving_queue\": {{");
+    let _ = writeln!(json, "    \"flagship_c1_tokens_per_sec\": {sq_c1:.0},");
+    let _ = writeln!(json, "    \"flagship_c4_tokens_per_sec\": {sq_c4:.0},");
+    let _ = writeln!(json, "    \"flagship_c4_queue_wait_p50_us\": {sq_p50:.1},");
+    let _ = writeln!(json, "    \"flagship_c4_queue_wait_p99_us\": {sq_p99:.1},");
+    let _ = writeln!(
+        json,
+        "    \"flagship_c4_mean_coalesced_tokens\": {sq_coalesced:.1}"
+    );
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 

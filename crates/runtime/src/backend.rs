@@ -15,6 +15,13 @@ use crate::error::BackendError;
 use maddpipe_core::config::{MacroConfig, LEVELS};
 use maddpipe_core::macro_rtl::{AcceleratorRtl, MacroProgram};
 
+/// Builds a backend on whatever thread ends up owning it. The closure
+/// runs exactly once, off the caller's thread — which is what lets
+/// non-`Send` backends (the event-driven netlist) live on shard workers
+/// and queue dispatchers.
+pub type BackendFactory =
+    Box<dyn FnOnce() -> Result<Box<dyn MacroBackend>, BackendError> + Send + 'static>;
+
 /// How faithfully the RTL backend drives the netlist.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Fidelity {
@@ -60,6 +67,39 @@ pub enum BackendKind {
 impl Default for BackendKind {
     fn default() -> BackendKind {
         BackendKind::Functional { workers: 1 }
+    }
+}
+
+impl BackendKind {
+    /// Validates `program` against `cfg` and constructs the backend this
+    /// kind describes — the one construction path shared by the session
+    /// builder and the serving queue's dispatcher factory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::ProgramMismatch`] /
+    /// [`BackendError::MalformedProgram`] when the program does not fit
+    /// the configuration, plus the chosen backend's own constructor
+    /// errors (e.g. [`BackendError::InvalidShardPlan`] for sharded
+    /// kinds).
+    pub fn build(
+        self,
+        cfg: &MacroConfig,
+        program: MacroProgram,
+    ) -> Result<Box<dyn MacroBackend>, BackendError> {
+        validate_program(cfg, &program)?;
+        Ok(match self {
+            BackendKind::Functional { workers } => Box::new(
+                crate::functional::FunctionalBackend::with_workers(program, workers),
+            ),
+            BackendKind::Rtl { fidelity } => {
+                Box::new(crate::rtl::RtlBackend::new(cfg, &program, fidelity)?)
+            }
+            BackendKind::Analytic => Box::new(crate::analytic::AnalyticBackend::new(cfg, program)?),
+            BackendKind::Sharded { shards, inner } => Box::new(
+                crate::sharded::ShardedBackend::uniform(cfg, &program, shards, inner)?,
+            ),
+        })
     }
 }
 

@@ -132,6 +132,13 @@ impl TokenBatch {
         &self.tokens
     }
 
+    /// Consumes the batch, yielding the tokens in submission order —
+    /// what the serving queue uses to coalesce submissions into
+    /// micro-batches without copying token data.
+    pub fn into_tokens(self) -> Vec<Token> {
+        self.tokens
+    }
+
     /// Checks that every token provides one subvector per stage.
     ///
     /// # Errors

@@ -74,6 +74,27 @@ pub enum BackendError {
         /// Index of the lost shard within the plan.
         shard: usize,
     },
+    /// A serving queue rejected the submission because it already holds
+    /// its configured maximum of unresolved requests — typed
+    /// backpressure; retry after waiting on an outstanding ticket.
+    QueueFull {
+        /// The depth bound of the queue's
+        /// [`QueuePolicy`](crate::queue::QueuePolicy) that was hit.
+        depth: usize,
+    },
+    /// The serving queue is shut down (or its dispatcher died): it
+    /// accepts no new submissions, and any ticket that could no longer
+    /// be served resolves to this error instead of leaking.
+    QueueClosed,
+    /// The session cannot be converted into a serving queue — it was
+    /// built from a caller-constructed backend, so there is no recipe to
+    /// rebuild the backend on the dispatcher thread. Use
+    /// [`ServeQueue::from_factory`](crate::queue::ServeQueue::from_factory)
+    /// instead.
+    QueueUnavailable {
+        /// Human-readable explanation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for BackendError {
@@ -113,6 +134,18 @@ impl fmt::Display for BackendError {
             }
             BackendError::ShardLost { shard } => {
                 write!(f, "shard {shard} worker is gone (panicked or shut down)")
+            }
+            BackendError::QueueFull { depth } => {
+                write!(
+                    f,
+                    "serving queue is full ({depth} unresolved requests); retry after a ticket resolves"
+                )
+            }
+            BackendError::QueueClosed => {
+                write!(f, "serving queue is shut down and accepts no submissions")
+            }
+            BackendError::QueueUnavailable { reason } => {
+                write!(f, "cannot serve this session through a queue: {reason}")
             }
         }
     }
@@ -191,6 +224,20 @@ mod tests {
             reason: "0 shards".into(),
         };
         assert!(p.to_string().contains("0 shards"));
+    }
+
+    #[test]
+    fn queue_errors_are_informative() {
+        let full = BackendError::QueueFull { depth: 7 };
+        assert!(full.to_string().contains('7'), "{full}");
+        assert!(BackendError::QueueClosed.to_string().contains("shut down"));
+        let unavailable = BackendError::QueueUnavailable {
+            reason: "built from a caller-constructed backend".into(),
+        };
+        assert!(
+            unavailable.to_string().contains("caller-constructed"),
+            "{unavailable}"
+        );
     }
 
     #[test]

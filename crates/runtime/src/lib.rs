@@ -24,7 +24,12 @@
 //! of any kind, and every batch is fanned out and reassembled in order.
 //!
 //! On top sits the [`Session`] builder, which owns batching and aggregate
-//! [`SessionStats`] (tokens/s, total energy, p50/p99 token latency):
+//! [`SessionStats`] (tokens/s, total energy, p50/p99 token latency) —
+//! and, for many-client serving, converts into an async [`ServeQueue`]
+//! ([`Session::into_serving`]): submissions from any number of threads
+//! are coalesced into micro-batches under a [`QueuePolicy`] and resolved
+//! through [`BatchTicket`] handles, with typed
+//! [`BackendError::QueueFull`] backpressure:
 //!
 //! ```
 //! use maddpipe_runtime::prelude::*;
@@ -54,16 +59,20 @@ pub mod batch;
 pub mod error;
 pub mod functional;
 pub mod plan;
+pub mod queue;
 pub mod rtl;
 pub mod session;
 pub mod sharded;
 
 pub use analytic::AnalyticBackend;
-pub use backend::{validate_program, BackendKind, Fidelity, MacroBackend, ShardKind};
+pub use backend::{
+    validate_program, BackendFactory, BackendKind, Fidelity, MacroBackend, ShardKind,
+};
 pub use batch::{BatchResult, Token, TokenBatch, TokenObservation};
 pub use error::BackendError;
 pub use functional::FunctionalBackend;
 pub use plan::ShardPlan;
+pub use queue::{BatchTicket, QueuePolicy, QueueReply, ServeQueue};
 pub use rtl::RtlBackend;
 pub use session::{Session, SessionBuilder, SessionStats};
 pub use sharded::{ShardFactory, ShardedBackend};
@@ -71,11 +80,12 @@ pub use sharded::{ShardFactory, ShardedBackend};
 /// Common imports.
 pub mod prelude {
     pub use crate::analytic::AnalyticBackend;
-    pub use crate::backend::{BackendKind, Fidelity, MacroBackend, ShardKind};
+    pub use crate::backend::{BackendFactory, BackendKind, Fidelity, MacroBackend, ShardKind};
     pub use crate::batch::{BatchResult, Token, TokenBatch, TokenObservation};
     pub use crate::error::BackendError;
     pub use crate::functional::FunctionalBackend;
     pub use crate::plan::ShardPlan;
+    pub use crate::queue::{BatchTicket, QueuePolicy, QueueReply, ServeQueue};
     pub use crate::rtl::RtlBackend;
     pub use crate::session::{Session, SessionBuilder, SessionStats};
     pub use crate::sharded::ShardedBackend;

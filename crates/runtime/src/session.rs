@@ -9,13 +9,10 @@
 //! accumulate identically whatever executes the batches, and swapping
 //! [`BackendKind`]s never changes a single output bit.
 
-use crate::analytic::AnalyticBackend;
-use crate::backend::{validate_program, BackendKind, MacroBackend};
+use crate::backend::{validate_program, BackendFactory, BackendKind, MacroBackend};
 use crate::batch::{BatchResult, TokenBatch};
 use crate::error::BackendError;
-use crate::functional::FunctionalBackend;
-use crate::rtl::RtlBackend;
-use crate::sharded::ShardedBackend;
+use crate::queue::{QueuePolicy, ServeQueue};
 use core::fmt;
 use maddpipe_core::config::MacroConfig;
 use maddpipe_core::macro_rtl::{AcceleratorRtl, MacroProgram};
@@ -57,24 +54,39 @@ impl SessionBuilder {
     /// [`BackendError::MalformedProgram`]).
     pub fn build(self) -> Result<Session, BackendError> {
         let program = self.program.ok_or(BackendError::MissingProgram)?;
-        validate_program(&self.cfg, &program)?;
-        let backend: Box<dyn MacroBackend> = match self.kind {
-            BackendKind::Functional { workers } => {
-                Box::new(FunctionalBackend::with_workers(program, workers))
-            }
-            BackendKind::Rtl { fidelity } => {
-                Box::new(RtlBackend::new(&self.cfg, &program, fidelity)?)
-            }
-            BackendKind::Analytic => Box::new(AnalyticBackend::new(&self.cfg, program)?),
-            BackendKind::Sharded { shards, inner } => {
-                Box::new(ShardedBackend::uniform(&self.cfg, &program, shards, inner)?)
-            }
-        };
+        let backend = self.kind.build(&self.cfg, program.clone())?;
         Ok(Session {
             cfg: self.cfg,
             backend,
+            // The recipe lets `into_serving` rebuild this exact backend
+            // on the queue's dispatcher thread (netlists are not `Send`).
+            recipe: Some((program, self.kind)),
             stats: SessionStats::default(),
         })
+    }
+
+    /// Builds straight into an async [`ServeQueue`]: the program is
+    /// validated here (fail fast, on the caller's thread) and the
+    /// `(program, kind)` recipe goes directly to the queue's dispatcher,
+    /// which constructs the one backend that will actually serve.
+    /// Prefer this over `build()?.into_serving(policy)` when the session
+    /// is only ever used through the queue — it skips building (and
+    /// discarding) a caller-side backend, which for RTL kinds is a full
+    /// netlist elaboration.
+    ///
+    /// # Errors
+    ///
+    /// As [`SessionBuilder::build`], plus the queue's own construction
+    /// failures ([`BackendError::QueueClosed`] when the dispatcher dies
+    /// before reporting ready).
+    pub fn into_serving(self, policy: QueuePolicy) -> Result<ServeQueue, BackendError> {
+        let program = self.program.ok_or(BackendError::MissingProgram)?;
+        validate_program(&self.cfg, &program)?;
+        let cfg = self.cfg;
+        let ns = cfg.ns;
+        let kind = self.kind;
+        let factory: BackendFactory = Box::new(move || kind.build(&cfg, program));
+        ServeQueue::from_factory(policy, ns, factory)
     }
 }
 
@@ -101,6 +113,10 @@ impl SessionBuilder {
 pub struct Session {
     cfg: MacroConfig,
     backend: Box<dyn MacroBackend>,
+    /// `(program, kind)` when built through the builder — what
+    /// [`Session::into_serving`] rebuilds on the dispatcher thread.
+    /// `None` for [`Session::from_backend`] sessions.
+    recipe: Option<(MacroProgram, BackendKind)>,
     stats: SessionStats,
 }
 
@@ -120,8 +136,37 @@ impl Session {
         Session {
             cfg,
             backend,
+            recipe: None,
             stats: SessionStats::default(),
         }
+    }
+
+    /// Converts this session into an async [`ServeQueue`] so many client
+    /// threads can share the backend: the session's `(program, backend
+    /// kind)` recipe is rebuilt on the queue's dispatcher thread (which
+    /// is what lets non-`Send` backends, i.e. netlists, serve), and the
+    /// statistics accumulated so far carry over and keep growing as the
+    /// queue serves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::QueueUnavailable`] for sessions made with
+    /// [`Session::from_backend`] — a caller-constructed backend cannot
+    /// be rebuilt on another thread; hand a factory to
+    /// [`ServeQueue::from_factory`] instead. Construction failures of
+    /// the rebuilt backend propagate as that backend's own errors.
+    pub fn into_serving(self, policy: QueuePolicy) -> Result<ServeQueue, BackendError> {
+        let (program, kind) = self.recipe.ok_or_else(|| BackendError::QueueUnavailable {
+            reason: "session was built from a caller-constructed backend; \
+                     use ServeQueue::from_factory"
+                .into(),
+        })?;
+        let cfg = self.cfg;
+        let ns = cfg.ns;
+        let factory: BackendFactory = Box::new(move || kind.build(&cfg, program));
+        let queue = ServeQueue::from_factory(policy, ns, factory)?;
+        queue.seed_stats(self.stats);
+        Ok(queue)
     }
 
     /// Runs one batch and folds its measurements into the session stats.
@@ -175,7 +220,10 @@ impl fmt::Debug for Session {
     }
 }
 
-/// Aggregate measurements across every batch a [`Session`] has run.
+/// Aggregate measurements across every batch a [`Session`] has run —
+/// and, when the session serves through a [`ServeQueue`], across every
+/// dispatched micro-batch: queue-wait percentiles, coalesced micro-batch
+/// sizes and the deepest backlog observed.
 #[derive(Debug, Clone, Default)]
 pub struct SessionStats {
     tokens: u64,
@@ -183,9 +231,22 @@ pub struct SessionStats {
     wall: Duration,
     energy: Joules,
     measured_energy: bool,
-    /// Kept sorted (re-sorted once per absorbed batch), so percentile
-    /// queries are a direct index instead of a clone-and-sort.
-    latencies: Vec<f64>,
+    /// Per-token latencies in seconds — bounded: a uniform reservoir
+    /// once the cap is reached, so a long-lived session never grows
+    /// without limit.
+    latencies: SampleSet,
+    /// Per-request queue waits in seconds, sampled like `latencies`.
+    queue_waits: SampleSet,
+    /// Requests resolved through a serving queue.
+    queued_requests: u64,
+    /// Micro-batches the queue's dispatcher ran.
+    queued_batches: u64,
+    /// Tokens that travelled through those micro-batches.
+    queued_tokens: u64,
+    /// Largest micro-batch (in tokens) the dispatcher coalesced.
+    max_coalesced: u64,
+    /// Deepest backlog (unresolved requests) observed at submit time.
+    max_queue_depth: u64,
 }
 
 impl SessionStats {
@@ -206,18 +267,44 @@ impl SessionStats {
             }
             self.measured_energy |= any;
         }
-        let unsorted_from = self.latencies.len();
-        self.latencies.extend(
-            result
-                .tokens
-                .iter()
-                .filter_map(|t| t.latency)
-                .map(|l| l.value()),
-        );
-        if self.latencies.len() > unsorted_from {
-            self.latencies
-                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        for latency in result.tokens.iter().filter_map(|t| t.latency) {
+            self.latencies.push(latency.value());
         }
+    }
+
+    /// Folds one *successfully served* micro-batch into the statistics:
+    /// the batch itself (tokens, wall time, energy, token latencies)
+    /// plus the queue-side view.
+    pub(crate) fn absorb_queued(
+        &mut self,
+        result: &BatchResult,
+        service: Duration,
+        waits: &[Duration],
+    ) {
+        self.absorb(result, service);
+        self.absorb_queue_side(result.tokens.len(), waits);
+    }
+
+    /// Folds one dispatched micro-batch's queue-side view — one wait
+    /// sample per coalesced request and the micro-batch size — into the
+    /// statistics. Called for failed micro-batches too: their requests
+    /// waited and resolved like any other, so leaving them out would
+    /// skew the wait percentiles optimistic under error load (only the
+    /// *served*-token measurements of [`SessionStats::absorb`] are
+    /// success-only).
+    pub(crate) fn absorb_queue_side(&mut self, tokens: usize, waits: &[Duration]) {
+        self.queued_requests += waits.len() as u64;
+        self.queued_batches += 1;
+        self.queued_tokens += tokens as u64;
+        self.max_coalesced = self.max_coalesced.max(tokens as u64);
+        for wait in waits {
+            self.queue_waits.push(wait.as_secs_f64());
+        }
+    }
+
+    /// Records the backlog depth seen by one submission.
+    pub(crate) fn record_queue_depth(&mut self, depth: u64) {
+        self.max_queue_depth = self.max_queue_depth.max(depth);
     }
 
     /// Tokens run so far.
@@ -262,14 +349,107 @@ impl SessionStats {
 
     /// Arbitrary latency percentile (nearest-rank), when measured.
     pub fn percentile(&self, p: f64) -> Option<Seconds> {
-        if self.latencies.is_empty() {
+        self.latencies.percentile(p).map(Seconds)
+    }
+
+    /// Requests resolved through a serving queue so far.
+    pub fn queued_requests(&self) -> u64 {
+        self.queued_requests
+    }
+
+    /// Micro-batches a serving queue's dispatcher has run so far.
+    pub fn queued_batches(&self) -> u64 {
+        self.queued_batches
+    }
+
+    /// Mean coalesced micro-batch size in tokens (0 when nothing has
+    /// been served through a queue).
+    pub fn mean_coalesced_batch(&self) -> f64 {
+        if self.queued_batches > 0 {
+            self.queued_tokens as f64 / self.queued_batches as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest micro-batch (in tokens) the dispatcher coalesced.
+    pub fn max_coalesced_batch(&self) -> u64 {
+        self.max_coalesced
+    }
+
+    /// Deepest backlog (unresolved requests) observed at submit time.
+    pub fn max_queue_depth(&self) -> u64 {
+        self.max_queue_depth
+    }
+
+    /// Median per-request queue wait, once a queue has served requests.
+    pub fn p50_queue_wait(&self) -> Option<Duration> {
+        self.queue_wait_percentile(50.0)
+    }
+
+    /// 99th-percentile per-request queue wait.
+    pub fn p99_queue_wait(&self) -> Option<Duration> {
+        self.queue_wait_percentile(99.0)
+    }
+
+    /// Arbitrary queue-wait percentile (nearest-rank), host wall time.
+    pub fn queue_wait_percentile(&self, p: f64) -> Option<Duration> {
+        self.queue_waits.percentile(p).map(Duration::from_secs_f64)
+    }
+}
+
+/// A bounded measurement sample: exact below [`SampleSet::CAP`] values,
+/// a uniform reservoir (Algorithm R on a deterministic splitmix64
+/// stream) beyond it — so percentiles of an arbitrarily long-lived
+/// session or serving queue stay statistically sound while memory and
+/// per-sample cost stay O(CAP). Pushing is O(1); sorting happens at
+/// query time, keeping the dispatcher's absorb path cheap.
+#[derive(Debug, Clone, Default)]
+struct SampleSet {
+    samples: Vec<f64>,
+    seen: u64,
+}
+
+impl SampleSet {
+    /// 64Ki samples ≈ 512 KiB — enough for a stable p99 estimate.
+    const CAP: usize = 1 << 16;
+
+    fn push(&mut self, value: f64) {
+        self.seen += 1;
+        if self.samples.len() < SampleSet::CAP {
+            self.samples.push(value);
+        } else {
+            // Keep each newcomer with probability CAP/seen, evicting a
+            // uniform victim — the classic reservoir step, derandomised
+            // with a hash of the arrival index so replays are stable.
+            let slot = splitmix64(self.seen) % self.seen;
+            if (slot as usize) < SampleSet::CAP {
+                self.samples[slot as usize] = value;
+            }
+        }
+    }
+
+    /// Nearest-rank percentile: the smallest retained value with at
+    /// least `p` percent of the sample at or below it. `None` on an
+    /// empty sample; `p` outside `[0, 100]` clamps to the extremes.
+    fn percentile(&self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
             return None;
         }
-        let rank = ((p / 100.0) * self.latencies.len() as f64).ceil() as usize;
-        Some(Seconds(
-            self.latencies[rank.clamp(1, self.latencies.len()) - 1],
-        ))
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, sorted.len()) - 1])
     }
+}
+
+/// SplitMix64: a well-mixed 64-bit hash, here turning the monotone
+/// arrival index into the reservoir's deterministic random stream.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl fmt::Display for SessionStats {
@@ -286,6 +466,16 @@ impl fmt::Display for SessionStats {
         }
         if let Some(e) = self.total_energy() {
             write!(f, ", {e} total")?;
+        }
+        if let (Some(p50), Some(p99)) = (self.p50_queue_wait(), self.p99_queue_wait()) {
+            write!(
+                f,
+                ", queue wait p50 {:.1}us / p99 {:.1}us, {:.1} tokens/micro-batch (max depth {})",
+                p50.as_secs_f64() * 1e6,
+                p99.as_secs_f64() * 1e6,
+                self.mean_coalesced_batch(),
+                self.max_queue_depth,
+            )?;
         }
         Ok(())
     }
@@ -378,6 +568,188 @@ mod tests {
         assert!(stats.total_energy().unwrap().value() > 0.0);
         assert!(stats.p50_token_latency().is_some());
         assert!(s.rtl().is_none(), "netlists live on the shard workers");
+    }
+
+    #[test]
+    fn builder_serves_directly_without_a_local_backend() {
+        let cfg = MacroConfig::new(2, 2);
+        let program = MacroProgram::random(2, 2, 3);
+        let queue = Session::builder(cfg)
+            .program(program.clone())
+            .into_serving(QueuePolicy::default())
+            .unwrap();
+        let batch = TokenBatch::random(2, 2, 1);
+        let reply = queue.submit(batch.clone()).unwrap().wait().unwrap();
+        assert_eq!(
+            reply.result.tokens[0].outputs,
+            program.reference_output(&batch.tokens()[0])
+        );
+        assert_eq!(queue.shutdown().tokens(), 2);
+        // The direct path fails as fast as build() on bad input.
+        assert_eq!(
+            Session::builder(MacroConfig::new(1, 1))
+                .into_serving(QueuePolicy::default())
+                .unwrap_err(),
+            BackendError::MissingProgram
+        );
+        let mismatch = Session::builder(MacroConfig::new(2, 2))
+            .program(MacroProgram::random(2, 3, 0))
+            .into_serving(QueuePolicy::default())
+            .unwrap_err();
+        assert!(matches!(mismatch, BackendError::ProgramMismatch { .. }));
+    }
+
+    #[test]
+    fn long_lived_sample_sets_stay_bounded_and_representative() {
+        let mut set = SampleSet::default();
+        let total = SampleSet::CAP * 4;
+        for i in 0..total {
+            set.push(i as f64);
+        }
+        // Bounded: the reservoir never exceeds its cap however long the
+        // session lives…
+        assert_eq!(set.samples.len(), SampleSet::CAP);
+        assert_eq!(set.seen, total as u64);
+        // …and stays a uniform subset: the retained median tracks the
+        // true median of the full 0..4·CAP stream.
+        let p50 = set.percentile(50.0).unwrap();
+        let true_median = total as f64 / 2.0;
+        assert!(
+            (p50 - true_median).abs() < total as f64 * 0.05,
+            "reservoir p50 {p50} drifted from true median {true_median}"
+        );
+        // Determinism: the same pushes reproduce the same reservoir.
+        let mut replay = SampleSet::default();
+        for i in 0..total {
+            replay.push(i as f64);
+        }
+        assert_eq!(set.samples, replay.samples);
+    }
+
+    /// Fabricates a `BatchResult` carrying exactly these token latencies
+    /// (seconds) — the percentile math's only input.
+    fn result_with_latencies(latencies: &[f64]) -> BatchResult {
+        BatchResult {
+            backend: "test",
+            tokens: latencies
+                .iter()
+                .map(|&l| crate::batch::TokenObservation {
+                    outputs: vec![0],
+                    latency: Some(Seconds(l)),
+                    energy: None,
+                })
+                .collect(),
+            makespan: None,
+            energy: None,
+        }
+    }
+
+    #[test]
+    fn percentiles_of_nothing_are_none() {
+        let stats = SessionStats::default();
+        assert_eq!(stats.p50_token_latency(), None);
+        assert_eq!(stats.p99_token_latency(), None);
+        assert_eq!(stats.percentile(0.0), None);
+        assert_eq!(stats.percentile(100.0), None);
+        assert_eq!(stats.p50_queue_wait(), None);
+        assert_eq!(stats.queue_wait_percentile(99.0), None);
+        // Tokens without latency observations leave percentiles None.
+        let mut unmeasured = SessionStats::default();
+        let mut result = result_with_latencies(&[1.0, 2.0]);
+        for t in &mut result.tokens {
+            t.latency = None;
+        }
+        unmeasured.absorb(&result, Duration::from_millis(1));
+        assert_eq!(unmeasured.tokens(), 2);
+        assert_eq!(unmeasured.p50_token_latency(), None);
+    }
+
+    #[test]
+    fn a_single_sample_is_every_percentile() {
+        let mut stats = SessionStats::default();
+        stats.absorb(&result_with_latencies(&[4.25]), Duration::from_millis(1));
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(stats.percentile(p), Some(Seconds(4.25)), "p{p}");
+        }
+        assert_eq!(stats.p50_token_latency(), stats.p99_token_latency());
+    }
+
+    #[test]
+    fn tied_samples_keep_nearest_rank_exact() {
+        let mut stats = SessionStats::default();
+        stats.absorb(
+            &result_with_latencies(&[1.0, 1.0, 1.0, 2.0]),
+            Duration::from_millis(1),
+        );
+        // nearest rank over [1, 1, 1, 2]: p50 -> rank 2, p75 -> rank 3,
+        // p76..p100 -> rank 4.
+        assert_eq!(stats.percentile(50.0), Some(Seconds(1.0)));
+        assert_eq!(stats.percentile(75.0), Some(Seconds(1.0)));
+        assert_eq!(stats.percentile(76.0), Some(Seconds(2.0)));
+        assert_eq!(stats.p99_token_latency(), Some(Seconds(2.0)));
+    }
+
+    #[test]
+    fn unsorted_arrival_order_does_not_skew_percentiles() {
+        // Three batches, descending and interleaved latencies: the
+        // sorted invariant must hold across absorbs, not per batch.
+        let mut stats = SessionStats::default();
+        stats.absorb(&result_with_latencies(&[9.0]), Duration::from_millis(1));
+        stats.absorb(
+            &result_with_latencies(&[1.0, 7.0]),
+            Duration::from_millis(1),
+        );
+        stats.absorb(
+            &result_with_latencies(&[5.0, 3.0]),
+            Duration::from_millis(1),
+        );
+        // Sorted view: [1, 3, 5, 7, 9].
+        assert_eq!(stats.percentile(50.0), Some(Seconds(5.0)));
+        assert_eq!(stats.percentile(20.0), Some(Seconds(1.0)));
+        assert_eq!(stats.percentile(21.0), Some(Seconds(3.0)));
+        assert_eq!(stats.p99_token_latency(), Some(Seconds(9.0)));
+        // Out-of-range percentiles clamp to the extremes.
+        assert_eq!(stats.percentile(-5.0), Some(Seconds(1.0)));
+        assert_eq!(stats.percentile(250.0), Some(Seconds(9.0)));
+    }
+
+    #[test]
+    fn queued_micro_batches_feed_queue_stats() {
+        let mut stats = SessionStats::default();
+        stats.absorb_queued(
+            &result_with_latencies(&[1.0, 2.0, 3.0]),
+            Duration::from_millis(2),
+            &[Duration::from_micros(10), Duration::from_micros(30)],
+        );
+        stats.absorb_queued(
+            &result_with_latencies(&[4.0]),
+            Duration::from_millis(1),
+            &[Duration::from_micros(20)],
+        );
+        stats.record_queue_depth(2);
+        stats.record_queue_depth(5);
+        stats.record_queue_depth(3);
+        assert_eq!(stats.tokens(), 4);
+        assert_eq!(stats.queued_requests(), 3);
+        assert_eq!(stats.queued_batches(), 2);
+        assert_eq!(stats.max_coalesced_batch(), 3);
+        assert_eq!(stats.max_queue_depth(), 5);
+        assert!((stats.mean_coalesced_batch() - 2.0).abs() < 1e-12);
+        // Queue waits sort across absorbs: [10, 20, 30] µs.
+        assert_eq!(stats.p50_queue_wait(), Some(Duration::from_micros(20)));
+        assert_eq!(stats.p99_queue_wait(), Some(Duration::from_micros(30)));
+        let text = stats.to_string();
+        assert!(text.contains("queue wait p50"), "{text}");
+        assert!(text.contains("tokens/micro-batch"), "{text}");
+        // A *failed* micro-batch still counts on the queue side (its
+        // requests waited and resolved), but adds no served tokens.
+        stats.absorb_queue_side(5, &[Duration::from_micros(40), Duration::from_micros(50)]);
+        assert_eq!(stats.queued_requests(), 5);
+        assert_eq!(stats.queued_batches(), 3);
+        assert_eq!(stats.max_coalesced_batch(), 5);
+        assert_eq!(stats.tokens(), 4, "served tokens stay success-only");
+        assert!((stats.mean_coalesced_batch() - 3.0).abs() < 1e-12);
+        assert_eq!(stats.p99_queue_wait(), Some(Duration::from_micros(50)));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! the whole batch with a typed [`BackendError::Shard`] — no partial
 //! output ever escapes.
 
-use crate::backend::{validate_program, MacroBackend, ShardKind};
+use crate::backend::{validate_program, BackendFactory, MacroBackend, ShardKind};
 use crate::batch::{BatchResult, TokenBatch, TokenObservation};
 use crate::error::BackendError;
 use crate::plan::ShardPlan;
@@ -29,9 +29,9 @@ use std::thread::JoinHandle;
 
 /// Builds one shard's backend on its worker thread. The closure runs
 /// exactly once, off the caller's thread — which is what lets non-`Send`
-/// backends (the RTL netlist) participate.
-pub type ShardFactory =
-    Box<dyn FnOnce() -> Result<Box<dyn MacroBackend>, BackendError> + Send + 'static>;
+/// backends (the RTL netlist) participate. (The same shape as every
+/// other owned-thread construction site — see [`BackendFactory`].)
+pub type ShardFactory = BackendFactory;
 
 /// One batch travelling to a shard worker, with the channel its result
 /// comes back on. The batch is shared, not copied: every shard reads
@@ -350,6 +350,20 @@ impl MacroBackend for ShardedBackend {
     }
 }
 
+impl Drop for ShardedBackend {
+    /// Signals *every* worker before any join: each `Worker`'s job
+    /// sender drops here first, so all shards see the shutdown at once
+    /// and wind down in parallel — a slow shard mid-batch delays the
+    /// join by its own remaining work only, never serially behind its
+    /// neighbours. (The per-`Worker` `Drop` then joins the thread; a
+    /// worker that panicked is absorbed by the ignored join result.)
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            drop(worker.jobs.take());
+        }
+    }
+}
+
 impl core::fmt::Debug for ShardedBackend {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("ShardedBackend")
@@ -530,6 +544,68 @@ mod tests {
         // The healthy shard keeps serving; the sharded backend keeps
         // rejecting whole batches while shard 1 stays down.
         assert!(sharded.run_batch(&batch).is_err());
+    }
+
+    /// A backend that takes `delay` per batch — long enough for the test
+    /// to act while the shard is still mid-flight.
+    struct SlowBackend {
+        inner: FunctionalBackend,
+        delay: std::time::Duration,
+    }
+
+    impl MacroBackend for SlowBackend {
+        fn name(&self) -> &'static str {
+            "slow"
+        }
+        fn run_batch(&mut self, batch: &TokenBatch) -> Result<BatchResult, BackendError> {
+            std::thread::sleep(self.delay);
+            self.inner.run_batch(batch)
+        }
+    }
+
+    #[test]
+    fn dropping_with_a_batch_mid_flight_joins_workers_cleanly() {
+        // Shard 0 fails instantly, so `run_batch` returns its error while
+        // shard 1 is still asleep inside its own copy of the batch — the
+        // exact state a serving-queue teardown can leave a fleet in.
+        // Dropping the backend then must join both workers: no deadlock,
+        // no panic, no leaked thread still owning a netlist.
+        let (_, program, batch) = wide_setup(4, 2);
+        let plan = ShardPlan::even(4, 2).unwrap();
+        let subs = plan.split(&program).unwrap();
+        let mut factories: Vec<ShardFactory> = Vec::new();
+        for (s, sub) in subs.into_iter().enumerate() {
+            factories.push(Box::new(move || {
+                Ok(if s == 0 {
+                    Box::new(FlakyBackend {
+                        inner: FunctionalBackend::new(sub),
+                        ok_batches: 0,
+                        served: 0,
+                    })
+                } else {
+                    Box::new(SlowBackend {
+                        inner: FunctionalBackend::new(sub),
+                        delay: std::time::Duration::from_millis(150),
+                    }) as Box<dyn MacroBackend>
+                })
+            }));
+        }
+        let mut sharded = ShardedBackend::from_factories(plan, 2, factories).unwrap();
+        let err = sharded.run_batch(&batch).unwrap_err();
+        assert!(
+            matches!(err, BackendError::Shard { shard: 0, .. }),
+            "{err:?}"
+        );
+        // Drop on a watchdog thread so a deadlocked join fails the test
+        // instead of hanging it.
+        let (done_tx, done_rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            drop(sharded);
+            let _ = done_tx.send(());
+        });
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("dropping a mid-flight sharded backend must join, not deadlock");
     }
 
     #[test]

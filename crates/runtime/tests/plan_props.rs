@@ -1,0 +1,131 @@
+//! Property tests pinning [`ShardPlan`] to the geometry it mirrors.
+//!
+//! The serving plan and the CNN mapping describe the *same* partition of
+//! a layer's output channels from two sides: `ShardPlan::for_layer` says
+//! which decoder chains each macro instance owns,
+//! `ConvMapping::sharded` says which sub-layer each macro instance
+//! computes. These properties hold them together for arbitrary layer
+//! shapes and macro widths, and pin the structural invariants of
+//! `ShardPlan::even` that the sharded backend's stitching relies on:
+//! contiguous ranges, no empty shard, full coverage of every chain.
+
+use maddpipe_core::config::MacroConfig;
+use maddpipe_core::macro_rtl::MacroProgram;
+use maddpipe_core::mapping::{ConvMapping, ConvShape};
+use maddpipe_runtime::plan::ShardPlan;
+use maddpipe_runtime::BackendError;
+use proptest::prelude::*;
+
+proptest! {
+    /// `ShardPlan::for_layer` assigns shard `s` exactly the output
+    /// channels of the `s`-th sub-layer of `ConvMapping::sharded`, in
+    /// the same order — and every sub-layer fits one macro
+    /// (`tiles_out == 1`), which is the whole point of sharding.
+    #[test]
+    fn for_layer_matches_the_conv_mapping_tiling(
+        in_channels in 1usize..=48,
+        out_channels in 1usize..=96,
+        out_h in 1usize..=6,
+        out_w in 1usize..=6,
+        ndec in 1usize..=24,
+        ns in 1usize..=8,
+    ) {
+        let cfg = MacroConfig::new(ndec, ns);
+        let shape = ConvShape::new(in_channels, out_channels, out_h, out_w);
+        let plan = ShardPlan::for_layer(&shape, &cfg);
+        let shards = ConvMapping::sharded(shape, &cfg);
+        prop_assert_eq!(plan.shards(), shards.len(), "one shard per kernel tile");
+        let mut start = 0usize;
+        for (s, (sub, mapping)) in shards.iter().enumerate() {
+            prop_assert_eq!(plan.widths()[s], sub.out_channels);
+            prop_assert_eq!(plan.range(s), start..start + sub.out_channels);
+            prop_assert_eq!(mapping.tiles_out, 1, "each shard fits one macro");
+            prop_assert!(sub.out_channels <= cfg.ndec);
+            start += sub.out_channels;
+        }
+        prop_assert_eq!(start, shape.out_channels, "tiles cover the layer");
+        prop_assert_eq!(plan.out_channels(), out_channels);
+    }
+
+    /// `ShardPlan::even` invariants for every valid `(chains, shards)`
+    /// pair: non-empty near-equal widths, contiguous back-to-back
+    /// ranges, and full coverage — and `split` carries the partition
+    /// onto a program so each shard owns exactly its chains' LUT rows.
+    #[test]
+    fn even_plans_are_contiguous_nonempty_and_cover_all_chains(
+        out_channels in 1usize..=64,
+        shards in 1usize..=12,
+    ) {
+        let shards = shards.min(out_channels); // keep the pair valid
+        let plan = ShardPlan::even(out_channels, shards).unwrap();
+        prop_assert_eq!(plan.shards(), shards);
+        // Non-empty and balanced: widths never differ by more than one,
+        // and the wider shards come first.
+        let widths = plan.widths();
+        for &w in widths {
+            prop_assert!(w >= 1, "no shard may own zero chains");
+        }
+        let (min, max) = (
+            *widths.iter().min().unwrap(),
+            *widths.iter().max().unwrap(),
+        );
+        prop_assert!(max - min <= 1, "widths {:?} differ by more than 1", widths);
+        prop_assert!(
+            widths.windows(2).all(|w| w[0] >= w[1]),
+            "remainder chains must go to the leading shards: {:?}",
+            widths
+        );
+        // Contiguous and covering: ranges chain back to back over all
+        // channels, so every decoder chain has exactly one owner.
+        let mut next = 0usize;
+        for s in 0..plan.shards() {
+            let range = plan.range(s);
+            prop_assert_eq!(range.start, next, "shard {} must start where {} ended", s, s.wrapping_sub(1));
+            prop_assert!(!range.is_empty());
+            next = range.end;
+        }
+        prop_assert_eq!(next, out_channels, "ranges must cover every chain");
+        prop_assert_eq!(plan.out_channels(), out_channels);
+        // The partition carries onto a program: one sub-program per
+        // shard, each exactly as wide as its range.
+        let program = MacroProgram::random(out_channels, 1, out_channels as u64);
+        let subs = plan.split(&program).unwrap();
+        prop_assert_eq!(subs.len(), shards);
+        for (sub, &width) in subs.iter().zip(widths) {
+            prop_assert_eq!(sub.ndec(), width);
+        }
+    }
+
+    /// The two constructions agree wherever both apply: a layer whose
+    /// kernel count divides evenly across macros induces the same plan
+    /// as the direct even split.
+    #[test]
+    fn layer_plans_and_even_plans_agree_on_exact_tilings(
+        tiles in 1usize..=6,
+        ndec in 1usize..=16,
+    ) {
+        let cfg = MacroConfig::new(ndec, 4);
+        let shape = ConvShape::new(8, tiles * ndec, 2, 2);
+        let layer = ShardPlan::for_layer(&shape, &cfg);
+        let even = ShardPlan::even(tiles * ndec, tiles).unwrap();
+        prop_assert_eq!(layer, even);
+    }
+}
+
+/// The degenerate inputs stay typed errors (not panics), whatever the
+/// magnitude.
+#[test]
+fn invalid_even_plans_are_typed_errors() {
+    assert!(matches!(
+        ShardPlan::even(16, 0),
+        Err(BackendError::InvalidShardPlan { .. })
+    ));
+    assert!(matches!(
+        ShardPlan::even(3, 4),
+        Err(BackendError::InvalidShardPlan { .. })
+    ));
+    assert!(matches!(
+        ShardPlan::even(0, 0),
+        Err(BackendError::InvalidShardPlan { .. })
+    ));
+}
