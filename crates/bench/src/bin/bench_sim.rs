@@ -7,10 +7,14 @@
 //! with `git diff` instead of eyeballing bench logs.
 //!
 //! Run with `cargo run -p maddpipe-bench --bin bench_sim --release`.
+//! With `--smoke` it runs only a tiny replica-pool load-generator
+//! scenario (seconds, no file write) — the CI sanity check that the
+//! serving path still moves tokens.
 
 use maddpipe_bench::kernel_workloads::{
     bus_fanout_sim, completion_tree_sim, inverter_chain, macro_testbench,
 };
+use maddpipe_bench::load_gen::{drive, LoadMode, LoadScenario};
 use maddpipe_core::config::MacroConfig;
 use maddpipe_core::macro_rtl::MacroProgram;
 use maddpipe_runtime::prelude::*;
@@ -210,6 +214,125 @@ fn serving_queue_snapshot(clients: usize) -> (f64, f64, f64, f64) {
     )
 }
 
+/// A flagship-shaped replica pool over single-worker functional
+/// replicas, round-robin fairness, serving-bench queue bounds.
+fn flagship_pool(replicas: usize, max_depth: usize) -> ReplicaPool {
+    let cfg = MacroConfig::paper_flagship();
+    let program = MacroProgram::random(cfg.ndec, cfg.ns, 7);
+    Session::builder(cfg)
+        .program(program)
+        .backend(BackendKind::Functional { workers: 1 })
+        .into_pool(
+            ServePolicy::default()
+                .with_replicas(replicas)
+                .with_fairness(Fairness::RoundRobin)
+                .with_queue(
+                    QueuePolicy::default()
+                        .with_max_batch(256)
+                        .with_max_linger(Duration::from_micros(100))
+                        .with_max_depth(max_depth),
+                ),
+        )
+        .expect("pool comes up")
+}
+
+/// Closed-loop replica scaling at the flagship shape: 8 clients keep
+/// the pool saturated; returns the median goodput (tokens/s) over
+/// repeated runs against one long-lived pool.
+fn replica_pool_tokens_per_sec(replicas: usize) -> f64 {
+    let pool = flagship_pool(replicas, 4096);
+    let scenario = LoadScenario {
+        clients: 8,
+        tokens_per_request: 64,
+        mode: LoadMode::Closed {
+            requests_per_client: 16,
+        },
+        seed: 11,
+    };
+    let rate = median_rate(5, || {
+        let report = drive(&pool, &scenario);
+        assert_eq!(report.rejected_requests, 0, "closed loop never rejects");
+        report.served_tokens
+    });
+    pool.shutdown();
+    rate
+}
+
+/// Open-loop saturation probe: offer ~2x the measured closed-loop
+/// capacity into a depth-bounded 2-replica pool and report what comes
+/// out the other side — (offered rps, goodput tokens/s, p99 wait µs,
+/// rejected share).
+fn replica_pool_saturation(capacity_tokens_per_sec: f64) -> (f64, f64, f64, f64) {
+    let tokens_per_request = 64usize;
+    let offered_rps = (2.0 * capacity_tokens_per_sec / tokens_per_request as f64).max(50.0);
+    let pool = flagship_pool(2, 64);
+    let report = drive(
+        &pool,
+        &LoadScenario {
+            clients: 8,
+            tokens_per_request,
+            mode: LoadMode::Open {
+                offered_rps,
+                duration: Duration::from_millis(500),
+            },
+            seed: 13,
+        },
+    );
+    pool.shutdown();
+    let p99_us = report.p99_wait().map_or(0.0, |d| d.as_secs_f64() * 1e6);
+    (
+        offered_rps,
+        report.goodput_tokens_per_sec().unwrap_or(0.0),
+        p99_us,
+        report.rejected_share(),
+    )
+}
+
+/// The `--smoke` path: a tiny closed-loop and open-loop run through a
+/// 2-replica pool, printed but never written to `results/` — enough
+/// for CI to prove the serving path moves tokens.
+fn smoke() {
+    let pool = flagship_pool(2, 64);
+    let closed = drive(
+        &pool,
+        &LoadScenario {
+            clients: 4,
+            tokens_per_request: 16,
+            mode: LoadMode::Closed {
+                requests_per_client: 4,
+            },
+            seed: 11,
+        },
+    );
+    let open = drive(
+        &pool,
+        &LoadScenario {
+            clients: 4,
+            tokens_per_request: 16,
+            mode: LoadMode::Open {
+                offered_rps: 200.0,
+                duration: Duration::from_millis(100),
+            },
+            seed: 13,
+        },
+    );
+    let stats = pool.shutdown();
+    assert_eq!(closed.served_requests, closed.offered_requests);
+    assert_eq!(
+        open.served_requests + open.rejected_requests,
+        open.offered_requests
+    );
+    println!(
+        "smoke closed: {}/{} requests served, {} tokens",
+        closed.served_requests, closed.offered_requests, closed.served_tokens
+    );
+    println!(
+        "smoke open:   {}/{} requests served, {} rejected",
+        open.served_requests, open.offered_requests, open.rejected_requests
+    );
+    println!("smoke pool:   {stats}");
+}
+
 /// RTL-backend throughput on the small reference macro, per fidelity.
 fn rtl_tokens_per_sec(fidelity: Fidelity) -> f64 {
     let cfg = MacroConfig::new(2, 2).with_op(OperatingPoint::new(Volts(0.8), Corner::Ttg));
@@ -227,6 +350,10 @@ fn rtl_tokens_per_sec(fidelity: Fidelity) -> f64 {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
     let chain64 = chain_events_per_sec(64, 20_000);
     let chain512 = chain_events_per_sec(512, 4_000);
     let tree = tree_events_per_sec();
@@ -242,6 +369,10 @@ fn main() {
     let rtl_pip = rtl_tokens_per_sec(Fidelity::Pipelined);
     let (sq_c1, _, _, _) = serving_queue_snapshot(1);
     let (sq_c4, sq_p50, sq_p99, sq_coalesced) = serving_queue_snapshot(4);
+    let rp_r1 = replica_pool_tokens_per_sec(1);
+    let rp_r2 = replica_pool_tokens_per_sec(2);
+    let rp_r4 = replica_pool_tokens_per_sec(4);
+    let (rp_offered, rp_goodput, rp_p99, rp_rejected) = replica_pool_saturation(rp_r2);
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema\": \"maddpipe-bench-sim/v1\",");
@@ -285,6 +416,22 @@ fn main() {
         json,
         "    \"flagship_c4_mean_coalesced_tokens\": {sq_coalesced:.1}"
     );
+    let _ = writeln!(json, "  }},");
+    // The replica pool behind the same flagship shape: closed-loop
+    // goodput as the replica count scales (8 clients, round-robin),
+    // plus an open-loop probe at ~2x capacity showing saturation
+    // behaviour — goodput, tail wait and the rejected share.
+    let _ = writeln!(json, "  \"replica_pool\": {{");
+    let _ = writeln!(json, "    \"flagship_r1_tokens_per_sec\": {rp_r1:.0},");
+    let _ = writeln!(json, "    \"flagship_r2_tokens_per_sec\": {rp_r2:.0},");
+    let _ = writeln!(json, "    \"flagship_r4_tokens_per_sec\": {rp_r4:.0},");
+    let _ = writeln!(json, "    \"saturation_offered_rps\": {rp_offered:.0},");
+    let _ = writeln!(
+        json,
+        "    \"saturation_goodput_tokens_per_sec\": {rp_goodput:.0},"
+    );
+    let _ = writeln!(json, "    \"saturation_queue_wait_p99_us\": {rp_p99:.1},");
+    let _ = writeln!(json, "    \"saturation_rejected_share\": {rp_rejected:.3}");
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 

@@ -22,6 +22,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod load_gen;
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;

@@ -14,6 +14,30 @@ use core::fmt;
 use maddpipe_core::macro_rtl::TokenError;
 use maddpipe_sim::engine::OscillationError;
 
+/// The specific [`QueuePolicy`](crate::queue::QueuePolicy) bound that
+/// rejected a submission with [`BackendError::QueueFull`].
+///
+/// The two admission bounds protect different resources: `Requests`
+/// caps how many tickets can be unresolved at once (queued *or*
+/// executing), while `Tokens` caps how much batch payload may sit
+/// queued awaiting dispatch, so one client submitting huge batches
+/// cannot bypass memory bounds by staying under the request cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueLimit {
+    /// The unresolved-request bound (`max_depth`) was hit.
+    Requests {
+        /// The configured depth bound.
+        max_depth: usize,
+    },
+    /// The queued-token bound (`max_pending_tokens`) would be exceeded.
+    Tokens {
+        /// Tokens already queued when the submission arrived.
+        pending_tokens: usize,
+        /// The configured queued-token bound.
+        max_pending_tokens: usize,
+    },
+}
+
 /// Everything that can go wrong building or running a backend — one typed
 /// enum in place of the previous mix of `assert!` panics and raw
 /// [`OscillationError`]s.
@@ -74,13 +98,13 @@ pub enum BackendError {
         /// Index of the lost shard within the plan.
         shard: usize,
     },
-    /// A serving queue rejected the submission because it already holds
-    /// its configured maximum of unresolved requests — typed
-    /// backpressure; retry after waiting on an outstanding ticket.
+    /// A serving queue rejected the submission because accepting it
+    /// would exceed one of its [`QueuePolicy`](crate::queue::QueuePolicy)
+    /// bounds — typed backpressure; retry after waiting on an
+    /// outstanding ticket (or split the batch, for the token bound).
     QueueFull {
-        /// The depth bound of the queue's
-        /// [`QueuePolicy`](crate::queue::QueuePolicy) that was hit.
-        depth: usize,
+        /// Which policy bound rejected the submission.
+        limit: QueueLimit,
     },
     /// The serving queue is shut down (or its dispatcher died): it
     /// accepts no new submissions, and any ticket that could no longer
@@ -135,12 +159,21 @@ impl fmt::Display for BackendError {
             BackendError::ShardLost { shard } => {
                 write!(f, "shard {shard} worker is gone (panicked or shut down)")
             }
-            BackendError::QueueFull { depth } => {
-                write!(
+            BackendError::QueueFull { limit } => match limit {
+                QueueLimit::Requests { max_depth } => write!(
                     f,
-                    "serving queue is full ({depth} unresolved requests); retry after a ticket resolves"
-                )
-            }
+                    "serving queue is full ({max_depth} unresolved requests); \
+                     retry after a ticket resolves"
+                ),
+                QueueLimit::Tokens {
+                    pending_tokens,
+                    max_pending_tokens,
+                } => write!(
+                    f,
+                    "serving queue is full ({pending_tokens} tokens queued, bound \
+                     {max_pending_tokens}); retry after a ticket resolves or split the batch"
+                ),
+            },
             BackendError::QueueClosed => {
                 write!(f, "serving queue is shut down and accepts no submissions")
             }
@@ -228,8 +261,20 @@ mod tests {
 
     #[test]
     fn queue_errors_are_informative() {
-        let full = BackendError::QueueFull { depth: 7 };
+        let full = BackendError::QueueFull {
+            limit: QueueLimit::Requests { max_depth: 7 },
+        };
         assert!(full.to_string().contains('7'), "{full}");
+        let tokens = BackendError::QueueFull {
+            limit: QueueLimit::Tokens {
+                pending_tokens: 9,
+                max_pending_tokens: 8,
+            },
+        };
+        assert!(
+            tokens.to_string().contains('9') && tokens.to_string().contains('8'),
+            "{tokens}"
+        );
         assert!(BackendError::QueueClosed.to_string().contains("shut down"));
         let unavailable = BackendError::QueueUnavailable {
             reason: "built from a caller-constructed backend".into(),

@@ -16,7 +16,7 @@
 //! | [`FunctionalBackend`] | bit-exact | — | — | throughput, golden refs |
 //! | [`RtlBackend`] | bit-exact | measured | measured | fidelity, timing |
 //! | [`AnalyticBackend`] | bit-exact | modelled (data-dependent) | modelled | planning, sweeps |
-//! | [`ShardedBackend`] | bit-exact | max over shards | sum over shards | serving wide layers on many macros |
+//! | [`ShardedBackend`] | bit-exact | max over shards (all measuring, else `None`) | sum over shards (likewise) | serving wide layers on many macros |
 //!
 //! The first three run one macro; the [`ShardedBackend`] composes them: a
 //! [`ShardPlan`] partitions a wide program's decoder chains into
@@ -59,6 +59,7 @@ pub mod batch;
 pub mod error;
 pub mod functional;
 pub mod plan;
+pub mod pool;
 pub mod queue;
 pub mod rtl;
 pub mod session;
@@ -69,9 +70,10 @@ pub use backend::{
     validate_program, BackendFactory, BackendKind, Fidelity, MacroBackend, ShardKind,
 };
 pub use batch::{BatchResult, Token, TokenBatch, TokenObservation};
-pub use error::BackendError;
+pub use error::{BackendError, QueueLimit};
 pub use functional::FunctionalBackend;
 pub use plan::ShardPlan;
+pub use pool::{Fairness, ReplicaPool, ServePolicy, SubmitOptions};
 pub use queue::{BatchTicket, QueuePolicy, QueueReply, ServeQueue};
 pub use rtl::RtlBackend;
 pub use session::{Session, SessionBuilder, SessionStats};
@@ -82,9 +84,10 @@ pub mod prelude {
     pub use crate::analytic::AnalyticBackend;
     pub use crate::backend::{BackendFactory, BackendKind, Fidelity, MacroBackend, ShardKind};
     pub use crate::batch::{BatchResult, Token, TokenBatch, TokenObservation};
-    pub use crate::error::BackendError;
+    pub use crate::error::{BackendError, QueueLimit};
     pub use crate::functional::FunctionalBackend;
     pub use crate::plan::ShardPlan;
+    pub use crate::pool::{Fairness, ReplicaPool, ServePolicy, SubmitOptions};
     pub use crate::queue::{BatchTicket, QueuePolicy, QueueReply, ServeQueue};
     pub use crate::rtl::RtlBackend;
     pub use crate::session::{Session, SessionBuilder, SessionStats};

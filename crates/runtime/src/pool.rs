@@ -1,0 +1,922 @@
+//! Replica-pool serving: N backend replicas behind one scheduler.
+//!
+//! A [`ServeQueue`](crate::queue::ServeQueue) keeps one dispatcher
+//! feeding one backend, which makes host-side queueing the bottleneck
+//! long before the macro is. A [`ReplicaPool`] generalises it: *N*
+//! replicas, each built on its own thread from a
+//! [`BackendFactory`] (so non-`Send` netlists replicate exactly like
+//! they serve), all pulling from one shared submission queue. This is
+//! the data-parallel axis, complementary to the
+//! [`ShardedBackend`](crate::sharded::ShardedBackend)'s model-parallel
+//! output-channel sharding: shards split one batch across macros,
+//! replicas spread *different* micro-batches across whole macros.
+//!
+//! The scheduler earns its keep beyond FIFO:
+//!
+//! * **Data-parallel spreading.** Every idle replica waits on the same
+//!   queue; whichever wakes first takes the next micro-batch, so
+//!   independent micro-batches run concurrently on different replicas.
+//! * **Per-client fairness.** Under [`Fairness::RoundRobin`], requests
+//!   are tagged with a submitter key
+//!   ([`SubmitOptions::with_client`]) and micro-batches are filled by
+//!   cycling clients — one hot client submitting a deep backlog cannot
+//!   starve the others. [`Fairness::Fifo`] preserves strict arrival
+//!   order (the single-queue behaviour).
+//! * **Deadline-aware batching.** Each request's dispatch deadline is
+//!   the smaller of the policy's [`QueuePolicy::max_linger`] and its
+//!   own [`SubmitOptions::with_deadline`] latency target; a replica
+//!   ships a partial micro-batch as soon as the earliest pending
+//!   deadline passes instead of lingering for a fuller batch.
+//! * **Typed backpressure on two axes.**
+//!   [`QueuePolicy::max_depth`] bounds unresolved *requests* and
+//!   [`QueuePolicy::max_pending_tokens`] bounds queued *tokens*, each
+//!   rejecting with its own [`QueueLimit`] inside
+//!   [`BackendError::QueueFull`].
+//!
+//! The waiting-room discipline mirrors the single queue: whole requests
+//! are never split across micro-batches or replicas, tickets always
+//! resolve (results, a typed backend error, or
+//! [`BackendError::QueueClosed`] if the pool dies first), and a replica
+//! panic closes the whole pool rather than serving degraded.
+//!
+//! ```
+//! use maddpipe_runtime::prelude::*;
+//! use maddpipe_core::prelude::*;
+//!
+//! let cfg = MacroConfig::new(2, 2);
+//! let program = MacroProgram::random(cfg.ndec, cfg.ns, 42);
+//! let pool = Session::builder(cfg)
+//!     .program(program.clone())
+//!     .into_pool(ServePolicy::default().with_replicas(2))
+//!     .unwrap();
+//! std::thread::scope(|s| {
+//!     for client in 0..4u64 {
+//!         let pool = &pool;
+//!         let program = &program;
+//!         s.spawn(move || {
+//!             let batch = TokenBatch::random(2, 8, client);
+//!             let opts = SubmitOptions::default().with_client(client);
+//!             let reply = pool.submit_with(batch.clone(), opts).unwrap();
+//!             let reply = reply.wait().expect("served");
+//!             assert!(reply.replica < 2);
+//!             assert_eq!(
+//!                 reply.result.tokens[0].outputs,
+//!                 program.reference_output(&batch.tokens()[0]),
+//!             );
+//!         });
+//!     }
+//! });
+//! let stats = pool.shutdown();
+//! assert_eq!(stats.tokens(), 32);
+//! assert_eq!(stats.replica_dispatches().len(), 2);
+//! ```
+
+use crate::backend::{BackendFactory, MacroBackend};
+use crate::batch::{BatchResult, Token, TokenBatch};
+use crate::error::{BackendError, QueueLimit};
+use crate::queue::{BatchTicket, QueuePolicy, QueueReply, TicketCell};
+use crate::session::SessionStats;
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a [`ReplicaPool`] picks which pending requests ride the next
+/// micro-batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fairness {
+    /// Strict arrival order: requests are packed front-to-back, never
+    /// reordered — identical to the single
+    /// [`ServeQueue`](crate::queue::ServeQueue) discipline.
+    #[default]
+    Fifo,
+    /// Round-robin across submitter keys: micro-batches are filled by
+    /// cycling clients (each contributing its oldest pending request
+    /// per turn), resuming after the last client served — a hot client
+    /// with a deep backlog cannot starve the rest. Requests of one
+    /// client still serve in that client's submission order.
+    RoundRobin,
+}
+
+/// The full serving policy of a [`ReplicaPool`]: how many replicas,
+/// the coalescing/backpressure bounds they share, and the fairness
+/// discipline that fills micro-batches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServePolicy {
+    /// Backend replicas to build, one per scheduler thread (clamped to
+    /// at least 1).
+    pub replicas: usize,
+    /// The coalescing and backpressure bounds, shared by every replica.
+    pub queue: QueuePolicy,
+    /// How micro-batches are filled from the pending queue.
+    pub fairness: Fairness,
+}
+
+impl Default for ServePolicy {
+    /// One replica, the default [`QueuePolicy`], FIFO fairness — the
+    /// exact behaviour of a plain
+    /// [`ServeQueue`](crate::queue::ServeQueue).
+    fn default() -> ServePolicy {
+        ServePolicy {
+            replicas: 1,
+            queue: QueuePolicy::default(),
+            fairness: Fairness::Fifo,
+        }
+    }
+}
+
+impl ServePolicy {
+    /// Sets the replica count (clamped to at least 1).
+    #[must_use]
+    pub fn with_replicas(mut self, replicas: usize) -> ServePolicy {
+        self.replicas = replicas.max(1);
+        self
+    }
+
+    /// Sets the coalescing/backpressure policy shared by the replicas.
+    #[must_use]
+    pub fn with_queue(mut self, queue: QueuePolicy) -> ServePolicy {
+        self.queue = queue;
+        self
+    }
+
+    /// Sets the micro-batch fill discipline.
+    #[must_use]
+    pub fn with_fairness(mut self, fairness: Fairness) -> ServePolicy {
+        self.fairness = fairness;
+        self
+    }
+
+    /// The policy with every bound clamped into its valid range.
+    pub(crate) fn normalised(mut self) -> ServePolicy {
+        self.replicas = self.replicas.max(1);
+        self.queue.max_batch = self.queue.max_batch.max(1);
+        self.queue.max_depth = self.queue.max_depth.max(1);
+        self.queue.max_pending_tokens = self.queue.max_pending_tokens.max(1);
+        self
+    }
+}
+
+/// Per-submission scheduling hints for
+/// [`ReplicaPool::submit_with`]: which client the request belongs to
+/// (for [`Fairness::RoundRobin`]) and an optional latency target that
+/// tightens the linger deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubmitOptions {
+    /// Submitter key round-robin fairness groups by. Defaults to 0, so
+    /// callers that never set it all share one fairness bucket —
+    /// exactly FIFO.
+    pub client: u64,
+    /// Optional latency target: the pool will not linger past
+    /// `min(deadline, max_linger)` after submission before dispatching
+    /// this request (in a partial micro-batch if need be). It is a
+    /// scheduling hint, not an admission-control guarantee — a saturated
+    /// backend can still serve late.
+    pub deadline: Option<Duration>,
+}
+
+impl SubmitOptions {
+    /// Tags the request with a submitter key for round-robin fairness.
+    #[must_use]
+    pub fn with_client(mut self, client: u64) -> SubmitOptions {
+        self.client = client;
+        self
+    }
+
+    /// Sets the latency target that tightens this request's linger
+    /// deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> SubmitOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// One accepted submission waiting for a replica.
+struct PendingRequest {
+    batch: TokenBatch,
+    ticket: Arc<TicketCell>,
+    submitted: Instant,
+    /// Fairness key ([`SubmitOptions::client`]).
+    client: u64,
+    /// When a replica must stop lingering and dispatch this request —
+    /// `submitted + min(max_linger, deadline)`. `None` when that
+    /// instant is unrepresentable (e.g. `max_linger == Duration::MAX`,
+    /// "wait until the batch fills").
+    dispatch_by: Option<Instant>,
+}
+
+/// The replica/submitter shared state.
+struct PoolState {
+    pending: VecDeque<PendingRequest>,
+    /// Tokens across `pending`, maintained on push/pop so admission and
+    /// batch-full checks are O(1) under the lock.
+    pending_tokens: usize,
+    /// Requests accepted but not yet resolved — queued *or* executing.
+    /// What [`QueuePolicy::max_depth`] bounds.
+    outstanding: usize,
+    /// Deepest `outstanding` seen at submit time since last folded into
+    /// the stats.
+    max_depth_seen: u64,
+    /// `false` once the pool stops accepting submissions.
+    open: bool,
+    /// Client served last by round-robin coalescing; the next
+    /// micro-batch resumes the cycle after it.
+    rr_last: Option<u64>,
+    /// Replica wait-loop iterations — a scheduling diagnostic that
+    /// stays flat while the pool idles (the no-busy-spin invariant,
+    /// pinned by a unit test for zero-linger policies).
+    wakeups: u64,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled on every submission and on close.
+    work: Condvar,
+    stats: Mutex<SessionStats>,
+    /// When the pool opened — the denominator of per-replica
+    /// utilisation.
+    started: Instant,
+}
+
+impl PoolShared {
+    fn lock_state(&self) -> MutexGuard<'_, PoolState> {
+        // A poisoned lock means a replica panicked mid-update; the state
+        // is still structurally sound (tickets resolve idempotently) and
+        // refusing to look at it would leak every outstanding ticket.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// A pool of backend replicas serving one shared submission queue.
+///
+/// Submissions are accepted from any thread through `&self`; each
+/// replica thread owns one backend (built on that thread via its
+/// [`BackendFactory`]) and pulls micro-batches coalesced under the
+/// [`ServePolicy`]. See the [module docs](crate::pool) for the
+/// scheduling contract and an end-to-end example.
+pub struct ReplicaPool {
+    shared: Arc<PoolShared>,
+    policy: ServePolicy,
+    ns: usize,
+    replicas: Vec<JoinHandle<()>>,
+}
+
+impl ReplicaPool {
+    /// Spawns one replica thread per factory, builds each backend *on*
+    /// its thread (so non-`Send` backends replicate like any other),
+    /// and opens the pool. `policy.replicas` is overridden by
+    /// `factories.len()` — the factories are the ground truth. `ns` is
+    /// the pipeline-stage count submissions are checked against at
+    /// submit time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::QueueUnavailable`] for an empty factory
+    /// list, the first factory's own [`BackendError`] when a backend
+    /// fails to construct (the already-built replicas are torn down),
+    /// and [`BackendError::QueueClosed`] when a replica thread dies
+    /// before reporting readiness.
+    pub fn from_factories(
+        policy: ServePolicy,
+        ns: usize,
+        factories: Vec<BackendFactory>,
+    ) -> Result<ReplicaPool, BackendError> {
+        if factories.is_empty() {
+            return Err(BackendError::QueueUnavailable {
+                reason: "a replica pool needs at least one backend factory".into(),
+            });
+        }
+        let policy = ServePolicy {
+            replicas: factories.len(),
+            ..policy
+        }
+        .normalised();
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                pending: VecDeque::new(),
+                pending_tokens: 0,
+                outstanding: 0,
+                max_depth_seen: 0,
+                open: true,
+                rr_last: None,
+                wakeups: 0,
+            }),
+            work: Condvar::new(),
+            stats: Mutex::new(SessionStats::default()),
+            started: Instant::now(),
+        });
+        let mut replicas = Vec::with_capacity(factories.len());
+        let mut readiness = Vec::with_capacity(factories.len());
+        for (index, factory) in factories.into_iter().enumerate() {
+            let (ready_tx, ready_rx) = mpsc::channel::<Result<(), BackendError>>();
+            let shared = Arc::clone(&shared);
+            let policy = policy.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("maddpipe-replica-{index}"))
+                .spawn(move || {
+                    let backend = match factory() {
+                        Ok(backend) => {
+                            let _ = ready_tx.send(Ok(()));
+                            backend
+                        }
+                        Err(e) => {
+                            let _ = ready_tx.send(Err(e));
+                            return;
+                        }
+                    };
+                    replica_loop(&shared, &policy, index, backend);
+                })
+                .expect("the host can spawn a replica thread");
+            replicas.push(handle);
+            readiness.push(ready_rx);
+        }
+        let mut failure = None;
+        for ready_rx in readiness {
+            let outcome = match ready_rx.recv() {
+                Ok(Ok(())) => None,
+                Ok(Err(e)) => Some(e),
+                Err(_) => Some(BackendError::QueueClosed),
+            };
+            if failure.is_none() {
+                failure = outcome;
+            }
+        }
+        if let Some(error) = failure {
+            // Tear the pool down: replicas that did come up drain out of
+            // their loops once the queue is closed and empty.
+            shared.lock_state().open = false;
+            shared.work.notify_all();
+            for handle in replicas {
+                let _ = handle.join();
+            }
+            return Err(error);
+        }
+        Ok(ReplicaPool {
+            shared,
+            policy,
+            ns,
+            replicas,
+        })
+    }
+
+    /// [`submit_with`](ReplicaPool::submit_with) under default options
+    /// (client key 0, no latency target).
+    ///
+    /// # Errors
+    ///
+    /// As [`submit_with`](ReplicaPool::submit_with).
+    pub fn submit(&self, batch: TokenBatch) -> Result<BatchTicket, BackendError> {
+        self.submit_with(batch, SubmitOptions::default())
+    }
+
+    /// Submits one request with scheduling hints; returns immediately
+    /// with a ticket the caller can poll or block on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::ShapeMismatch`] for tokens that do not
+    /// match the backend's stage count (checked here, so a bad request
+    /// cannot fail a coalesced micro-batch for everyone else);
+    /// [`BackendError::QueueFull`] with [`QueueLimit::Requests`] when
+    /// [`QueuePolicy::max_depth`] requests are already unresolved, or
+    /// with [`QueueLimit::Tokens`] when queued tokens would exceed
+    /// [`QueuePolicy::max_pending_tokens`] (a request submitted to an
+    /// *empty* waiting room is always admitted, mirroring the oversized
+    /// `max_batch` rule, so a large batch can never be starved); and
+    /// [`BackendError::QueueClosed`] after
+    /// [`close`](ReplicaPool::close)/[`shutdown`](ReplicaPool::shutdown).
+    pub fn submit_with(
+        &self,
+        batch: TokenBatch,
+        opts: SubmitOptions,
+    ) -> Result<BatchTicket, BackendError> {
+        batch.check_shape(self.ns)?;
+        let ticket = TicketCell::new();
+        {
+            let mut state = self.shared.lock_state();
+            if !state.open {
+                return Err(BackendError::QueueClosed);
+            }
+            if state.outstanding >= self.policy.queue.max_depth {
+                return Err(BackendError::QueueFull {
+                    limit: QueueLimit::Requests {
+                        max_depth: self.policy.queue.max_depth,
+                    },
+                });
+            }
+            if state.pending_tokens > 0
+                && state.pending_tokens + batch.len() > self.policy.queue.max_pending_tokens
+            {
+                return Err(BackendError::QueueFull {
+                    limit: QueueLimit::Tokens {
+                        pending_tokens: state.pending_tokens,
+                        max_pending_tokens: self.policy.queue.max_pending_tokens,
+                    },
+                });
+            }
+            let submitted = Instant::now();
+            let linger = match opts.deadline {
+                Some(deadline) => deadline.min(self.policy.queue.max_linger),
+                None => self.policy.queue.max_linger,
+            };
+            state.outstanding += 1;
+            state.max_depth_seen = state.max_depth_seen.max(state.outstanding as u64);
+            state.pending_tokens += batch.len();
+            state.pending.push_back(PendingRequest {
+                batch,
+                ticket: Arc::clone(&ticket),
+                submitted,
+                client: opts.client,
+                dispatch_by: submitted.checked_add(linger),
+            });
+        }
+        self.shared.work.notify_all();
+        Ok(BatchTicket::from_cell(ticket))
+    }
+
+    /// Requests accepted but not yet resolved, right now.
+    pub fn depth(&self) -> usize {
+        self.shared.lock_state().outstanding
+    }
+
+    /// The serving policy this pool runs (with the replica count the
+    /// pool actually built).
+    pub fn policy(&self) -> &ServePolicy {
+        &self.policy
+    }
+
+    /// Pipeline stages every submission must provide per token.
+    pub fn ns(&self) -> usize {
+        self.ns
+    }
+
+    /// A snapshot of the aggregate statistics so far: everything a
+    /// [`ServeQueue`](crate::queue::ServeQueue) measures, plus
+    /// per-replica dispatch counts and busy time against the pool's
+    /// uptime.
+    pub fn stats(&self) -> SessionStats {
+        // Fold in any backlog high-water mark the replicas have not
+        // absorbed yet (state lock strictly before stats lock, the
+        // crate-wide order).
+        let depth_seen = self.shared.lock_state().max_depth_seen;
+        let mut stats = self.shared.stats.lock().expect("stats lock").clone();
+        stats.record_queue_depth(depth_seen);
+        stats.note_pool(self.policy.replicas, self.shared.started.elapsed());
+        stats
+    }
+
+    /// Stops accepting submissions (they answer
+    /// [`BackendError::QueueClosed`]) while the replicas drain every
+    /// request already accepted. Does not block; pair with
+    /// [`shutdown`](ReplicaPool::shutdown) or ticket waits to observe
+    /// the drain finishing.
+    pub fn close(&self) {
+        self.shared.lock_state().open = false;
+        self.shared.work.notify_all();
+    }
+
+    /// Closes the pool, waits for every replica to drain and resolve
+    /// every accepted ticket, and returns the final statistics.
+    pub fn shutdown(mut self) -> SessionStats {
+        self.close();
+        for handle in self.replicas.drain(..) {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+
+    /// Seeds the statistics (used by
+    /// [`Session::into_pool`](crate::session::Session::into_pool) to
+    /// carry a session's accumulated measurements into the pool).
+    pub(crate) fn seed_stats(&self, stats: SessionStats) {
+        *self.shared.stats.lock().expect("stats lock") = stats;
+    }
+
+    /// Replica wait-loop iterations so far — the no-busy-spin
+    /// diagnostic the unit tests pin.
+    #[cfg(test)]
+    fn wakeups(&self) -> u64 {
+        self.shared.lock_state().wakeups
+    }
+}
+
+impl Drop for ReplicaPool {
+    /// Same contract as [`shutdown`](ReplicaPool::shutdown): close,
+    /// drain, join — accepted tickets resolve before the pool
+    /// disappears.
+    fn drop(&mut self) {
+        self.close();
+        for handle in self.replicas.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl core::fmt::Debug for ReplicaPool {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ReplicaPool")
+            .field("policy", &self.policy)
+            .field("ns", &self.ns)
+            .field("depth", &self.depth())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A replica's per-micro-batch guard: settles the backpressure
+/// accounting exactly once and, if dropped with tickets still armed (a
+/// backend that panicked mid-run), fails them with
+/// [`BackendError::QueueClosed`] — so neither `outstanding` nor any
+/// accepted ticket can leak, whichever way the micro-batch ends.
+struct BatchInFlight<'a> {
+    shared: &'a PoolShared,
+    unsettled: usize,
+    tickets: Vec<Arc<TicketCell>>,
+}
+
+impl BatchInFlight<'_> {
+    /// Frees the micro-batch's backpressure capacity (idempotent).
+    fn settle(&mut self) {
+        if self.unsettled > 0 {
+            self.shared.lock_state().outstanding -= self.unsettled;
+            self.unsettled = 0;
+        }
+    }
+}
+
+impl Drop for BatchInFlight<'_> {
+    fn drop(&mut self) {
+        self.settle();
+        for ticket in self.tickets.drain(..) {
+            ticket.resolve(Err(BackendError::QueueClosed));
+        }
+    }
+}
+
+/// Closes the pool and fails whatever is still pending with
+/// [`BackendError::QueueClosed`] when a replica exits — the safety net
+/// for a replica that unwinds out of its loop (a panicking custom
+/// backend): the whole pool closes rather than serving degraded, and
+/// the surviving replicas drain out behind it. On a normal drain the
+/// pending queue is already empty.
+struct CloseOnDrop<'a> {
+    shared: &'a PoolShared,
+}
+
+impl Drop for CloseOnDrop<'_> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock_state();
+        state.open = false;
+        let abandoned: Vec<PendingRequest> = state.pending.drain(..).collect();
+        state.pending_tokens = 0;
+        state.outstanding = state.outstanding.saturating_sub(abandoned.len());
+        drop(state);
+        self.shared.work.notify_all();
+        for request in abandoned {
+            request.ticket.resolve(Err(BackendError::QueueClosed));
+        }
+    }
+}
+
+/// The earliest dispatch deadline across the waiting room — the instant
+/// a replica must stop lingering. `None` when every pending request may
+/// linger without bound.
+fn earliest_deadline(pending: &VecDeque<PendingRequest>) -> Option<Instant> {
+    pending.iter().filter_map(|r| r.dispatch_by).min()
+}
+
+/// Fills one micro-batch from the waiting room under the policy's
+/// fairness discipline. Whole requests only, up to `max_batch` tokens
+/// (a single oversized request rides alone). Returns the picked
+/// requests and their total token count.
+fn coalesce(state: &mut PoolState, policy: &ServePolicy) -> (Vec<PendingRequest>, usize) {
+    let mut picked = Vec::new();
+    let mut total = 0usize;
+    match policy.fairness {
+        Fairness::Fifo => {
+            while let Some(next) = state.pending.front() {
+                if !picked.is_empty() && total + next.batch.len() > policy.queue.max_batch {
+                    break;
+                }
+                let request = state.pending.pop_front().expect("front exists");
+                state.pending_tokens -= request.batch.len();
+                total += request.batch.len();
+                picked.push(request);
+            }
+        }
+        Fairness::RoundRobin => {
+            // Clients in order of their oldest pending request, the
+            // cycle resumed just past the last client served.
+            let mut clients: Vec<u64> = Vec::new();
+            for request in &state.pending {
+                if !clients.contains(&request.client) {
+                    clients.push(request.client);
+                }
+            }
+            if let Some(last) = state.rr_last {
+                if let Some(pos) = clients.iter().position(|&c| c == last) {
+                    clients.rotate_left(pos + 1);
+                }
+            }
+            let mut progressed = true;
+            'fill: while progressed {
+                progressed = false;
+                for &client in &clients {
+                    let Some(index) = state.pending.iter().position(|r| r.client == client) else {
+                        continue;
+                    };
+                    let len = state.pending[index].batch.len();
+                    if !picked.is_empty() && total + len > policy.queue.max_batch {
+                        continue;
+                    }
+                    let request = state.pending.remove(index).expect("index exists");
+                    state.pending_tokens -= len;
+                    total += len;
+                    state.rr_last = Some(client);
+                    picked.push(request);
+                    progressed = true;
+                    if total >= policy.queue.max_batch {
+                        break 'fill;
+                    }
+                }
+            }
+        }
+    }
+    (picked, total)
+}
+
+/// One replica's loop: collect → coalesce → run → split → resolve,
+/// until the pool is closed *and* drained.
+fn replica_loop(
+    shared: &PoolShared,
+    policy: &ServePolicy,
+    replica: usize,
+    mut backend: Box<dyn MacroBackend>,
+) {
+    let _drain_guard = CloseOnDrop { shared };
+    loop {
+        // ── Collect: wait for work, linger for a fuller micro-batch ──
+        let mut state = shared.lock_state();
+        loop {
+            state.wakeups += 1;
+            if !state.pending.is_empty() {
+                if state.pending_tokens >= policy.queue.max_batch || !state.open {
+                    break;
+                }
+                // An unrepresentable deadline across the whole waiting
+                // room ("wait until the batch fills") degrades to an
+                // untimed wait — more work or close() wakes us.
+                let Some(deadline) = earliest_deadline(&state.pending) else {
+                    state = shared.work.wait(state).unwrap_or_else(|p| p.into_inner());
+                    continue;
+                };
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                let (s, _) = shared
+                    .work
+                    .wait_timeout(state, left)
+                    .unwrap_or_else(|p| p.into_inner());
+                state = s;
+            } else if !state.open {
+                // Closed and drained: every accepted ticket has resolved.
+                return;
+            } else {
+                state = shared.work.wait(state).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        // ── Coalesce: whole requests per the fairness discipline ──
+        let (picked, total) = coalesce(&mut state, policy);
+        let depth_seen = state.max_depth_seen;
+        drop(state);
+        if picked.is_empty() {
+            // Another replica emptied the waiting room between our
+            // wakeup and the coalesce; go back to waiting.
+            continue;
+        }
+        // Let sibling replicas pick up what this micro-batch left
+        // behind, instead of lingering until their own timeouts fire.
+        shared.work.notify_all();
+
+        // ── Run: one backend call for the whole micro-batch ──
+        let mut guard = BatchInFlight {
+            shared,
+            unsettled: picked.len(),
+            tickets: picked.iter().map(|p| Arc::clone(&p.ticket)).collect(),
+        };
+        let dispatched = Instant::now();
+        let mut tokens: Vec<Token> = Vec::with_capacity(total);
+        let mut parts: Vec<(usize, Arc<TicketCell>, Duration)> = Vec::with_capacity(picked.len());
+        for request in picked {
+            parts.push((
+                request.batch.len(),
+                request.ticket,
+                dispatched.saturating_duration_since(request.submitted),
+            ));
+            tokens.extend(request.batch.into_tokens());
+        }
+        let micro = TokenBatch::new(tokens).expect("picked requests are non-empty");
+        let outcome = backend.run_batch(&micro);
+        let service = dispatched.elapsed();
+
+        // Free backpressure capacity before resolving, so a submitter
+        // woken by its ticket deterministically finds the slot open.
+        guard.settle();
+
+        // ── Split and resolve: each ticket gets its own token slice ──
+        let waits: Vec<Duration> = parts.iter().map(|(_, _, w)| *w).collect();
+        match outcome {
+            Ok(result) if result.tokens.len() == micro.len() => {
+                {
+                    let mut stats = shared.stats.lock().expect("stats lock");
+                    stats.absorb_queued(&result, service, &waits);
+                    stats.record_queue_depth(depth_seen);
+                    stats.record_replica_dispatch(replica, service);
+                }
+                let mut offset = 0usize;
+                for (len, ticket, queue_wait) in parts {
+                    let observations = result.tokens[offset..offset + len].to_vec();
+                    offset += len;
+                    let energy = observations
+                        .iter()
+                        .map(|o| o.energy)
+                        .collect::<Option<Vec<_>>>()
+                        .and_then(|es| es.into_iter().reduce(|a, b| a + b));
+                    ticket.resolve(Ok(QueueReply {
+                        result: BatchResult {
+                            backend: result.backend,
+                            tokens: observations,
+                            makespan: result.makespan,
+                            energy,
+                        },
+                        queue_wait,
+                        service,
+                        coalesced_tokens: total,
+                        replica,
+                    }));
+                }
+            }
+            Ok(result) => {
+                // A custom backend broke the one-observation-per-token
+                // contract; a typed rejection beats mis-sliced outputs.
+                let error = BackendError::MalformedProgram {
+                    reason: format!(
+                        "backend returned {} observations for a {}-token micro-batch",
+                        result.tokens.len(),
+                        micro.len()
+                    ),
+                };
+                {
+                    let mut stats = shared.stats.lock().expect("stats lock");
+                    stats.absorb_queue_side(micro.len(), &waits);
+                    stats.record_queue_depth(depth_seen);
+                    stats.record_replica_dispatch(replica, service);
+                }
+                for (_, ticket, _) in parts {
+                    ticket.resolve(Err(error.clone()));
+                }
+            }
+            Err(error) => {
+                // Whole-batch rejection: every rider gets the typed
+                // error. The queue-side stats still count the batch —
+                // its requests waited and resolved like any other; only
+                // the served-token measurements are success-only.
+                {
+                    let mut stats = shared.stats.lock().expect("stats lock");
+                    stats.absorb_queue_side(micro.len(), &waits);
+                    stats.record_queue_depth(depth_seen);
+                    stats.record_replica_dispatch(replica, service);
+                }
+                for (_, ticket, _) in parts {
+                    ticket.resolve(Err(error.clone()));
+                }
+            }
+        }
+        guard.tickets.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendKind;
+    use maddpipe_core::config::MacroConfig;
+    use maddpipe_core::macro_rtl::MacroProgram;
+
+    /// A pool of `replicas` functional backends over a tiny 2×2 macro.
+    fn functional_pool(replicas: usize, policy: ServePolicy) -> (ReplicaPool, MacroProgram) {
+        let cfg = MacroConfig::new(2, 2);
+        let program = MacroProgram::random(2, 2, 11);
+        let factories: Vec<BackendFactory> = (0..replicas)
+            .map(|_| {
+                let cfg = cfg.clone();
+                let program = program.clone();
+                let factory: BackendFactory =
+                    Box::new(move || BackendKind::Functional { workers: 1 }.build(&cfg, program));
+                factory
+            })
+            .collect();
+        let pool = ReplicaPool::from_factories(policy, 2, factories).expect("pool builds");
+        (pool, program)
+    }
+
+    #[test]
+    fn zero_linger_pools_do_not_busy_spin() {
+        let policy = ServePolicy::default()
+            .with_replicas(2)
+            .with_queue(QueuePolicy::default().with_max_linger(Duration::ZERO));
+        let (pool, program) = functional_pool(2, policy);
+        // Serve a few requests so every replica has been through its
+        // loop at least once.
+        for seed in 0..4 {
+            let batch = TokenBatch::random(2, 2, seed);
+            let reply = pool.submit(batch.clone()).unwrap().wait().unwrap();
+            assert_eq!(
+                reply.result.tokens[0].outputs,
+                program.reference_output(&batch.tokens()[0])
+            );
+        }
+        // Idle pool: replicas must block on the condvar, not spin on a
+        // zero-length linger timeout.
+        std::thread::sleep(Duration::from_millis(120));
+        let settled = pool.wakeups();
+        std::thread::sleep(Duration::from_millis(120));
+        let after_idle = pool.wakeups();
+        assert_eq!(
+            after_idle,
+            settled,
+            "idle replicas took {} wait-loop turns — the zero-linger loop is spinning",
+            after_idle - settled
+        );
+        // Serving stays O(1) wakeups per submission, not a spin.
+        for seed in 0..8 {
+            pool.submit(TokenBatch::random(2, 2, seed))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        let after_serving = pool.wakeups();
+        assert!(
+            after_serving - after_idle <= 8 * 2 * 8,
+            "8 submissions took {} wait-loop turns across 2 replicas",
+            after_serving - after_idle
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn empty_factory_lists_are_rejected() {
+        let err = ReplicaPool::from_factories(ServePolicy::default(), 2, Vec::new()).unwrap_err();
+        assert!(
+            matches!(err, BackendError::QueueUnavailable { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn a_failing_factory_tears_the_pool_down() {
+        let cfg = MacroConfig::new(2, 2);
+        let program = MacroProgram::random(2, 2, 3);
+        let good: BackendFactory =
+            Box::new(move || BackendKind::Functional { workers: 1 }.build(&cfg, program));
+        let bad: BackendFactory = Box::new(|| Err(BackendError::MissingProgram));
+        let err = ReplicaPool::from_factories(ServePolicy::default(), 2, vec![good, bad])
+            .expect_err("one bad factory fails the pool");
+        assert_eq!(err, BackendError::MissingProgram);
+    }
+
+    #[test]
+    fn round_robin_preserves_per_client_order() {
+        let policy = ServePolicy::default()
+            .with_fairness(Fairness::RoundRobin)
+            .with_queue(QueuePolicy::default().with_max_linger(Duration::ZERO));
+        let (pool, program) = functional_pool(1, policy);
+        // Interleave submissions from three clients; each client's
+        // replies must come back in its own submission order with the
+        // right outputs.
+        std::thread::scope(|s| {
+            for client in 0..3u64 {
+                let pool = &pool;
+                let program = &program;
+                s.spawn(move || {
+                    for round in 0..5u64 {
+                        let batch = TokenBatch::random(2, 3, client * 100 + round);
+                        let opts = SubmitOptions::default().with_client(client);
+                        let reply = pool.submit_with(batch.clone(), opts).unwrap();
+                        let reply = reply.wait().expect("served");
+                        for (t, token) in batch.tokens().iter().enumerate() {
+                            assert_eq!(
+                                reply.result.tokens[t].outputs,
+                                program.reference_output(token)
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let stats = pool.shutdown();
+        assert_eq!(stats.tokens(), 45);
+    }
+}

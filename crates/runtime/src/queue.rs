@@ -1,15 +1,21 @@
-//! Async serving: a submission queue in front of any [`MacroBackend`].
+//! Async serving: a submission queue in front of any
+//! [`MacroBackend`](crate::backend::MacroBackend).
 //!
 //! The paper's macro is self-synchronous and completion-driven — a token
 //! is done when the DLC ripple settles, not when a clock says so — which
 //! makes variable-latency, many-client serving the natural software
 //! analogue. A [`ServeQueue`] is that serving front door: any number of
 //! client threads call [`ServeQueue::submit`] and get back a
-//! [`BatchTicket`] immediately; a single dispatcher thread coalesces
-//! pending submissions into micro-batches under a [`QueuePolicy`], runs
-//! them on the backend it owns, and resolves each ticket with that
-//! request's own slice of the results plus its measured queue-wait and
-//! service latency.
+//! [`BatchTicket`] immediately; a dispatcher thread coalesces pending
+//! submissions into micro-batches under a [`QueuePolicy`], runs them on
+//! the backend it owns, and resolves each ticket with that request's own
+//! slice of the results plus its measured queue-wait and service latency.
+//!
+//! Since the replica-pool generalisation, `ServeQueue` is the
+//! one-replica, FIFO specialisation of
+//! [`ReplicaPool`] — same waiting room, same
+//! tickets, one backend. Reach for the pool when you want data-parallel
+//! replicas, per-client fairness or deadline-aware batching.
 //!
 //! Design points, in the order they matter:
 //!
@@ -19,10 +25,12 @@
 //! * **FIFO fairness.** Submissions enter one queue in arrival order and
 //!   are dispatched in that order; a micro-batch never reorders or splits
 //!   a request, so every client's tokens stay contiguous and ordered.
-//! * **Bounded depth.** The queue holds at most
-//!   [`QueuePolicy::max_depth`] unresolved requests; beyond that,
+//! * **Bounded on two axes.** The queue holds at most
+//!   [`QueuePolicy::max_depth`] unresolved requests and at most
+//!   [`QueuePolicy::max_pending_tokens`] queued tokens; beyond either,
 //!   [`submit`](ServeQueue::submit) answers with typed
-//!   [`BackendError::QueueFull`] backpressure instead of buffering
+//!   [`BackendError::QueueFull`] backpressure (naming the bound hit via
+//!   [`QueueLimit`](crate::error::QueueLimit)) instead of buffering
 //!   without limit.
 //! * **Coalescing.** The dispatcher packs whole requests, FIFO, into a
 //!   micro-batch of up to [`QueuePolicy::max_batch`] tokens, lingering up
@@ -76,17 +84,17 @@
 //! assert!(stats.p50_queue_wait().is_some());
 //! ```
 
-use crate::backend::{BackendFactory, MacroBackend};
-use crate::batch::{BatchResult, Token, TokenBatch};
+use crate::backend::BackendFactory;
+use crate::batch::{BatchResult, TokenBatch};
 use crate::error::BackendError;
+use crate::pool::{ReplicaPool, ServePolicy};
 use crate::session::SessionStats;
-use std::collections::VecDeque;
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
-use std::thread::JoinHandle;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// How a [`ServeQueue`]'s dispatcher coalesces submissions into
-/// micro-batches and when it pushes back on clients.
+/// How a serving queue or [`ReplicaPool`]
+/// coalesces submissions into micro-batches and when it pushes back on
+/// clients.
 ///
 /// ```
 /// use maddpipe_runtime::queue::QueuePolicy;
@@ -95,7 +103,8 @@ use std::time::{Duration, Instant};
 /// let policy = QueuePolicy::default()
 ///     .with_max_batch(128)
 ///     .with_max_linger(Duration::from_micros(500))
-///     .with_max_depth(256);
+///     .with_max_depth(256)
+///     .with_max_pending_tokens(4096);
 /// assert_eq!(policy.max_batch, 128);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,16 +121,24 @@ pub struct QueuePolicy {
     /// submissions beyond it are rejected with
     /// [`BackendError::QueueFull`].
     pub max_depth: usize,
+    /// Most *queued* tokens (batch payload awaiting dispatch) the queue
+    /// holds — the memory bound `max_depth`'s request count cannot give
+    /// when clients submit huge batches. Submissions that would exceed
+    /// it are rejected with [`BackendError::QueueFull`], except into an
+    /// empty waiting room (mirroring the oversized `max_batch` rule, so
+    /// a large request can never be starved).
+    pub max_pending_tokens: usize,
 }
 
 impl Default for QueuePolicy {
-    /// 64-token micro-batches, a 200 µs linger, and room for 1024
-    /// unresolved requests.
+    /// 64-token micro-batches, a 200 µs linger, room for 1024
+    /// unresolved requests and 1 Mi queued tokens.
     fn default() -> QueuePolicy {
         QueuePolicy {
             max_batch: 64,
             max_linger: Duration::from_micros(200),
             max_depth: 1024,
+            max_pending_tokens: 1 << 20,
         }
     }
 }
@@ -147,6 +164,13 @@ impl QueuePolicy {
         self.max_depth = max_depth.max(1);
         self
     }
+
+    /// Sets the queued-token bound (clamped to at least 1).
+    #[must_use]
+    pub fn with_max_pending_tokens(mut self, max_pending_tokens: usize) -> QueuePolicy {
+        self.max_pending_tokens = max_pending_tokens.max(1);
+        self
+    }
 }
 
 /// What a resolved [`BatchTicket`] carries back to its submitter.
@@ -158,8 +182,8 @@ pub struct QueueReply {
     /// together); `energy` is the sum over this request's tokens when
     /// every one was measured.
     pub result: BatchResult,
-    /// Host time from [`ServeQueue::submit`] to the dispatcher picking
-    /// the request up — the queueing delay the client paid.
+    /// Host time from submit to a dispatcher picking the request up —
+    /// the queueing delay the client paid.
     pub queue_wait: Duration,
     /// Host time the backend spent serving the micro-batch this request
     /// rode in.
@@ -167,10 +191,14 @@ pub struct QueueReply {
     /// Total tokens in that micro-batch (≥ this request's own count) —
     /// how much coalescing the policy achieved.
     pub coalesced_tokens: usize,
+    /// Which replica served the micro-batch — always 0 behind a plain
+    /// [`ServeQueue`], the replica index behind a
+    /// [`ReplicaPool`].
+    pub replica: usize,
 }
 
 /// The state a ticket moves through: submitted → resolved → claimed.
-enum TicketState {
+pub(crate) enum TicketState {
     /// Still queued or executing.
     Pending,
     /// Resolved; the value waits to be claimed by `wait`/`poll`.
@@ -180,13 +208,13 @@ enum TicketState {
 }
 
 /// The shared cell a ticket and the dispatcher communicate through.
-struct TicketCell {
+pub(crate) struct TicketCell {
     state: Mutex<TicketState>,
     done: Condvar,
 }
 
 impl TicketCell {
-    fn new() -> Arc<TicketCell> {
+    pub(crate) fn new() -> Arc<TicketCell> {
         Arc::new(TicketCell {
             state: Mutex::new(TicketState::Pending),
             done: Condvar::new(),
@@ -196,7 +224,7 @@ impl TicketCell {
     /// Resolves the ticket if it is still pending (never overwrites an
     /// earlier resolution). Robust against poisoning: a resolution must
     /// reach the submitter even while the dispatcher is unwinding.
-    fn resolve(&self, value: Result<QueueReply, BackendError>) {
+    pub(crate) fn resolve(&self, value: Result<QueueReply, BackendError>) {
         let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
         if matches!(*state, TicketState::Pending) {
             *state = TicketState::Ready(Box::new(value));
@@ -225,6 +253,11 @@ pub struct BatchTicket {
 }
 
 impl BatchTicket {
+    /// Wraps a freshly armed cell (the pool's submit path).
+    pub(crate) fn from_cell(cell: Arc<TicketCell>) -> BatchTicket {
+        BatchTicket { cell }
+    }
+
     /// Whether the request has been resolved (successfully or not) —
     /// `wait` will not block once this returns `true`.
     pub fn is_ready(&self) -> bool {
@@ -309,60 +342,17 @@ impl core::fmt::Debug for BatchTicket {
     }
 }
 
-/// One accepted submission waiting for the dispatcher.
-struct PendingRequest {
-    batch: TokenBatch,
-    ticket: Arc<TicketCell>,
-    submitted: Instant,
-}
-
-/// The dispatcher/submitter shared state.
-struct QueueState {
-    pending: VecDeque<PendingRequest>,
-    /// Tokens across `pending`, maintained on push/pop so the
-    /// dispatcher's batch-full check is O(1) per wakeup instead of a
-    /// re-sum of the whole backlog under the lock.
-    pending_tokens: usize,
-    /// Requests accepted but not yet resolved — queued *or* executing.
-    /// This is what [`QueuePolicy::max_depth`] bounds, so backpressure
-    /// covers the whole in-flight pipeline, not just the waiting room.
-    outstanding: usize,
-    /// Deepest `outstanding` seen at submit time since the dispatcher
-    /// last folded it into the stats — tracked here so `submit` touches
-    /// only the state lock it already holds, never the stats lock.
-    max_depth_seen: u64,
-    /// `false` once the queue stops accepting submissions.
-    open: bool,
-}
-
-struct QueueShared {
-    state: Mutex<QueueState>,
-    /// Signalled on every submission and on close.
-    work: Condvar,
-    stats: Mutex<SessionStats>,
-}
-
-impl QueueShared {
-    fn lock_state(&self) -> MutexGuard<'_, QueueState> {
-        // A poisoned lock means the dispatcher panicked mid-update; the
-        // state is still structurally sound (tickets resolve idempotently)
-        // and refusing to look at it would leak every outstanding ticket.
-        self.state.lock().unwrap_or_else(|p| p.into_inner())
-    }
-}
-
 /// An async submission queue serving one backend to many client threads.
 ///
 /// Submissions are accepted from any thread through `&self`; one
 /// dispatcher thread owns the backend and works through the queue in
 /// FIFO order, coalescing requests into micro-batches per the
-/// [`QueuePolicy`]. See the [module docs](crate::queue) for the full
-/// contract and an end-to-end example.
+/// [`QueuePolicy`]. Internally this is a one-replica FIFO
+/// [`ReplicaPool`]; see the
+/// [module docs](crate::queue) for the full contract and an end-to-end
+/// example.
 pub struct ServeQueue {
-    shared: Arc<QueueShared>,
-    policy: QueuePolicy,
-    ns: usize,
-    dispatcher: Option<JoinHandle<()>>,
+    pool: ReplicaPool,
 }
 
 impl ServeQueue {
@@ -383,59 +373,12 @@ impl ServeQueue {
         ns: usize,
         factory: BackendFactory,
     ) -> Result<ServeQueue, BackendError> {
-        let policy = QueuePolicy {
-            max_batch: policy.max_batch.max(1),
-            max_linger: policy.max_linger,
-            max_depth: policy.max_depth.max(1),
-        };
-        let shared = Arc::new(QueueShared {
-            state: Mutex::new(QueueState {
-                pending: VecDeque::new(),
-                pending_tokens: 0,
-                outstanding: 0,
-                max_depth_seen: 0,
-                open: true,
-            }),
-            work: Condvar::new(),
-            stats: Mutex::new(SessionStats::default()),
-        });
-        let (ready_tx, ready_rx) = mpsc::channel::<Result<(), BackendError>>();
-        let dispatcher = {
-            let shared = Arc::clone(&shared);
-            let policy = policy.clone();
-            std::thread::Builder::new()
-                .name("maddpipe-serve".into())
-                .spawn(move || {
-                    let backend = match factory() {
-                        Ok(backend) => {
-                            let _ = ready_tx.send(Ok(()));
-                            backend
-                        }
-                        Err(e) => {
-                            let _ = ready_tx.send(Err(e));
-                            return;
-                        }
-                    };
-                    dispatch_loop(&shared, &policy, backend);
-                })
-                .expect("the host can spawn the queue dispatcher thread")
-        };
-        match ready_rx.recv() {
-            Ok(Ok(())) => Ok(ServeQueue {
-                shared,
-                policy,
-                ns,
-                dispatcher: Some(dispatcher),
-            }),
-            Ok(Err(e)) => {
-                let _ = dispatcher.join();
-                Err(e)
-            }
-            Err(_) => {
-                let _ = dispatcher.join();
-                Err(BackendError::QueueClosed)
-            }
-        }
+        let pool = ReplicaPool::from_factories(
+            ServePolicy::default().with_queue(policy),
+            ns,
+            vec![factory],
+        )?;
+        Ok(ServeQueue { pool })
     }
 
     /// Submits one request; returns immediately with a ticket the caller
@@ -447,47 +390,27 @@ impl ServeQueue {
     /// match the backend's stage count (checked here, so a bad request
     /// cannot fail a coalesced micro-batch for everyone else),
     /// [`BackendError::QueueFull`] when [`QueuePolicy::max_depth`]
-    /// requests are already unresolved, and [`BackendError::QueueClosed`]
+    /// requests are already unresolved or accepting the batch would
+    /// exceed [`QueuePolicy::max_pending_tokens`] queued tokens, and
+    /// [`BackendError::QueueClosed`]
     /// after [`close`](ServeQueue::close)/[`shutdown`](ServeQueue::shutdown).
     pub fn submit(&self, batch: TokenBatch) -> Result<BatchTicket, BackendError> {
-        batch.check_shape(self.ns)?;
-        let ticket = TicketCell::new();
-        {
-            let mut state = self.shared.lock_state();
-            if !state.open {
-                return Err(BackendError::QueueClosed);
-            }
-            if state.outstanding >= self.policy.max_depth {
-                return Err(BackendError::QueueFull {
-                    depth: self.policy.max_depth,
-                });
-            }
-            state.outstanding += 1;
-            state.max_depth_seen = state.max_depth_seen.max(state.outstanding as u64);
-            state.pending_tokens += batch.len();
-            state.pending.push_back(PendingRequest {
-                batch,
-                ticket: Arc::clone(&ticket),
-                submitted: Instant::now(),
-            });
-        }
-        self.shared.work.notify_all();
-        Ok(BatchTicket { cell: ticket })
+        self.pool.submit(batch)
     }
 
     /// Requests accepted but not yet resolved, right now.
     pub fn depth(&self) -> usize {
-        self.shared.lock_state().outstanding
+        self.pool.depth()
     }
 
     /// The coalescing/backpressure policy this queue runs.
     pub fn policy(&self) -> &QueuePolicy {
-        &self.policy
+        &self.pool.policy().queue
     }
 
     /// Pipeline stages every submission must provide per token.
     pub fn ns(&self) -> usize {
-        self.ns
+        self.pool.ns()
     }
 
     /// A snapshot of the aggregate statistics so far: everything a
@@ -495,13 +418,7 @@ impl ServeQueue {
     /// queue-wait percentiles, coalesced micro-batch sizes and the
     /// deepest backlog observed.
     pub fn stats(&self) -> SessionStats {
-        // Fold in any backlog high-water mark the dispatcher has not
-        // absorbed yet (state lock strictly before stats lock, the
-        // crate-wide order).
-        let depth_seen = self.shared.lock_state().max_depth_seen;
-        let mut stats = self.shared.stats.lock().expect("stats lock").clone();
-        stats.record_queue_depth(depth_seen);
-        stats
+        self.pool.stats()
     }
 
     /// Stops accepting submissions (they answer
@@ -510,241 +427,28 @@ impl ServeQueue {
     /// [`shutdown`](ServeQueue::shutdown) or ticket waits to observe the
     /// drain finishing.
     pub fn close(&self) {
-        self.shared.lock_state().open = false;
-        self.shared.work.notify_all();
+        self.pool.close();
     }
 
     /// Closes the queue, waits for the dispatcher to drain and resolve
     /// every accepted ticket, and returns the final statistics.
-    pub fn shutdown(mut self) -> SessionStats {
-        self.close();
-        if let Some(handle) = self.dispatcher.take() {
-            let _ = handle.join();
-        }
-        self.stats()
+    pub fn shutdown(self) -> SessionStats {
+        self.pool.shutdown()
     }
 
     /// Seeds the statistics (used by [`Session::into_serving`] to carry
     /// a session's already-accumulated measurements into the queue).
     pub(crate) fn seed_stats(&self, stats: SessionStats) {
-        *self.shared.stats.lock().expect("stats lock") = stats;
-    }
-}
-
-impl Drop for ServeQueue {
-    /// Same contract as [`shutdown`](ServeQueue::shutdown): close, drain,
-    /// join — accepted tickets resolve before the queue disappears.
-    fn drop(&mut self) {
-        self.close();
-        if let Some(handle) = self.dispatcher.take() {
-            let _ = handle.join();
-        }
+        self.pool.seed_stats(stats);
     }
 }
 
 impl core::fmt::Debug for ServeQueue {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("ServeQueue")
-            .field("policy", &self.policy)
-            .field("ns", &self.ns)
+            .field("policy", self.policy())
+            .field("ns", &self.ns())
             .field("depth", &self.depth())
             .finish_non_exhaustive()
-    }
-}
-
-/// The dispatcher's per-micro-batch guard: settles the backpressure
-/// accounting exactly once and, if dropped with tickets still armed (a
-/// backend that panicked mid-run), fails them with
-/// [`BackendError::QueueClosed`] — so neither `outstanding` nor any
-/// accepted ticket can leak, whichever way the micro-batch ends.
-struct BatchInFlight<'a> {
-    shared: &'a QueueShared,
-    unsettled: usize,
-    tickets: Vec<Arc<TicketCell>>,
-}
-
-impl BatchInFlight<'_> {
-    /// Frees the micro-batch's backpressure capacity (idempotent).
-    fn settle(&mut self) {
-        if self.unsettled > 0 {
-            self.shared.lock_state().outstanding -= self.unsettled;
-            self.unsettled = 0;
-        }
-    }
-}
-
-impl Drop for BatchInFlight<'_> {
-    fn drop(&mut self) {
-        self.settle();
-        for ticket in self.tickets.drain(..) {
-            ticket.resolve(Err(BackendError::QueueClosed));
-        }
-    }
-}
-
-/// Closes the queue and fails whatever is still pending with
-/// [`BackendError::QueueClosed`] when the dispatcher exits — the safety
-/// net for a dispatcher that unwinds out of the loop (a panicking custom
-/// backend). On a normal drain the pending queue is already empty.
-struct CloseOnDrop<'a> {
-    shared: &'a QueueShared,
-}
-
-impl Drop for CloseOnDrop<'_> {
-    fn drop(&mut self) {
-        let mut state = self.shared.lock_state();
-        state.open = false;
-        let abandoned: Vec<PendingRequest> = state.pending.drain(..).collect();
-        state.pending_tokens = 0;
-        state.outstanding = state.outstanding.saturating_sub(abandoned.len());
-        drop(state);
-        for request in abandoned {
-            request.ticket.resolve(Err(BackendError::QueueClosed));
-        }
-    }
-}
-
-/// The dispatcher: collect → coalesce → run → split → resolve, until the
-/// queue is closed *and* drained.
-fn dispatch_loop(shared: &QueueShared, policy: &QueuePolicy, mut backend: Box<dyn MacroBackend>) {
-    let _drain_guard = CloseOnDrop { shared };
-    loop {
-        // ── Collect: wait for work, linger for a fuller micro-batch ──
-        let mut state = shared.lock_state();
-        loop {
-            if let Some(first) = state.pending.front() {
-                if state.pending_tokens >= policy.max_batch || !state.open {
-                    break;
-                }
-                // A linger too large to represent as a deadline (e.g.
-                // Duration::MAX = "wait until the batch fills") degrades
-                // to an untimed wait — more work or close() wakes us.
-                let Some(deadline) = first.submitted.checked_add(policy.max_linger) else {
-                    state = shared.work.wait(state).unwrap_or_else(|p| p.into_inner());
-                    continue;
-                };
-                let left = deadline.saturating_duration_since(Instant::now());
-                if left.is_zero() {
-                    break;
-                }
-                let (s, _) = shared
-                    .work
-                    .wait_timeout(state, left)
-                    .unwrap_or_else(|p| p.into_inner());
-                state = s;
-            } else if !state.open {
-                // Closed and drained: every accepted ticket has resolved.
-                return;
-            } else {
-                state = shared.work.wait(state).unwrap_or_else(|p| p.into_inner());
-            }
-        }
-
-        // ── Coalesce: whole requests, FIFO, up to max_batch tokens ──
-        let mut picked = Vec::new();
-        let mut total = 0usize;
-        while let Some(next) = state.pending.front() {
-            if !picked.is_empty() && total + next.batch.len() > policy.max_batch {
-                break;
-            }
-            let request = state.pending.pop_front().expect("front exists");
-            state.pending_tokens -= request.batch.len();
-            total += request.batch.len();
-            picked.push(request);
-        }
-        let depth_seen = state.max_depth_seen;
-        drop(state);
-
-        // ── Run: one backend call for the whole micro-batch ──
-        let mut guard = BatchInFlight {
-            shared,
-            unsettled: picked.len(),
-            tickets: picked.iter().map(|p| Arc::clone(&p.ticket)).collect(),
-        };
-        let dispatched = Instant::now();
-        let mut tokens: Vec<Token> = Vec::with_capacity(total);
-        let mut parts: Vec<(usize, Arc<TicketCell>, Duration)> = Vec::with_capacity(picked.len());
-        for request in picked {
-            parts.push((
-                request.batch.len(),
-                request.ticket,
-                dispatched.saturating_duration_since(request.submitted),
-            ));
-            tokens.extend(request.batch.into_tokens());
-        }
-        let micro = TokenBatch::new(tokens).expect("picked requests are non-empty");
-        let outcome = backend.run_batch(&micro);
-        let service = dispatched.elapsed();
-
-        // Free backpressure capacity before resolving, so a submitter
-        // woken by its ticket deterministically finds the slot open.
-        guard.settle();
-
-        // ── Split and resolve: each ticket gets its own token slice ──
-        let waits: Vec<Duration> = parts.iter().map(|(_, _, w)| *w).collect();
-        match outcome {
-            Ok(result) if result.tokens.len() == micro.len() => {
-                {
-                    let mut stats = shared.stats.lock().expect("stats lock");
-                    stats.absorb_queued(&result, service, &waits);
-                    stats.record_queue_depth(depth_seen);
-                }
-                let mut offset = 0usize;
-                for (len, ticket, queue_wait) in parts {
-                    let observations = result.tokens[offset..offset + len].to_vec();
-                    offset += len;
-                    let energy = observations
-                        .iter()
-                        .map(|o| o.energy)
-                        .collect::<Option<Vec<_>>>()
-                        .and_then(|es| es.into_iter().reduce(|a, b| a + b));
-                    ticket.resolve(Ok(QueueReply {
-                        result: BatchResult {
-                            backend: result.backend,
-                            tokens: observations,
-                            makespan: result.makespan,
-                            energy,
-                        },
-                        queue_wait,
-                        service,
-                        coalesced_tokens: total,
-                    }));
-                }
-            }
-            Ok(result) => {
-                // A custom backend broke the one-observation-per-token
-                // contract; a typed rejection beats mis-sliced outputs.
-                let error = BackendError::MalformedProgram {
-                    reason: format!(
-                        "backend returned {} observations for a {}-token micro-batch",
-                        result.tokens.len(),
-                        micro.len()
-                    ),
-                };
-                {
-                    let mut stats = shared.stats.lock().expect("stats lock");
-                    stats.absorb_queue_side(micro.len(), &waits);
-                    stats.record_queue_depth(depth_seen);
-                }
-                for (_, ticket, _) in parts {
-                    ticket.resolve(Err(error.clone()));
-                }
-            }
-            Err(error) => {
-                // Whole-batch rejection: every rider gets the typed
-                // error. The queue-side stats still count the batch —
-                // its requests waited and resolved like any other; only
-                // the served-token measurements are success-only.
-                {
-                    let mut stats = shared.stats.lock().expect("stats lock");
-                    stats.absorb_queue_side(micro.len(), &waits);
-                    stats.record_queue_depth(depth_seen);
-                }
-                for (_, ticket, _) in parts {
-                    ticket.resolve(Err(error.clone()));
-                }
-            }
-        }
-        guard.tickets.clear();
     }
 }

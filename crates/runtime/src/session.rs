@@ -12,6 +12,7 @@
 use crate::backend::{validate_program, BackendFactory, BackendKind, MacroBackend};
 use crate::batch::{BatchResult, TokenBatch};
 use crate::error::BackendError;
+use crate::pool::{ReplicaPool, ServePolicy};
 use crate::queue::{QueuePolicy, ServeQueue};
 use core::fmt;
 use maddpipe_core::config::MacroConfig;
@@ -87,6 +88,35 @@ impl SessionBuilder {
         let kind = self.kind;
         let factory: BackendFactory = Box::new(move || kind.build(&cfg, program));
         ServeQueue::from_factory(policy, ns, factory)
+    }
+
+    /// Builds straight into a [`ReplicaPool`]: the program is validated
+    /// here (fail fast, on the caller's thread) and the `(program,
+    /// kind)` recipe is cloned into [`ServePolicy::replicas`] factories,
+    /// each constructing its backend on its own replica thread. Prefer
+    /// this over `build()?.into_pool(policy)` when the session is only
+    /// ever used through the pool.
+    ///
+    /// # Errors
+    ///
+    /// As [`SessionBuilder::build`], plus the pool's own construction
+    /// failures ([`BackendError::QueueClosed`] when a replica dies
+    /// before reporting ready).
+    pub fn into_pool(self, policy: ServePolicy) -> Result<ReplicaPool, BackendError> {
+        let program = self.program.ok_or(BackendError::MissingProgram)?;
+        validate_program(&self.cfg, &program)?;
+        let cfg = self.cfg;
+        let ns = cfg.ns;
+        let kind = self.kind;
+        let factories = (0..policy.replicas.max(1))
+            .map(|_| {
+                let cfg = cfg.clone();
+                let program = program.clone();
+                let factory: BackendFactory = Box::new(move || kind.build(&cfg, program));
+                factory
+            })
+            .collect();
+        ReplicaPool::from_factories(policy, ns, factories)
     }
 }
 
@@ -169,6 +199,40 @@ impl Session {
         Ok(queue)
     }
 
+    /// Converts this session into a [`ReplicaPool`] of
+    /// [`ServePolicy::replicas`] backends, each rebuilt from the
+    /// session's `(program, backend kind)` recipe on its own replica
+    /// thread. The statistics accumulated so far carry over and keep
+    /// growing as the pool serves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::QueueUnavailable`] for sessions made with
+    /// [`Session::from_backend`] — a caller-constructed backend cannot
+    /// be rebuilt on other threads; hand factories to
+    /// [`ReplicaPool::from_factories`] instead. Construction failures
+    /// of the rebuilt backends propagate as their own errors.
+    pub fn into_pool(self, policy: ServePolicy) -> Result<ReplicaPool, BackendError> {
+        let (program, kind) = self.recipe.ok_or_else(|| BackendError::QueueUnavailable {
+            reason: "session was built from a caller-constructed backend; \
+                     use ReplicaPool::from_factories"
+                .into(),
+        })?;
+        let cfg = self.cfg;
+        let ns = cfg.ns;
+        let factories = (0..policy.replicas.max(1))
+            .map(|_| {
+                let cfg = cfg.clone();
+                let program = program.clone();
+                let factory: BackendFactory = Box::new(move || kind.build(&cfg, program));
+                factory
+            })
+            .collect();
+        let pool = ReplicaPool::from_factories(policy, ns, factories)?;
+        pool.seed_stats(self.stats);
+        Ok(pool)
+    }
+
     /// Runs one batch and folds its measurements into the session stats.
     ///
     /// # Errors
@@ -247,6 +311,12 @@ pub struct SessionStats {
     max_coalesced: u64,
     /// Deepest backlog (unresolved requests) observed at submit time.
     max_queue_depth: u64,
+    /// Micro-batches dispatched per replica, indexed by replica.
+    replica_dispatches: Vec<u64>,
+    /// Backend service time accumulated per replica, indexed likewise.
+    replica_busy: Vec<Duration>,
+    /// How long the pool has been open — the utilisation denominator.
+    pool_uptime: Duration,
 }
 
 impl SessionStats {
@@ -307,6 +377,29 @@ impl SessionStats {
         self.max_queue_depth = self.max_queue_depth.max(depth);
     }
 
+    /// Records one micro-batch dispatch on a replica: bumps its
+    /// dispatch count and accumulates the backend service time it was
+    /// busy for.
+    pub(crate) fn record_replica_dispatch(&mut self, replica: usize, busy: Duration) {
+        if self.replica_dispatches.len() <= replica {
+            self.replica_dispatches.resize(replica + 1, 0);
+            self.replica_busy.resize(replica + 1, Duration::ZERO);
+        }
+        self.replica_dispatches[replica] += 1;
+        self.replica_busy[replica] += busy;
+    }
+
+    /// Notes the pool shape at snapshot time: replicas that have not
+    /// dispatched yet still appear (with zero counts), and the uptime
+    /// denominator only ever grows.
+    pub(crate) fn note_pool(&mut self, replicas: usize, uptime: Duration) {
+        if self.replica_dispatches.len() < replicas {
+            self.replica_dispatches.resize(replicas, 0);
+            self.replica_busy.resize(replicas, Duration::ZERO);
+        }
+        self.pool_uptime = self.pool_uptime.max(uptime);
+    }
+
     /// Tokens run so far.
     pub fn tokens(&self) -> u64 {
         self.tokens
@@ -322,14 +415,14 @@ impl SessionStats {
         self.wall
     }
 
-    /// Host-side throughput: tokens per wall-clock second.
-    pub fn tokens_per_sec(&self) -> f64 {
+    /// Host-side throughput: tokens per wall-clock second. `None` when
+    /// the accumulated wall time is below the host clock's resolution —
+    /// "too fast to measure" is not the same observation as "no
+    /// throughput", and conflating them as `0.0` poisoned downstream
+    /// rate math.
+    pub fn tokens_per_sec(&self) -> Option<f64> {
         let secs = self.wall.as_secs_f64();
-        if secs > 0.0 {
-            self.tokens as f64 / secs
-        } else {
-            0.0
-        }
+        (secs > 0.0).then(|| self.tokens as f64 / secs)
     }
 
     /// Total measured/modelled energy, when any backend reported it.
@@ -396,6 +489,39 @@ impl SessionStats {
     pub fn queue_wait_percentile(&self, p: f64) -> Option<Duration> {
         self.queue_waits.percentile(p).map(Duration::from_secs_f64)
     }
+
+    /// Micro-batches dispatched per replica, indexed by replica. Empty
+    /// unless the stats came from a replica pool (a plain serving queue
+    /// is a one-replica pool, so it reports one entry).
+    pub fn replica_dispatches(&self) -> &[u64] {
+        &self.replica_dispatches
+    }
+
+    /// Backend service time accumulated per replica, indexed like
+    /// [`replica_dispatches`](SessionStats::replica_dispatches).
+    pub fn replica_busy(&self) -> &[Duration] {
+        &self.replica_busy
+    }
+
+    /// How long the pool behind these stats has been open.
+    pub fn pool_uptime(&self) -> Duration {
+        self.pool_uptime
+    }
+
+    /// Per-replica utilisation: the share of the pool's uptime each
+    /// replica spent inside its backend. Empty when the uptime is below
+    /// clock resolution (same discipline as
+    /// [`tokens_per_sec`](SessionStats::tokens_per_sec)).
+    pub fn replica_utilisation(&self) -> Vec<f64> {
+        let uptime = self.pool_uptime.as_secs_f64();
+        if uptime <= 0.0 {
+            return Vec::new();
+        }
+        self.replica_busy
+            .iter()
+            .map(|busy| busy.as_secs_f64() / uptime)
+            .collect()
+    }
 }
 
 /// A bounded measurement sample: exact below [`SampleSet::CAP`] values,
@@ -454,13 +580,11 @@ fn splitmix64(mut x: u64) -> u64 {
 
 impl fmt::Display for SessionStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} tokens in {} batches, {:.0} tokens/s",
-            self.tokens,
-            self.batches,
-            self.tokens_per_sec()
-        )?;
+        write!(f, "{} tokens in {} batches", self.tokens, self.batches)?;
+        match self.tokens_per_sec() {
+            Some(rate) => write!(f, ", {rate:.0} tokens/s")?,
+            None => write!(f, ", rate unmeasured")?,
+        }
         if let (Some(p50), Some(p99)) = (self.p50_token_latency(), self.p99_token_latency()) {
             write!(f, ", token latency p50 {p50} / p99 {p99}")?;
         }
@@ -753,6 +877,42 @@ mod tests {
     }
 
     #[test]
+    fn sub_resolution_wall_time_reports_no_rate() {
+        // "Too fast to measure" must be None, not a fake 0 tokens/s.
+        let mut stats = SessionStats::default();
+        stats.absorb(&result_with_latencies(&[1.0]), Duration::ZERO);
+        assert_eq!(stats.tokens(), 1);
+        assert_eq!(stats.tokens_per_sec(), None);
+        let text = stats.to_string();
+        assert!(text.contains("rate unmeasured"), "{text}");
+        stats.absorb(&result_with_latencies(&[1.0]), Duration::from_millis(10));
+        let rate = stats.tokens_per_sec();
+        assert!(rate.is_some_and(|r| r > 0.0), "{rate:?}");
+        assert!(stats.to_string().contains("tokens/s"));
+    }
+
+    #[test]
+    fn replica_accounting_accumulates_and_utilises() {
+        let mut stats = SessionStats::default();
+        stats.record_replica_dispatch(1, Duration::from_millis(30));
+        stats.record_replica_dispatch(0, Duration::from_millis(10));
+        stats.record_replica_dispatch(1, Duration::from_millis(20));
+        stats.note_pool(4, Duration::from_millis(100));
+        assert_eq!(stats.replica_dispatches(), &[1, 2, 0, 0]);
+        assert_eq!(stats.replica_busy()[1], Duration::from_millis(50));
+        let util = stats.replica_utilisation();
+        assert_eq!(util.len(), 4);
+        assert!((util[0] - 0.1).abs() < 1e-9, "{util:?}");
+        assert!((util[1] - 0.5).abs() < 1e-9, "{util:?}");
+        assert_eq!(util[3], 0.0);
+        // The uptime denominator only ever grows across snapshots.
+        stats.note_pool(4, Duration::from_millis(50));
+        assert_eq!(stats.pool_uptime(), Duration::from_millis(100));
+        // Stats that never saw a pool make no utilisation claims.
+        assert!(SessionStats::default().replica_utilisation().is_empty());
+    }
+
+    #[test]
     fn rtl_sessions_expose_the_netlist() {
         let cfg = MacroConfig::new(1, 1);
         let mut s = Session::builder(cfg)
@@ -765,6 +925,7 @@ mod tests {
         s.run(&TokenBatch::random(1, 2, 3)).unwrap();
         assert!(s.rtl().unwrap().simulator().violations().is_empty());
         assert_eq!(s.backend_name(), "rtl-sequential");
-        assert!(s.stats().tokens_per_sec() > 0.0);
+        let rate = s.stats().tokens_per_sec();
+        assert!(rate.is_some_and(|r| r > 0.0), "{rate:?}");
     }
 }

@@ -9,7 +9,9 @@
 //! inner [`MacroBackend`] (any mix of functional / RTL / analytic), every
 //! [`TokenBatch`] fans out to all shards, and per-token outputs are
 //! reassembled in plan order — bit-identical to the single wide macro,
-//! with latency aggregated as the max over shards and energy as the sum.
+//! with latency aggregated as the max over shards and energy as the sum
+//! when *every* shard measured (an unmeasured shard in a mixed set makes
+//! the aggregate `None` — a partial sum is not a total).
 //!
 //! Inner backends never cross threads: each is constructed *on* its
 //! worker, so backends that are not `Send` (the event-driven netlist)
@@ -305,28 +307,32 @@ impl MacroBackend for ShardedBackend {
 
     /// Runs the batch on every shard concurrently. Per token, `outputs`
     /// is the concatenation of the shard slices in plan order, `latency`
-    /// the **max** over shards that measured one (the token is done when
-    /// its slowest slice is), and `energy` the **sum** over shards that
-    /// measured it; the batch `makespan` and `energy` aggregate the same
-    /// way.
+    /// the **max** over shards (the token is done when its slowest slice
+    /// is) and `energy` the **sum** — but only when *every* shard
+    /// measured: with a mixed shard set (say functional next to
+    /// analytic) a partial max understates the token and a partial sum
+    /// masquerades as the batch total, so an unmeasured shard makes the
+    /// aggregate `None`. The batch `makespan` and `energy` follow the
+    /// same all-or-none rule.
     fn run_batch(&mut self, batch: &TokenBatch) -> Result<BatchResult, BackendError> {
         batch.check_shape(self.ns)?;
         let shard_results = self.scatter_gather(batch)?;
         let mut tokens = Vec::with_capacity(batch.len());
         for t in 0..batch.len() {
             let mut outputs = Vec::with_capacity(self.plan.out_channels());
-            let mut latency: Option<Seconds> = None;
-            let mut energy: Option<Joules> = None;
             for result in &shard_results {
-                let obs = &result.tokens[t];
-                outputs.extend_from_slice(&obs.outputs);
-                if let Some(l) = obs.latency {
-                    latency = Some(latency.map_or(l, |m| if l > m { l } else { m }));
-                }
-                if let Some(e) = obs.energy {
-                    energy = Some(energy.map_or(e, |sum| sum + e));
-                }
+                outputs.extend_from_slice(&result.tokens[t].outputs);
             }
+            let latency: Option<Seconds> = shard_results
+                .iter()
+                .map(|r| r.tokens[t].latency)
+                .collect::<Option<Vec<_>>>()
+                .and_then(|ls| ls.into_iter().reduce(|a, b| if b > a { b } else { a }));
+            let energy: Option<Joules> = shard_results
+                .iter()
+                .map(|r| r.tokens[t].energy)
+                .collect::<Option<Vec<_>>>()
+                .and_then(|es| es.into_iter().reduce(|a, b| a + b));
             tokens.push(TokenObservation {
                 outputs,
                 latency,
@@ -335,12 +341,14 @@ impl MacroBackend for ShardedBackend {
         }
         let makespan = shard_results
             .iter()
-            .filter_map(|r| r.makespan)
-            .reduce(|a, b| if a > b { a } else { b });
+            .map(|r| r.makespan)
+            .collect::<Option<Vec<_>>>()
+            .and_then(|ms| ms.into_iter().reduce(|a, b| if b > a { b } else { a }));
         let energy = shard_results
             .iter()
-            .filter_map(|r| r.energy)
-            .reduce(|a, b| a + b);
+            .map(|r| r.energy)
+            .collect::<Option<Vec<_>>>()
+            .and_then(|es| es.into_iter().reduce(|a, b| a + b));
         Ok(BatchResult {
             backend: self.name(),
             tokens,
@@ -427,7 +435,7 @@ mod tests {
     }
 
     #[test]
-    fn mixed_shard_kinds_agree_and_aggregate_measurements() {
+    fn mixed_shard_kinds_agree_and_suppress_partial_measurements() {
         let (cfg, program, batch) = wide_setup(3, 2);
         let plan = ShardPlan::even(3, 3).unwrap();
         let kinds = [
@@ -436,6 +444,31 @@ mod tests {
             },
             ShardKind::Analytic,
             ShardKind::Functional { workers: 1 },
+        ];
+        let mut sharded = ShardedBackend::new(&cfg, &program, plan, &kinds).unwrap();
+        let got = sharded.run_batch(&batch).unwrap();
+        for (t, token) in batch.tokens().iter().enumerate() {
+            assert_eq!(got.tokens[t].outputs, program.reference_output(token));
+            // The functional shard measures nothing, so a max over the
+            // RTL/analytic shards alone would understate the token and a
+            // partial energy sum would pose as the batch total:
+            // aggregation is all-or-none, one unmeasured shard → None.
+            assert_eq!(got.tokens[t].latency, None);
+            assert_eq!(got.tokens[t].energy, None);
+        }
+        assert_eq!(got.makespan, None);
+        assert_eq!(got.energy, None);
+    }
+
+    #[test]
+    fn all_measuring_mixed_shards_aggregate_measurements() {
+        let (cfg, program, batch) = wide_setup(2, 2);
+        let plan = ShardPlan::even(2, 2).unwrap();
+        let kinds = [
+            ShardKind::Rtl {
+                fidelity: Fidelity::Sequential,
+            },
+            ShardKind::Analytic,
         ];
         let mut sharded = ShardedBackend::new(&cfg, &program, plan, &kinds).unwrap();
         let got = sharded.run_batch(&batch).unwrap();

@@ -108,9 +108,9 @@ fn main() {
     for seed in 0..32u64 {
         match slow.submit(TokenBatch::random(2, 64, seed)) {
             Ok(ticket) => accepted.push(ticket),
-            Err(BackendError::QueueFull { depth }) => {
+            Err(BackendError::QueueFull { limit }) => {
                 rejected += 1;
-                assert_eq!(depth, 2);
+                assert_eq!(limit, QueueLimit::Requests { max_depth: 2 });
             }
             Err(other) => panic!("unexpected error: {other}"),
         }

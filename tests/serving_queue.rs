@@ -204,7 +204,12 @@ fn a_depth_one_policy_rejects_with_typed_queue_full() {
     let first = queue.submit(TokenBatch::random(2, 2, 1)).expect("accepted");
     assert_eq!(queue.depth(), 1);
     let err = queue.submit(TokenBatch::random(2, 2, 2)).unwrap_err();
-    assert_eq!(err, BackendError::QueueFull { depth: 1 });
+    assert_eq!(
+        err,
+        BackendError::QueueFull {
+            limit: QueueLimit::Requests { max_depth: 1 }
+        }
+    );
 
     // Resolving the outstanding ticket frees the slot deterministically.
     gate.send(()).expect("dispatcher alive");
@@ -231,6 +236,114 @@ fn a_depth_one_policy_rejects_with_typed_queue_full() {
             got: 3,
         }
     );
+}
+
+#[test]
+fn a_token_bound_rejects_before_request_count_backpressure_kicks_in() {
+    // Regression: `pending_tokens` used to be tracked but never
+    // enforced, so one client submitting huge batches could buffer
+    // unbounded payload while staying under `max_depth`'s request
+    // count. The token bound must reject with its own typed limit.
+    let policy = QueuePolicy::default()
+        .with_max_linger(Duration::ZERO)
+        .with_max_depth(1024)
+        .with_max_pending_tokens(4);
+    let (queue, started, gate, _) = gated_queue(2, policy, usize::MAX);
+
+    // Park the dispatcher on a warm-up so later submissions stay queued.
+    let warmup = queue.submit(TokenBatch::random(2, 1, 1)).expect("accepted");
+    assert_eq!(started.recv().expect("backend alive"), 1);
+
+    // 2 + 2 queued tokens fill the bound exactly...
+    let a = queue.submit(TokenBatch::random(2, 2, 2)).expect("accepted");
+    let b = queue.submit(TokenBatch::random(2, 2, 3)).expect("accepted");
+    // ...and the next submission is rejected by the *token* limit, far
+    // below the 1024-request depth bound.
+    let err = queue.submit(TokenBatch::random(2, 2, 4)).unwrap_err();
+    assert_eq!(
+        err,
+        BackendError::QueueFull {
+            limit: QueueLimit::Tokens {
+                pending_tokens: 4,
+                max_pending_tokens: 4,
+            }
+        }
+    );
+
+    // Draining the backlog re-opens admission.
+    gate.send(()).expect("release warm-up");
+    warmup.wait().expect("served");
+    assert_eq!(started.recv().expect("backend alive"), 4);
+    gate.send(()).expect("release the queued pair");
+    a.wait().expect("served");
+    b.wait().expect("served");
+    let c = queue
+        .submit(TokenBatch::random(2, 2, 5))
+        .expect("tokens freed");
+    assert_eq!(started.recv().expect("backend alive"), 2);
+    gate.send(()).expect("release");
+    c.wait().expect("served");
+
+    // A batch bigger than the whole token bound is still admitted into
+    // an *empty* waiting room (mirroring the oversized `max_batch`
+    // rule) — the bound caps buffering, it must not starve big batches.
+    let big = queue
+        .submit(TokenBatch::random(2, 9, 6))
+        .expect("an empty waiting room admits an oversized batch");
+    assert_eq!(started.recv().expect("backend alive"), 9);
+    gate.send(()).expect("release");
+    assert_eq!(big.wait().expect("served").result.tokens.len(), 9);
+}
+
+#[test]
+fn an_oversized_request_dispatches_alone_instead_of_stalling() {
+    // A single request larger than `max_batch` can never fill a
+    // micro-batch; it must ride alone, not park forever behind an
+    // unreachable "batch full" condition.
+    let policy = QueuePolicy::default()
+        .with_max_batch(4)
+        .with_max_linger(Duration::from_secs(3600));
+    let (queue, started, gate, program) = gated_queue(2, policy, usize::MAX);
+    let big_batch = TokenBatch::random(2, 11, 7);
+    let big = queue.submit(big_batch.clone()).expect("accepted");
+    // The dispatcher picks it up despite the hour-long linger: an
+    // oversized request counts as a full batch.
+    assert_eq!(
+        started
+            .recv_timeout(Duration::from_secs(30))
+            .expect("dispatched"),
+        11,
+        "the oversized request must dispatch whole, alone"
+    );
+    gate.send(()).expect("release");
+    let reply = big.wait().expect("served");
+    assert_eq!(reply.result.tokens.len(), 11);
+    assert_eq!(reply.coalesced_tokens, 11);
+    assert_eq!(
+        reply.result.tokens[0].outputs,
+        program.reference_output(&big_batch.tokens()[0])
+    );
+}
+
+#[test]
+fn zero_linger_dispatches_partial_batches_immediately() {
+    // `max_linger == 0` must mean "dispatch what's there right away" —
+    // a lone one-token request, far below `max_batch`, may not wait for
+    // company.
+    let policy = QueuePolicy::default()
+        .with_max_batch(1024)
+        .with_max_linger(Duration::ZERO);
+    let (queue, started, gate, _) = gated_queue(2, policy, usize::MAX);
+    let lone = queue.submit(TokenBatch::random(2, 1, 8)).expect("accepted");
+    assert_eq!(
+        started
+            .recv_timeout(Duration::from_secs(30))
+            .expect("dispatched"),
+        1,
+        "a partial batch must dispatch without lingering"
+    );
+    gate.send(()).expect("release");
+    assert_eq!(lone.wait().expect("served").result.tokens.len(), 1);
 }
 
 #[test]
