@@ -258,6 +258,76 @@ fn replica_pool_tokens_per_sec(replicas: usize) -> f64 {
     rate
 }
 
+/// A flagship-shaped pool of chaos-wrapped functional replicas: every
+/// replica draws deterministic faults — seeded transient errors plus
+/// one forced crash — from one shared schedule, and the recovery
+/// policy retries and respawns through them.
+fn chaos_pool(replicas: usize, chaos: ChaosConfig, max_depth: usize) -> ReplicaPool {
+    let cfg = MacroConfig::paper_flagship();
+    let program = MacroProgram::random(cfg.ndec, cfg.ns, 7);
+    let state = ChaosState::new();
+    let recipes = (0..replicas)
+        .map(|_| {
+            let cfg = cfg.clone();
+            let program = program.clone();
+            let recipe: ReplicaFactory = std::sync::Arc::new(move || {
+                BackendKind::Functional { workers: 1 }.build(&cfg, program.clone())
+            });
+            wrap_recipe(recipe, chaos, std::sync::Arc::clone(&state))
+        })
+        .collect();
+    ReplicaPool::from_recipes(
+        ServePolicy::default()
+            .with_fairness(Fairness::RoundRobin)
+            .with_queue(
+                QueuePolicy::default()
+                    .with_max_batch(256)
+                    .with_max_linger(Duration::from_micros(100))
+                    .with_max_depth(max_depth),
+            )
+            .with_recovery(
+                RecoveryPolicy::default()
+                    .with_max_retries(8)
+                    .with_backoff(Duration::from_micros(50))
+                    .with_respawn(2),
+            ),
+        cfg.ns,
+        recipes,
+    )
+    .expect("chaos pool comes up")
+}
+
+/// Closed-loop goodput through a 2-replica pool under injected faults —
+/// the same scenario as the fault-free `flagship_r2` row, so the delta
+/// between the two IS the price of ~15% transient failures plus one
+/// replica crash. Returns (goodput tokens/s, failed share, retries,
+/// respawns).
+fn chaos_goodput(seed: u64) -> (f64, f64, u64, u64) {
+    let chaos = ChaosConfig::default()
+        .with_seed(seed)
+        .with_transient_rate(0.15)
+        .with_panic_on_call(5);
+    let pool = chaos_pool(2, chaos, 4096);
+    let report = drive(
+        &pool,
+        &LoadScenario {
+            clients: 8,
+            tokens_per_request: 64,
+            mode: LoadMode::Closed {
+                requests_per_client: 16,
+            },
+            seed: 11,
+        },
+    );
+    let stats = pool.shutdown();
+    (
+        report.goodput_tokens_per_sec().unwrap_or(0.0),
+        report.failed_share(),
+        stats.retries(),
+        stats.pool_health().restarts,
+    )
+}
+
 /// Open-loop saturation probe: offer ~2x the measured closed-loop
 /// capacity into a depth-bounded 2-replica pool and report what comes
 /// out the other side — (offered rps, goodput tokens/s, p99 wait µs,
@@ -319,7 +389,7 @@ fn smoke() {
     let stats = pool.shutdown();
     assert_eq!(closed.served_requests, closed.offered_requests);
     assert_eq!(
-        open.served_requests + open.rejected_requests,
+        open.served_requests + open.rejected_requests + open.failed_requests,
         open.offered_requests
     );
     println!(
@@ -331,6 +401,52 @@ fn smoke() {
         open.served_requests, open.offered_requests, open.rejected_requests
     );
     println!("smoke pool:   {stats}");
+    // Chaos pass: the same closed loop through replicas injecting
+    // seeded transient faults and one forced crash — every offered
+    // request must still be accounted for, and the pool must have
+    // actually recovered (retried or respawned), not merely survived.
+    // Panicking on call 0 keeps the crash deterministic however far
+    // the closed burst coalesces; a 30% transient rate rides along.
+    let chaotic = chaos_pool(
+        2,
+        ChaosConfig::default()
+            .with_seed(7)
+            .with_transient_rate(0.3)
+            .with_panic_on_call(0),
+        64,
+    );
+    let faulted = drive(
+        &chaotic,
+        &LoadScenario {
+            clients: 4,
+            tokens_per_request: 16,
+            mode: LoadMode::Closed {
+                requests_per_client: 4,
+            },
+            seed: 11,
+        },
+    );
+    let chaos_stats = chaotic.shutdown();
+    assert_eq!(
+        faulted.served_requests + faulted.failed_requests,
+        faulted.offered_requests,
+        "a closed loop never rejects; everything serves or fails"
+    );
+    assert!(
+        faulted.served_requests > 0,
+        "faults must not starve goodput"
+    );
+    assert!(
+        chaos_stats.retries() + chaos_stats.pool_health().restarts > 0,
+        "the chaos schedule injected nothing — seed or rates regressed"
+    );
+    println!(
+        "smoke chaos:  {}/{} requests served through faults, {} retries, {} respawns",
+        faulted.served_requests,
+        faulted.offered_requests,
+        chaos_stats.retries(),
+        chaos_stats.pool_health().restarts
+    );
 }
 
 /// RTL-backend throughput on the small reference macro, per fidelity.
@@ -373,6 +489,7 @@ fn main() {
     let rp_r2 = replica_pool_tokens_per_sec(2);
     let rp_r4 = replica_pool_tokens_per_sec(4);
     let (rp_offered, rp_goodput, rp_p99, rp_rejected) = replica_pool_saturation(rp_r2);
+    let (ch_goodput, ch_failed, ch_retries, ch_restarts) = chaos_goodput(42);
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema\": \"maddpipe-bench-sim/v1\",");
@@ -432,6 +549,20 @@ fn main() {
     );
     let _ = writeln!(json, "    \"saturation_queue_wait_p99_us\": {rp_p99:.1},");
     let _ = writeln!(json, "    \"saturation_rejected_share\": {rp_rejected:.3}");
+    let _ = writeln!(json, "  }},");
+    // Goodput under injected faults: the fault-free flagship_r2 row
+    // re-run with ~15% seeded transient failures and one forced replica
+    // crash — the gap between the two is what the recovery machinery
+    // (retry + respawn) costs, and the retry/restart counts prove the
+    // faults actually fired.
+    let _ = writeln!(json, "  \"chaos\": {{");
+    let _ = writeln!(
+        json,
+        "    \"flagship_r2_goodput_tokens_per_sec\": {ch_goodput:.0},"
+    );
+    let _ = writeln!(json, "    \"failed_share\": {ch_failed:.3},");
+    let _ = writeln!(json, "    \"retries\": {ch_retries},");
+    let _ = writeln!(json, "    \"respawns\": {ch_restarts}");
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 

@@ -15,6 +15,13 @@
 //! client's replies into one [`LoadReport`]. The generator only uses
 //! the public pool API (`submit_with` + ticket waits), so what it
 //! measures is exactly what a real multi-threaded client would see.
+//!
+//! The generator is also fault-tolerant enough to drive a pool wrapped
+//! in a [`ChaosBackend`]: accepted tickets that resolve with an error
+//! and submissions refused by a dying pool count as
+//! [`LoadReport::failed_requests`] — lost goodput, not a generator
+//! panic — which is what lets `bench_sim` report goodput *under
+//! injected faults* next to the fault-free baseline.
 
 use maddpipe_runtime::prelude::*;
 use std::time::{Duration, Instant};
@@ -62,6 +69,11 @@ pub struct LoadReport {
     /// Requests refused at the door with
     /// [`BackendError::QueueFull`].
     pub rejected_requests: u64,
+    /// Requests that were accepted but whose ticket resolved with an
+    /// error (retry budget exhausted, replica lost, pool closed
+    /// mid-flight), plus submissions refused by an already-dying pool —
+    /// the goodput a fault actually cost.
+    pub failed_requests: u64,
     /// Tokens across all served requests.
     pub served_tokens: u64,
     /// Wall time of the whole run (submission through last reply).
@@ -84,6 +96,14 @@ impl LoadReport {
             return 0.0;
         }
         self.rejected_requests as f64 / self.offered_requests as f64
+    }
+
+    /// Fraction of offered requests that failed after acceptance.
+    pub fn failed_share(&self) -> f64 {
+        if self.offered_requests == 0 {
+            return 0.0;
+        }
+        self.failed_requests as f64 / self.offered_requests as f64
     }
 
     /// The `q`-quantile queue wait over served requests (`q` in 0..=1).
@@ -110,18 +130,23 @@ impl LoadReport {
 struct ClientTally {
     offered: u64,
     rejected: u64,
+    failed: u64,
     served_tokens: u64,
     waits: Vec<Duration>,
 }
 
-/// Waits out a burst of tickets, recording served waits/tokens.
+/// Waits out a burst of tickets, recording served waits/tokens. A
+/// ticket that resolves with an error — a fault that outran its retry
+/// budget, or QueueClosed on a shutdown race — is lost goodput, not a
+/// generator bug: it counts as failed and the run carries on.
 fn drain(tickets: Vec<BatchTicket>, tally: &mut ClientTally) {
     for ticket in tickets {
-        // QueueClosed on shutdown races is a loss of goodput, not a
-        // generator bug — count everything else as served.
-        if let Ok(reply) = ticket.wait() {
-            tally.served_tokens += reply.result.tokens.len() as u64;
-            tally.waits.push(reply.queue_wait);
+        match ticket.wait() {
+            Ok(reply) => {
+                tally.served_tokens += reply.result.tokens.len() as u64;
+                tally.waits.push(reply.queue_wait);
+            }
+            Err(_) => tally.failed += 1,
         }
     }
 }
@@ -145,6 +170,7 @@ pub fn drive(pool: &ReplicaPool, scenario: &LoadScenario) -> LoadReport {
                     let mut tally = ClientTally {
                         offered: 0,
                         rejected: 0,
+                        failed: 0,
                         served_tokens: 0,
                         waits: Vec::new(),
                     };
@@ -156,6 +182,10 @@ pub fn drive(pool: &ReplicaPool, scenario: &LoadScenario) -> LoadReport {
                         match pool.submit_with(batch, opts) {
                             Ok(ticket) => tickets.push(ticket),
                             Err(BackendError::QueueFull { .. }) => tally.rejected += 1,
+                            // A chaos run can kill the last replica while
+                            // arrivals are still due: being refused by a
+                            // dying pool is lost goodput, not a bug.
+                            Err(BackendError::QueueClosed) => tally.failed += 1,
                             Err(other) => panic!("load generator hit {other}"),
                         }
                     };
@@ -208,6 +238,7 @@ pub fn drive(pool: &ReplicaPool, scenario: &LoadScenario) -> LoadReport {
     for tally in tallies {
         report.offered_requests += tally.offered;
         report.rejected_requests += tally.rejected;
+        report.failed_requests += tally.failed;
         report.served_tokens += tally.served_tokens;
         report.served_requests += tally.waits.len() as u64;
         report.waits.extend(tally.waits);
@@ -286,10 +317,55 @@ mod tests {
         );
         assert!(report.offered_requests > 0);
         assert_eq!(
-            report.served_requests + report.rejected_requests,
+            report.served_requests + report.rejected_requests + report.failed_requests,
             report.offered_requests
         );
         assert_eq!(report.served_tokens, report.served_requests * 2);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn chaos_runs_count_faults_as_failures_not_panics() {
+        // A 1-replica factory pool (no respawn) whose backend panics on
+        // its very first call: the replica quarantines, the pool closes,
+        // and everything the generator offered comes back as failed —
+        // the generator itself must survive to say so.
+        let cfg = MacroConfig::new(2, 2);
+        let program = MacroProgram::random(cfg.ndec, cfg.ns, 7);
+        let state = ChaosState::new();
+        let chaos = ChaosConfig::default().with_panic_on_call(0);
+        let factory: BackendFactory = {
+            let program = program.clone();
+            Box::new(move || {
+                BackendKind::Functional { workers: 1 }.build(&MacroConfig::new(2, 2), program)
+            })
+        };
+        let pool = ReplicaPool::from_factories(
+            ServePolicy::default()
+                .with_queue(QueuePolicy::default().with_max_linger(Duration::ZERO))
+                .with_recovery(RecoveryPolicy::none()),
+            cfg.ns,
+            vec![wrap_factory(factory, chaos, state)],
+        )
+        .expect("pool comes up");
+        let report = drive(
+            &pool,
+            &LoadScenario {
+                clients: 2,
+                tokens_per_request: 2,
+                mode: LoadMode::Closed {
+                    requests_per_client: 4,
+                },
+                seed: 3,
+            },
+        );
+        assert_eq!(report.offered_requests, 8);
+        assert_eq!(
+            report.served_requests + report.rejected_requests + report.failed_requests,
+            report.offered_requests
+        );
+        assert!(report.failed_requests > 0, "{report:?}");
+        assert!(report.failed_share() > 0.0);
         pool.shutdown();
     }
 }

@@ -98,6 +98,21 @@ pub enum BackendError {
         /// Index of the lost shard within the plan.
         shard: usize,
     },
+    /// A transient fault: the computation itself is sound, but this
+    /// attempt failed for a reason that is expected to clear on retry
+    /// (a soft error, an injected chaos fault, a resource hiccup).
+    /// Serving layers re-run the batch under their
+    /// [`RecoveryPolicy`](crate::pool::RecoveryPolicy) instead of
+    /// surfacing this immediately.
+    Transient {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The replica serving a micro-batch panicked mid-service. The
+    /// batch itself may be fine — pools re-queue the riders and retry
+    /// on another (or a respawned) replica; the error only reaches a
+    /// ticket once the retry budget is exhausted.
+    ReplicaPanicked,
     /// A serving queue rejected the submission because accepting it
     /// would exceed one of its [`QueuePolicy`](crate::queue::QueuePolicy)
     /// bounds — typed backpressure; retry after waiting on an
@@ -119,6 +134,46 @@ pub enum BackendError {
         /// Human-readable explanation.
         reason: String,
     },
+}
+
+impl BackendError {
+    /// Whether retrying the same work is expected to succeed.
+    ///
+    /// Transient failures are properties of an *attempt*, not of the
+    /// batch or program: a replica panic, a soft error flagged as
+    /// [`BackendError::Transient`], a netlist that missed its
+    /// completion window ([`BackendError::Oscillation`] — on real
+    /// silicon the self-synchronous handshake simply re-fires), a lost
+    /// shard worker, or backpressure ([`BackendError::QueueFull`])
+    /// that clears as tickets resolve. Everything else — shape and
+    /// program mismatches, malformed input, a closed queue — is a
+    /// property of the request or the configuration and will fail
+    /// identically on every retry.
+    ///
+    /// Serving layers ([`ReplicaPool`](crate::pool::ReplicaPool),
+    /// [`ShardedBackend`](crate::sharded::ShardedBackend)) consult this
+    /// to decide between re-queueing under a
+    /// [`RecoveryPolicy`](crate::pool::RecoveryPolicy) and failing the
+    /// tickets with the typed error.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            BackendError::Transient { .. }
+            | BackendError::ReplicaPanicked
+            | BackendError::Oscillation(_)
+            | BackendError::ShardLost { .. }
+            | BackendError::QueueFull { .. } => true,
+            // A shard failure is as transient as what the shard hit.
+            BackendError::Shard { source, .. } => source.is_transient(),
+            BackendError::EmptyBatch
+            | BackendError::ShapeMismatch { .. }
+            | BackendError::ProgramMismatch { .. }
+            | BackendError::MalformedProgram { .. }
+            | BackendError::MissingProgram
+            | BackendError::InvalidShardPlan { .. }
+            | BackendError::QueueClosed
+            | BackendError::QueueUnavailable { .. } => false,
+        }
+    }
 }
 
 impl fmt::Display for BackendError {
@@ -158,6 +213,15 @@ impl fmt::Display for BackendError {
             }
             BackendError::ShardLost { shard } => {
                 write!(f, "shard {shard} worker is gone (panicked or shut down)")
+            }
+            BackendError::Transient { reason } => {
+                write!(f, "transient fault (retryable): {reason}")
+            }
+            BackendError::ReplicaPanicked => {
+                write!(
+                    f,
+                    "replica panicked mid-service; the batch was not completed"
+                )
             }
             BackendError::QueueFull { limit } => match limit {
                 QueueLimit::Requests { max_depth } => write!(
@@ -282,6 +346,54 @@ mod tests {
         assert!(
             unavailable.to_string().contains("caller-constructed"),
             "{unavailable}"
+        );
+    }
+
+    #[test]
+    fn transient_classification_separates_retryable_from_fatal() {
+        // Retryable: faults of the attempt, not of the request.
+        assert!(BackendError::Transient {
+            reason: "soft error".into()
+        }
+        .is_transient());
+        assert!(BackendError::ReplicaPanicked.is_transient());
+        assert!(BackendError::Oscillation(OscillationError {
+            events: 1,
+            time: SimTime::ZERO,
+        })
+        .is_transient());
+        assert!(BackendError::ShardLost { shard: 0 }.is_transient());
+        assert!(BackendError::QueueFull {
+            limit: QueueLimit::Requests { max_depth: 1 },
+        }
+        .is_transient());
+        // A shard error inherits the class of its source.
+        assert!(BackendError::Shard {
+            shard: 2,
+            source: Box::new(BackendError::ReplicaPanicked),
+        }
+        .is_transient());
+        assert!(!BackendError::Shard {
+            shard: 2,
+            source: Box::new(BackendError::EmptyBatch),
+        }
+        .is_transient());
+        // Fatal: properties of the request or configuration.
+        assert!(!BackendError::EmptyBatch.is_transient());
+        assert!(!BackendError::MissingProgram.is_transient());
+        assert!(!BackendError::MalformedProgram {
+            reason: "bad tree".into()
+        }
+        .is_transient());
+        assert!(!BackendError::QueueClosed.is_transient());
+        let transient = BackendError::Transient {
+            reason: "chaos fault".into(),
+        };
+        assert!(transient.to_string().contains("chaos fault"), "{transient}");
+        assert!(
+            BackendError::ReplicaPanicked.to_string().contains("panic"),
+            "{}",
+            BackendError::ReplicaPanicked
         );
     }
 

@@ -56,6 +56,7 @@
 pub mod analytic;
 pub mod backend;
 pub mod batch;
+pub mod chaos;
 pub mod error;
 pub mod functional;
 pub mod plan;
@@ -70,10 +71,13 @@ pub use backend::{
     validate_program, BackendFactory, BackendKind, Fidelity, MacroBackend, ShardKind,
 };
 pub use batch::{BatchResult, Token, TokenBatch, TokenObservation};
+pub use chaos::{wrap_factory, wrap_recipe, ChaosBackend, ChaosConfig, ChaosState};
 pub use error::{BackendError, QueueLimit};
 pub use functional::FunctionalBackend;
 pub use plan::ShardPlan;
-pub use pool::{Fairness, ReplicaPool, ServePolicy, SubmitOptions};
+pub use pool::{
+    Fairness, PoolHealth, RecoveryPolicy, ReplicaFactory, ReplicaPool, ServePolicy, SubmitOptions,
+};
 pub use queue::{BatchTicket, QueuePolicy, QueueReply, ServeQueue};
 pub use rtl::RtlBackend;
 pub use session::{Session, SessionBuilder, SessionStats};
@@ -84,10 +88,14 @@ pub mod prelude {
     pub use crate::analytic::AnalyticBackend;
     pub use crate::backend::{BackendFactory, BackendKind, Fidelity, MacroBackend, ShardKind};
     pub use crate::batch::{BatchResult, Token, TokenBatch, TokenObservation};
+    pub use crate::chaos::{wrap_factory, wrap_recipe, ChaosBackend, ChaosConfig, ChaosState};
     pub use crate::error::{BackendError, QueueLimit};
     pub use crate::functional::FunctionalBackend;
     pub use crate::plan::ShardPlan;
-    pub use crate::pool::{Fairness, ReplicaPool, ServePolicy, SubmitOptions};
+    pub use crate::pool::{
+        Fairness, PoolHealth, RecoveryPolicy, ReplicaFactory, ReplicaPool, ServePolicy,
+        SubmitOptions,
+    };
     pub use crate::queue::{BatchTicket, QueuePolicy, QueueReply, ServeQueue};
     pub use crate::rtl::RtlBackend;
     pub use crate::session::{Session, SessionBuilder, SessionStats};

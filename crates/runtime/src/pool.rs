@@ -32,12 +32,21 @@
 //!   [`QueuePolicy::max_pending_tokens`] bounds queued *tokens*, each
 //!   rejecting with its own [`QueueLimit`] inside
 //!   [`BackendError::QueueFull`].
+//! * **Supervision and recovery.** Under the pool's
+//!   [`RecoveryPolicy`], a micro-batch that fails transiently
+//!   ([`BackendError::is_transient`]) is re-queued riders-intact and
+//!   retried with exponential backoff — per-client order preserved —
+//!   while a replica that panics is rebuilt in place from its recipe
+//!   ([`ReplicaPool::from_recipes`]) up to a restart budget. A replica
+//!   that crashes through its budget is *quarantined*: the pool keeps
+//!   serving at reduced capacity ([`PoolHealth`] reports the
+//!   degradation) and tickets only resolve
+//!   [`BackendError::QueueClosed`] once zero replicas remain.
 //!
 //! The waiting-room discipline mirrors the single queue: whole requests
-//! are never split across micro-batches or replicas, tickets always
-//! resolve (results, a typed backend error, or
-//! [`BackendError::QueueClosed`] if the pool dies first), and a replica
-//! panic closes the whole pool rather than serving degraded.
+//! are never split across micro-batches or replicas, and tickets always
+//! resolve (results, a typed backend error after the retry budget, or
+//! [`BackendError::QueueClosed`] if the last replica dies first).
 //!
 //! ```
 //! use maddpipe_runtime::prelude::*;
@@ -66,6 +75,7 @@
 //!         });
 //!     }
 //! });
+//! assert_eq!(pool.health().healthy, 2);
 //! let stats = pool.shutdown();
 //! assert_eq!(stats.tokens(), 32);
 //! assert_eq!(stats.replica_dispatches().len(), 2);
@@ -81,13 +91,23 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// A rebuildable backend recipe: unlike the one-shot
+/// [`BackendFactory`], a `ReplicaFactory` can be called again after a
+/// replica crash, so pools built from recipes
+/// ([`ReplicaPool::from_recipes`]) can respawn dead replicas in place
+/// instead of quarantining them on the first panic.
+pub type ReplicaFactory =
+    Arc<dyn Fn() -> Result<Box<dyn MacroBackend>, BackendError> + Send + Sync>;
+
 /// How a [`ReplicaPool`] picks which pending requests ride the next
 /// micro-batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Fairness {
     /// Strict arrival order: requests are packed front-to-back, never
     /// reordered — identical to the single
-    /// [`ServeQueue`](crate::queue::ServeQueue) discipline.
+    /// [`ServeQueue`](crate::queue::ServeQueue) discipline. (A request
+    /// backing off after a transient failure holds only its own
+    /// client's later requests; other clients keep flowing.)
     #[default]
     Fifo,
     /// Round-robin across submitter keys: micro-batches are filled by
@@ -98,9 +118,102 @@ pub enum Fairness {
     RoundRobin,
 }
 
+/// How a [`ReplicaPool`] reacts to transient failures and replica
+/// crashes — the supervision contract of the serving stack.
+///
+/// A micro-batch whose backend call fails with a transient error
+/// ([`BackendError::is_transient`]) or a panic is taken apart into its
+/// riders, each re-queued at the front of the waiting room (per-client
+/// order intact) and retried after an exponential backoff — on
+/// whichever replica frees up first. A rider that exhausts
+/// `max_retries` resolves its ticket with the typed error. A replica
+/// whose backend panicked is rebuilt in place from its
+/// [`ReplicaFactory`] recipe up to `respawn` times; past that budget it
+/// is quarantined and the pool serves on at reduced capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// How many times a transiently-failed rider is re-queued before
+    /// its ticket resolves with the typed error. 0 fails fast.
+    pub max_retries: u32,
+    /// Base hold-off before a re-queued rider becomes dispatchable
+    /// again; doubles with every attempt (exponential backoff).
+    pub backoff: Duration,
+    /// How many times each replica may be rebuilt from its recipe after
+    /// a panic before it is quarantined. Only recipe-built pools
+    /// ([`ReplicaPool::from_recipes`]) can respawn; factory-built pools
+    /// quarantine on the first crash regardless of this budget.
+    pub respawn: u32,
+}
+
+impl Default for RecoveryPolicy {
+    /// Two retries with a 200 µs base backoff and one respawn per
+    /// replica — recomputation is cheap for a pure LUT program, so a
+    /// little patience beats failing a whole coalesced micro-batch.
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_retries: 2,
+            backoff: Duration::from_micros(200),
+            respawn: 1,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// No retries, no respawns: every transient failure surfaces
+    /// immediately and any replica panic quarantines — the pre-recovery
+    /// behaviour, useful for tests that pin first-failure semantics.
+    pub fn none() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_retries: 0,
+            backoff: Duration::ZERO,
+            respawn: 0,
+        }
+    }
+
+    /// Sets the per-rider retry budget.
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: u32) -> RecoveryPolicy {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Sets the base backoff (doubled per attempt).
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: Duration) -> RecoveryPolicy {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Sets the per-replica respawn budget.
+    #[must_use]
+    pub fn with_respawn(mut self, respawn: u32) -> RecoveryPolicy {
+        self.respawn = respawn;
+        self
+    }
+
+    /// The hold-off before a rider that has already failed `attempts`
+    /// times may dispatch again: `backoff * 2^attempts`, saturating.
+    pub(crate) fn backoff_for(&self, attempts: u32) -> Duration {
+        self.backoff.saturating_mul(1u32 << attempts.min(16))
+    }
+}
+
+/// A [`ReplicaPool`]'s degradation snapshot, surfaced through
+/// [`ReplicaPool::health`] and in [`SessionStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolHealth {
+    /// Replicas currently alive and serving.
+    pub healthy: usize,
+    /// Replicas retired after crashing through their respawn budget.
+    pub quarantined: usize,
+    /// Successful in-place replica respawns so far.
+    pub restarts: u64,
+}
+
 /// The full serving policy of a [`ReplicaPool`]: how many replicas,
-/// the coalescing/backpressure bounds they share, and the fairness
-/// discipline that fills micro-batches.
+/// the coalescing/backpressure bounds they share, the fairness
+/// discipline that fills micro-batches, and the recovery contract for
+/// transient failures and crashes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServePolicy {
     /// Backend replicas to build, one per scheduler thread (clamped to
@@ -110,17 +223,20 @@ pub struct ServePolicy {
     pub queue: QueuePolicy,
     /// How micro-batches are filled from the pending queue.
     pub fairness: Fairness,
+    /// Retry, backoff and respawn behaviour under faults.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for ServePolicy {
-    /// One replica, the default [`QueuePolicy`], FIFO fairness — the
-    /// exact behaviour of a plain
-    /// [`ServeQueue`](crate::queue::ServeQueue).
+    /// One replica, the default [`QueuePolicy`], FIFO fairness and the
+    /// default [`RecoveryPolicy`] — the behaviour of a plain
+    /// [`ServeQueue`](crate::queue::ServeQueue), plus retries.
     fn default() -> ServePolicy {
         ServePolicy {
             replicas: 1,
             queue: QueuePolicy::default(),
             fairness: Fairness::Fifo,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -144,6 +260,13 @@ impl ServePolicy {
     #[must_use]
     pub fn with_fairness(mut self, fairness: Fairness) -> ServePolicy {
         self.fairness = fairness;
+        self
+    }
+
+    /// Sets the retry/backoff/respawn behaviour.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> ServePolicy {
+        self.recovery = recovery;
         self
     }
 
@@ -204,6 +327,12 @@ struct PendingRequest {
     /// instant is unrepresentable (e.g. `max_linger == Duration::MAX`,
     /// "wait until the batch fills").
     dispatch_by: Option<Instant>,
+    /// Failed attempts so far; compared against
+    /// [`RecoveryPolicy::max_retries`] when the next one fails.
+    attempts: u32,
+    /// Until when this re-queued rider is held back (exponential
+    /// backoff). `None` for fresh submissions: dispatch any time.
+    retry_at: Option<Instant>,
 }
 
 /// The replica/submitter shared state.
@@ -220,6 +349,14 @@ struct PoolState {
     max_depth_seen: u64,
     /// `false` once the pool stops accepting submissions.
     open: bool,
+    /// Replica threads still in their serve loop (healthy capacity).
+    /// Hits 0 only when every replica exited — drained out after
+    /// `close()`, or quarantined.
+    live: usize,
+    /// Replicas retired after crashing through their respawn budget.
+    quarantined: usize,
+    /// Successful in-place replica respawns.
+    restarts: u64,
     /// Client served last by round-robin coalescing; the next
     /// micro-batch resumes the cycle after it.
     rr_last: Option<u64>,
@@ -231,7 +368,7 @@ struct PoolState {
 
 struct PoolShared {
     state: Mutex<PoolState>,
-    /// Signalled on every submission and on close.
+    /// Signalled on every submission, resolution, re-queue and close.
     work: Condvar,
     stats: Mutex<SessionStats>,
     /// When the pool opened — the denominator of per-replica
@@ -246,6 +383,23 @@ impl PoolShared {
         // refusing to look at it would leak every outstanding ticket.
         self.state.lock().unwrap_or_else(|p| p.into_inner())
     }
+
+    fn health(&self, replicas: usize) -> PoolHealth {
+        let state = self.lock_state();
+        PoolHealth {
+            healthy: state.live.min(replicas),
+            quarantined: state.quarantined,
+            restarts: state.restarts,
+        }
+    }
+}
+
+/// What one replica thread is seeded with: the one-shot constructor for
+/// its first backend, plus (for recipe-built pools) the rebuildable
+/// recipe that makes post-panic respawn possible.
+struct ReplicaSeed {
+    initial: BackendFactory,
+    rebuild: Option<ReplicaFactory>,
 }
 
 /// A pool of backend replicas serving one shared submission queue.
@@ -259,7 +413,7 @@ pub struct ReplicaPool {
     shared: Arc<PoolShared>,
     policy: ServePolicy,
     ns: usize,
-    replicas: Vec<JoinHandle<()>>,
+    replicas: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl ReplicaPool {
@@ -269,6 +423,11 @@ impl ReplicaPool {
     /// `factories.len()` — the factories are the ground truth. `ns` is
     /// the pipeline-stage count submissions are checked against at
     /// submit time.
+    ///
+    /// Factory-built replicas cannot be respawned after a panic (the
+    /// [`BackendFactory`] is one-shot); they quarantine on the first
+    /// crash. Use [`from_recipes`](ReplicaPool::from_recipes) when the
+    /// backend can be rebuilt.
     ///
     /// # Errors
     ///
@@ -282,13 +441,55 @@ impl ReplicaPool {
         ns: usize,
         factories: Vec<BackendFactory>,
     ) -> Result<ReplicaPool, BackendError> {
-        if factories.is_empty() {
+        let seeds = factories
+            .into_iter()
+            .map(|initial| ReplicaSeed {
+                initial,
+                rebuild: None,
+            })
+            .collect();
+        ReplicaPool::spawn(policy, ns, seeds)
+    }
+
+    /// Like [`from_factories`](ReplicaPool::from_factories), but every
+    /// replica keeps its (cloneable) recipe, so a replica whose backend
+    /// panics is rebuilt in place up to the
+    /// [`RecoveryPolicy::respawn`] budget instead of quarantining on
+    /// the first crash.
+    ///
+    /// # Errors
+    ///
+    /// As [`from_factories`](ReplicaPool::from_factories).
+    pub fn from_recipes(
+        policy: ServePolicy,
+        ns: usize,
+        recipes: Vec<ReplicaFactory>,
+    ) -> Result<ReplicaPool, BackendError> {
+        let seeds = recipes
+            .into_iter()
+            .map(|recipe| ReplicaSeed {
+                initial: Box::new({
+                    let recipe = Arc::clone(&recipe);
+                    move || recipe()
+                }),
+                rebuild: Some(recipe),
+            })
+            .collect();
+        ReplicaPool::spawn(policy, ns, seeds)
+    }
+
+    fn spawn(
+        policy: ServePolicy,
+        ns: usize,
+        seeds: Vec<ReplicaSeed>,
+    ) -> Result<ReplicaPool, BackendError> {
+        if seeds.is_empty() {
             return Err(BackendError::QueueUnavailable {
                 reason: "a replica pool needs at least one backend factory".into(),
             });
         }
         let policy = ServePolicy {
-            replicas: factories.len(),
+            replicas: seeds.len(),
             ..policy
         }
         .normalised();
@@ -299,6 +500,9 @@ impl ReplicaPool {
                 outstanding: 0,
                 max_depth_seen: 0,
                 open: true,
+                live: seeds.len(),
+                quarantined: 0,
+                restarts: 0,
                 rr_last: None,
                 wakeups: 0,
             }),
@@ -306,26 +510,29 @@ impl ReplicaPool {
             stats: Mutex::new(SessionStats::default()),
             started: Instant::now(),
         });
-        let mut replicas = Vec::with_capacity(factories.len());
-        let mut readiness = Vec::with_capacity(factories.len());
-        for (index, factory) in factories.into_iter().enumerate() {
+        let mut replicas = Vec::with_capacity(seeds.len());
+        let mut readiness = Vec::with_capacity(seeds.len());
+        for (index, seed) in seeds.into_iter().enumerate() {
             let (ready_tx, ready_rx) = mpsc::channel::<Result<(), BackendError>>();
             let shared = Arc::clone(&shared);
             let policy = policy.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("maddpipe-replica-{index}"))
                 .spawn(move || {
-                    let backend = match factory() {
+                    let backend = match (seed.initial)() {
                         Ok(backend) => {
                             let _ = ready_tx.send(Ok(()));
                             backend
                         }
                         Err(e) => {
                             let _ = ready_tx.send(Err(e));
+                            // Never entered the serve loop: this thread
+                            // was healthy capacity until now.
+                            shared.lock_state().live -= 1;
                             return;
                         }
                     };
-                    replica_loop(&shared, &policy, index, backend);
+                    replica_loop(&shared, &policy, index, backend, seed.rebuild);
                 })
                 .expect("the host can spawn a replica thread");
             replicas.push(handle);
@@ -356,7 +563,7 @@ impl ReplicaPool {
             shared,
             policy,
             ns,
-            replicas,
+            replicas: Mutex::new(replicas),
         })
     }
 
@@ -383,7 +590,8 @@ impl ReplicaPool {
     /// with [`QueueLimit::Tokens`] when queued tokens would exceed
     /// [`QueuePolicy::max_pending_tokens`] (a request submitted to an
     /// *empty* waiting room is always admitted, mirroring the oversized
-    /// `max_batch` rule, so a large batch can never be starved); and
+    /// `max_batch` rule, so a large batch can never be starved; a batch
+    /// that *exactly* fills the remaining token room admits); and
     /// [`BackendError::QueueClosed`] after
     /// [`close`](ReplicaPool::close)/[`shutdown`](ReplicaPool::shutdown).
     pub fn submit_with(
@@ -429,6 +637,8 @@ impl ReplicaPool {
                 submitted,
                 client: opts.client,
                 dispatch_by: submitted.checked_add(linger),
+                attempts: 0,
+                retry_at: None,
             });
         }
         self.shared.work.notify_all();
@@ -451,18 +661,35 @@ impl ReplicaPool {
         self.ns
     }
 
+    /// The pool's current degradation snapshot: live replicas,
+    /// quarantined replicas, and successful respawns so far.
+    pub fn health(&self) -> PoolHealth {
+        self.shared.health(self.policy.replicas)
+    }
+
     /// A snapshot of the aggregate statistics so far: everything a
     /// [`ServeQueue`](crate::queue::ServeQueue) measures, plus
-    /// per-replica dispatch counts and busy time against the pool's
-    /// uptime.
+    /// per-replica dispatch counts, busy time against the pool's
+    /// uptime, and the [`PoolHealth`] degradation picture.
     pub fn stats(&self) -> SessionStats {
         // Fold in any backlog high-water mark the replicas have not
         // absorbed yet (state lock strictly before stats lock, the
         // crate-wide order).
-        let depth_seen = self.shared.lock_state().max_depth_seen;
+        let (depth_seen, health) = {
+            let state = self.shared.lock_state();
+            (
+                state.max_depth_seen,
+                PoolHealth {
+                    healthy: state.live.min(self.policy.replicas),
+                    quarantined: state.quarantined,
+                    restarts: state.restarts,
+                },
+            )
+        };
         let mut stats = self.shared.stats.lock().expect("stats lock").clone();
         stats.record_queue_depth(depth_seen);
         stats.note_pool(self.policy.replicas, self.shared.started.elapsed());
+        stats.note_pool_health(health);
         stats
     }
 
@@ -470,7 +697,8 @@ impl ReplicaPool {
     /// [`BackendError::QueueClosed`]) while the replicas drain every
     /// request already accepted. Does not block; pair with
     /// [`shutdown`](ReplicaPool::shutdown) or ticket waits to observe
-    /// the drain finishing.
+    /// the drain finishing. Idempotent and safe to call concurrently
+    /// from any number of threads.
     pub fn close(&self) {
         self.shared.lock_state().open = false;
         self.shared.work.notify_all();
@@ -478,12 +706,29 @@ impl ReplicaPool {
 
     /// Closes the pool, waits for every replica to drain and resolve
     /// every accepted ticket, and returns the final statistics.
-    pub fn shutdown(mut self) -> SessionStats {
+    /// Idempotent with respect to concurrent [`close`] calls: however
+    /// many threads raced it, the drain happens once.
+    ///
+    /// [`close`]: ReplicaPool::close
+    pub fn shutdown(self) -> SessionStats {
         self.close();
-        for handle in self.replicas.drain(..) {
+        self.join_replicas();
+        self.stats()
+    }
+
+    /// Joins every replica thread exactly once, whichever of
+    /// [`shutdown`](ReplicaPool::shutdown) and `Drop` gets there first.
+    fn join_replicas(&self) {
+        let handles: Vec<JoinHandle<()>> = {
+            let mut replicas = self
+                .replicas
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner());
+            replicas.drain(..).collect()
+        };
+        for handle in handles {
             let _ = handle.join();
         }
-        self.stats()
     }
 
     /// Seeds the statistics (used by
@@ -507,9 +752,7 @@ impl Drop for ReplicaPool {
     /// disappears.
     fn drop(&mut self) {
         self.close();
-        for handle in self.replicas.drain(..) {
-            let _ = handle.join();
-        }
+        self.join_replicas();
     }
 }
 
@@ -519,13 +762,14 @@ impl core::fmt::Debug for ReplicaPool {
             .field("policy", &self.policy)
             .field("ns", &self.ns)
             .field("depth", &self.depth())
+            .field("health", &self.health())
             .finish_non_exhaustive()
     }
 }
 
 /// A replica's per-micro-batch guard: settles the backpressure
 /// accounting exactly once and, if dropped with tickets still armed (a
-/// backend that panicked mid-run), fails them with
+/// replica unwinding out of its own scheduling code), fails them with
 /// [`BackendError::QueueClosed`] — so neither `outstanding` nor any
 /// accepted ticket can leak, whichever way the micro-batch ends.
 struct BatchInFlight<'a> {
@@ -535,12 +779,29 @@ struct BatchInFlight<'a> {
 }
 
 impl BatchInFlight<'_> {
-    /// Frees the micro-batch's backpressure capacity (idempotent).
+    /// Frees the whole micro-batch's backpressure capacity (idempotent).
     fn settle(&mut self) {
-        if self.unsettled > 0 {
-            self.shared.lock_state().outstanding -= self.unsettled;
-            self.unsettled = 0;
+        self.settle_n(self.unsettled);
+    }
+
+    /// Frees `n` riders' backpressure slots — the riders whose tickets
+    /// are about to resolve.
+    fn settle_n(&mut self, n: usize) {
+        let n = n.min(self.unsettled);
+        if n > 0 {
+            self.shared.lock_state().outstanding -= n;
+            self.unsettled -= n;
+            // Wake drain-waiting replicas: `outstanding` reaching zero
+            // is part of their exit condition.
+            self.shared.work.notify_all();
         }
+    }
+
+    /// Hands `n` riders' slots back to the waiting room *without*
+    /// freeing them: a re-queued rider is still unresolved and still
+    /// counted by `max_depth`.
+    fn transfer_n(&mut self, n: usize) {
+        self.unsettled = self.unsettled.saturating_sub(n);
     }
 }
 
@@ -553,55 +814,125 @@ impl Drop for BatchInFlight<'_> {
     }
 }
 
-/// Closes the pool and fails whatever is still pending with
-/// [`BackendError::QueueClosed`] when a replica exits — the safety net
-/// for a replica that unwinds out of its loop (a panicking custom
-/// backend): the whole pool closes rather than serving degraded, and
-/// the surviving replicas drain out behind it. On a normal drain the
-/// pending queue is already empty.
-struct CloseOnDrop<'a> {
-    shared: &'a PoolShared,
-}
-
-impl Drop for CloseOnDrop<'_> {
-    fn drop(&mut self) {
-        let mut state = self.shared.lock_state();
-        state.open = false;
-        let abandoned: Vec<PendingRequest> = state.pending.drain(..).collect();
-        state.pending_tokens = 0;
-        state.outstanding = state.outstanding.saturating_sub(abandoned.len());
+/// Takes one replica out of service — the single exit path of every
+/// replica thread, crash or drain. Only when the *last* live replica
+/// leaves does the pool close and fail the backlog with
+/// [`BackendError::QueueClosed`]; until then the survivors keep
+/// draining at reduced capacity.
+fn retire(shared: &PoolShared, quarantine: bool) {
+    let mut state = shared.lock_state();
+    state.live = state.live.saturating_sub(1);
+    if quarantine {
+        state.quarantined += 1;
+    }
+    if state.live > 0 {
         drop(state);
-        self.shared.work.notify_all();
-        for request in abandoned {
-            request.ticket.resolve(Err(BackendError::QueueClosed));
-        }
+        shared.work.notify_all();
+        return;
+    }
+    // Zero replicas remain: nothing can serve the backlog any more.
+    state.open = false;
+    let abandoned: Vec<PendingRequest> = state.pending.drain(..).collect();
+    state.pending_tokens = 0;
+    state.outstanding = state.outstanding.saturating_sub(abandoned.len());
+    drop(state);
+    shared.work.notify_all();
+    for request in abandoned {
+        request.ticket.resolve(Err(BackendError::QueueClosed));
     }
 }
 
-/// The earliest dispatch deadline across the waiting room — the instant
-/// a replica must stop lingering. `None` when every pending request may
-/// linger without bound.
-fn earliest_deadline(pending: &VecDeque<PendingRequest>) -> Option<Instant> {
-    pending.iter().filter_map(|r| r.dispatch_by).min()
+/// Guarantees [`retire`] runs exactly once per replica thread, even if
+/// the scheduling code itself unwinds. A normal drain exit clears
+/// `quarantine` first; any other way out counts as a crash.
+struct ReplicaExit<'a> {
+    shared: &'a PoolShared,
+    quarantine: bool,
+}
+
+impl Drop for ReplicaExit<'_> {
+    fn drop(&mut self) {
+        retire(self.shared, self.quarantine);
+    }
+}
+
+/// What a replica's scan of the waiting room found: how many tokens are
+/// dispatchable right now, the earliest dispatch deadline among them,
+/// and the earliest instant a held (backing-off) rider matures.
+struct RoomScan {
+    eligible_tokens: usize,
+    next_deadline: Option<Instant>,
+    next_retry: Option<Instant>,
+}
+
+/// Scans the waiting room at `now`. A rider still inside its backoff
+/// window is *held*, and holds every later pending request of the same
+/// client with it — that is what preserves per-client order across
+/// retries. Requests of other clients stay eligible.
+fn scan_room(state: &PoolState, now: Instant) -> RoomScan {
+    let mut held_clients: Vec<u64> = Vec::new();
+    let mut scan = RoomScan {
+        eligible_tokens: 0,
+        next_deadline: None,
+        next_retry: None,
+    };
+    for request in &state.pending {
+        if held_clients.contains(&request.client) {
+            continue;
+        }
+        match request.retry_at {
+            Some(at) if at > now => {
+                held_clients.push(request.client);
+                scan.next_retry = Some(scan.next_retry.map_or(at, |b| b.min(at)));
+            }
+            _ => {
+                scan.eligible_tokens += request.batch.len();
+                if let Some(deadline) = request.dispatch_by {
+                    scan.next_deadline =
+                        Some(scan.next_deadline.map_or(deadline, |b| b.min(deadline)));
+                }
+            }
+        }
+    }
+    scan
 }
 
 /// Fills one micro-batch from the waiting room under the policy's
 /// fairness discipline. Whole requests only, up to `max_batch` tokens
-/// (a single oversized request rides alone). Returns the picked
-/// requests and their total token count.
-fn coalesce(state: &mut PoolState, policy: &ServePolicy) -> (Vec<PendingRequest>, usize) {
+/// (a single oversized request rides alone); riders still backing off —
+/// and their clients' later requests — are left queued. Returns the
+/// picked requests and their total token count.
+fn coalesce(
+    state: &mut PoolState,
+    policy: &ServePolicy,
+    now: Instant,
+) -> (Vec<PendingRequest>, usize) {
+    let mut held: Vec<u64> = Vec::new();
+    for request in &state.pending {
+        if request.retry_at.is_some_and(|at| at > now) && !held.contains(&request.client) {
+            held.push(request.client);
+        }
+    }
     let mut picked = Vec::new();
     let mut total = 0usize;
     match policy.fairness {
         Fairness::Fifo => {
-            while let Some(next) = state.pending.front() {
-                if !picked.is_empty() && total + next.batch.len() > policy.queue.max_batch {
+            let mut index = 0usize;
+            while index < state.pending.len() {
+                let request = &state.pending[index];
+                if held.contains(&request.client) {
+                    index += 1;
+                    continue;
+                }
+                let len = request.batch.len();
+                if !picked.is_empty() && total + len > policy.queue.max_batch {
                     break;
                 }
-                let request = state.pending.pop_front().expect("front exists");
-                state.pending_tokens -= request.batch.len();
-                total += request.batch.len();
+                let request = state.pending.remove(index).expect("index exists");
+                state.pending_tokens -= len;
+                total += len;
                 picked.push(request);
+                // The removal shifted the next candidate into `index`.
             }
         }
         Fairness::RoundRobin => {
@@ -609,7 +940,7 @@ fn coalesce(state: &mut PoolState, policy: &ServePolicy) -> (Vec<PendingRequest>
             // cycle resumed just past the last client served.
             let mut clients: Vec<u64> = Vec::new();
             for request in &state.pending {
-                if !clients.contains(&request.client) {
+                if !held.contains(&request.client) && !clients.contains(&request.client) {
                     clients.push(request.client);
                 }
             }
@@ -645,50 +976,163 @@ fn coalesce(state: &mut PoolState, policy: &ServePolicy) -> (Vec<PendingRequest>
     (picked, total)
 }
 
+/// A picked request's bookkeeping while its tokens ride a micro-batch.
+struct Rider {
+    len: usize,
+    ticket: Arc<TicketCell>,
+    submitted: Instant,
+    client: u64,
+    dispatch_by: Option<Instant>,
+    attempts: u32,
+    queue_wait: Duration,
+}
+
+/// The retry path: a micro-batch failed transiently (typed transient
+/// error or replica panic). Each rider with budget left is re-queued at
+/// the *front* of the waiting room — original order, original ticket,
+/// original deadline — held back by an exponential backoff; riders out
+/// of budget resolve with the typed error.
+#[allow(clippy::too_many_arguments)]
+fn retry_or_fail(
+    shared: &PoolShared,
+    policy: &ServePolicy,
+    replica: usize,
+    guard: &mut BatchInFlight<'_>,
+    riders: Vec<Rider>,
+    micro: TokenBatch,
+    error: &BackendError,
+    service: Duration,
+    depth_seen: u64,
+) {
+    let recovery = &policy.recovery;
+    let now = Instant::now();
+    let mut tokens = micro.into_tokens().into_iter();
+    let mut requeued: Vec<PendingRequest> = Vec::new();
+    let mut failed: Vec<Arc<TicketCell>> = Vec::new();
+    let mut failed_tokens = 0usize;
+    let mut failed_waits: Vec<Duration> = Vec::new();
+    for rider in riders {
+        // The riders' batches were consumed building the micro-batch;
+        // carve them back out of it, in order.
+        let batch_tokens: Vec<Token> = tokens.by_ref().take(rider.len).collect();
+        if rider.attempts < recovery.max_retries {
+            requeued.push(PendingRequest {
+                batch: TokenBatch::new(batch_tokens).expect("riders carry at least one token"),
+                ticket: rider.ticket,
+                submitted: rider.submitted,
+                client: rider.client,
+                dispatch_by: rider.dispatch_by,
+                attempts: rider.attempts + 1,
+                retry_at: now.checked_add(recovery.backoff_for(rider.attempts)),
+            });
+        } else {
+            failed_tokens += rider.len;
+            failed_waits.push(rider.queue_wait);
+            failed.push(rider.ticket);
+        }
+    }
+    let retried = requeued.len() as u64;
+    // Re-queued riders keep their backpressure slots (still unresolved);
+    // failed riders free theirs before their tickets resolve, so a woken
+    // submitter deterministically finds the room open.
+    guard.transfer_n(requeued.len());
+    guard.settle_n(failed.len());
+    if !requeued.is_empty() {
+        let mut state = shared.lock_state();
+        state.pending_tokens += requeued.iter().map(|r| r.batch.len()).sum::<usize>();
+        for request in requeued.into_iter().rev() {
+            state.pending.push_front(request);
+        }
+        drop(state);
+        shared.work.notify_all();
+    }
+    {
+        let mut stats = shared.stats.lock().expect("stats lock");
+        stats.record_retries(retried);
+        if failed_tokens > 0 {
+            // Only riders that actually resolve count queue-side here;
+            // a retried rider is absorbed once, on its final attempt.
+            stats.absorb_queue_side(failed_tokens, &failed_waits);
+        }
+        stats.record_queue_depth(depth_seen);
+        stats.record_replica_dispatch(replica, service);
+    }
+    for ticket in failed {
+        ticket.resolve(Err(error.clone()));
+    }
+    guard.tickets.clear();
+}
+
 /// One replica's loop: collect → coalesce → run → split → resolve,
-/// until the pool is closed *and* drained.
+/// retrying transient failures and surviving backend panics, until the
+/// pool is closed *and* nothing unresolved remains.
 fn replica_loop(
     shared: &PoolShared,
     policy: &ServePolicy,
     replica: usize,
     mut backend: Box<dyn MacroBackend>,
+    rebuild: Option<ReplicaFactory>,
 ) {
-    let _drain_guard = CloseOnDrop { shared };
+    let mut exit = ReplicaExit {
+        shared,
+        quarantine: true,
+    };
+    let mut respawns_left = if rebuild.is_some() {
+        policy.recovery.respawn
+    } else {
+        0
+    };
     loop {
         // ── Collect: wait for work, linger for a fuller micro-batch ──
         let mut state = shared.lock_state();
         loop {
             state.wakeups += 1;
-            if !state.pending.is_empty() {
-                if state.pending_tokens >= policy.queue.max_batch || !state.open {
-                    break;
+            if state.pending.is_empty() {
+                if !state.open && state.outstanding == 0 {
+                    // Closed and nothing unresolved anywhere — no rider
+                    // mid-service on a sibling can be re-queued on us.
+                    exit.quarantine = false;
+                    return;
                 }
-                // An unrepresentable deadline across the whole waiting
-                // room ("wait until the batch fills") degrades to an
-                // untimed wait — more work or close() wakes us.
-                let Some(deadline) = earliest_deadline(&state.pending) else {
-                    state = shared.work.wait(state).unwrap_or_else(|p| p.into_inner());
-                    continue;
-                };
-                let left = deadline.saturating_duration_since(Instant::now());
-                if left.is_zero() {
-                    break;
-                }
-                let (s, _) = shared
-                    .work
-                    .wait_timeout(state, left)
-                    .unwrap_or_else(|p| p.into_inner());
-                state = s;
-            } else if !state.open {
-                // Closed and drained: every accepted ticket has resolved.
-                return;
-            } else {
                 state = shared.work.wait(state).unwrap_or_else(|p| p.into_inner());
+                continue;
             }
+            let now = Instant::now();
+            let scan = scan_room(&state, now);
+            if scan.eligible_tokens > 0
+                && (scan.eligible_tokens >= policy.queue.max_batch || !state.open)
+            {
+                break;
+            }
+            // Wake at the earlier of the dispatch deadline and the first
+            // backing-off rider maturing; an unrepresentable deadline
+            // across the whole room ("wait until the batch fills")
+            // degrades to an untimed wait — work or close() wakes us.
+            let wake = match (scan.next_deadline, scan.next_retry) {
+                (Some(d), Some(r)) => Some(d.min(r)),
+                (d, r) => d.or(r),
+            };
+            let Some(wake) = wake else {
+                state = shared.work.wait(state).unwrap_or_else(|p| p.into_inner());
+                continue;
+            };
+            let left = wake.saturating_duration_since(now);
+            if left.is_zero() {
+                if scan.eligible_tokens > 0 {
+                    break;
+                }
+                // A held rider just matured; rescan makes it eligible.
+                continue;
+            }
+            let (s, _) = shared
+                .work
+                .wait_timeout(state, left)
+                .unwrap_or_else(|p| p.into_inner());
+            state = s;
         }
 
         // ── Coalesce: whole requests per the fairness discipline ──
-        let (picked, total) = coalesce(&mut state, policy);
+        let (picked, total) = coalesce(&mut state, policy, Instant::now());
         let depth_seen = state.max_depth_seen;
         drop(state);
         if picked.is_empty() {
@@ -708,27 +1152,36 @@ fn replica_loop(
         };
         let dispatched = Instant::now();
         let mut tokens: Vec<Token> = Vec::with_capacity(total);
-        let mut parts: Vec<(usize, Arc<TicketCell>, Duration)> = Vec::with_capacity(picked.len());
+        let mut riders: Vec<Rider> = Vec::with_capacity(picked.len());
         for request in picked {
-            parts.push((
-                request.batch.len(),
-                request.ticket,
-                dispatched.saturating_duration_since(request.submitted),
-            ));
+            riders.push(Rider {
+                len: request.batch.len(),
+                ticket: request.ticket,
+                submitted: request.submitted,
+                client: request.client,
+                dispatch_by: request.dispatch_by,
+                attempts: request.attempts,
+                queue_wait: dispatched.saturating_duration_since(request.submitted),
+            });
             tokens.extend(request.batch.into_tokens());
         }
         let micro = TokenBatch::new(tokens).expect("picked requests are non-empty");
-        let outcome = backend.run_batch(&micro);
+        // A panicking backend must not take the whole pool down with it:
+        // catch the unwind, re-queue the riders, and respawn or retire
+        // this replica. `AssertUnwindSafe` is sound here because the
+        // backend is discarded (rebuilt or retired) after any panic.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| backend.run_batch(&micro)));
         let service = dispatched.elapsed();
-
-        // Free backpressure capacity before resolving, so a submitter
-        // woken by its ticket deterministically finds the slot open.
-        guard.settle();
+        let waits: Vec<Duration> = riders.iter().map(|r| r.queue_wait).collect();
 
         // ── Split and resolve: each ticket gets its own token slice ──
-        let waits: Vec<Duration> = parts.iter().map(|(_, _, w)| *w).collect();
         match outcome {
-            Ok(result) if result.tokens.len() == micro.len() => {
+            Ok(Ok(result)) if result.tokens.len() == micro.len() => {
+                // Free backpressure capacity before resolving, so a
+                // submitter woken by its ticket deterministically finds
+                // the slot open.
+                guard.settle();
                 {
                     let mut stats = shared.stats.lock().expect("stats lock");
                     stats.absorb_queued(&result, service, &waits);
@@ -736,31 +1189,33 @@ fn replica_loop(
                     stats.record_replica_dispatch(replica, service);
                 }
                 let mut offset = 0usize;
-                for (len, ticket, queue_wait) in parts {
-                    let observations = result.tokens[offset..offset + len].to_vec();
-                    offset += len;
+                for rider in riders {
+                    let observations = result.tokens[offset..offset + rider.len].to_vec();
+                    offset += rider.len;
                     let energy = observations
                         .iter()
                         .map(|o| o.energy)
                         .collect::<Option<Vec<_>>>()
                         .and_then(|es| es.into_iter().reduce(|a, b| a + b));
-                    ticket.resolve(Ok(QueueReply {
+                    rider.ticket.resolve(Ok(QueueReply {
                         result: BatchResult {
                             backend: result.backend,
                             tokens: observations,
                             makespan: result.makespan,
                             energy,
                         },
-                        queue_wait,
+                        queue_wait: rider.queue_wait,
                         service,
                         coalesced_tokens: total,
                         replica,
                     }));
                 }
+                guard.tickets.clear();
             }
-            Ok(result) => {
+            Ok(Ok(result)) => {
                 // A custom backend broke the one-observation-per-token
                 // contract; a typed rejection beats mis-sliced outputs.
+                // Fatal, not transient: the backend would do it again.
                 let error = BackendError::MalformedProgram {
                     reason: format!(
                         "backend returned {} observations for a {}-token micro-batch",
@@ -768,33 +1223,86 @@ fn replica_loop(
                         micro.len()
                     ),
                 };
+                guard.settle();
                 {
                     let mut stats = shared.stats.lock().expect("stats lock");
                     stats.absorb_queue_side(micro.len(), &waits);
                     stats.record_queue_depth(depth_seen);
                     stats.record_replica_dispatch(replica, service);
                 }
-                for (_, ticket, _) in parts {
-                    ticket.resolve(Err(error.clone()));
+                for rider in riders {
+                    rider.ticket.resolve(Err(error.clone()));
                 }
+                guard.tickets.clear();
             }
-            Err(error) => {
-                // Whole-batch rejection: every rider gets the typed
-                // error. The queue-side stats still count the batch —
-                // its requests waited and resolved like any other; only
-                // the served-token measurements are success-only.
+            Ok(Err(error)) if error.is_transient() => {
+                retry_or_fail(
+                    shared, policy, replica, &mut guard, riders, micro, &error, service, depth_seen,
+                );
+            }
+            Ok(Err(error)) => {
+                // Whole-batch rejection with a fatal error: every rider
+                // gets it — retrying would fail identically. The
+                // queue-side stats still count the batch; only the
+                // served-token measurements are success-only.
+                guard.settle();
                 {
                     let mut stats = shared.stats.lock().expect("stats lock");
                     stats.absorb_queue_side(micro.len(), &waits);
                     stats.record_queue_depth(depth_seen);
                     stats.record_replica_dispatch(replica, service);
                 }
-                for (_, ticket, _) in parts {
-                    ticket.resolve(Err(error.clone()));
+                for rider in riders {
+                    rider.ticket.resolve(Err(error.clone()));
+                }
+                guard.tickets.clear();
+            }
+            Err(_panic) => {
+                // The backend panicked mid-service. The riders are
+                // blameless until proven otherwise: re-queue them under
+                // the retry budget (another replica — or this one, once
+                // respawned — picks them up).
+                retry_or_fail(
+                    shared,
+                    policy,
+                    replica,
+                    &mut guard,
+                    riders,
+                    micro,
+                    &BackendError::ReplicaPanicked,
+                    service,
+                    depth_seen,
+                );
+                // The panicked backend is poisoned; rebuild it from the
+                // recipe while the restart budget lasts, else retire.
+                let mut fresh = None;
+                if let Some(recipe) = rebuild.as_ref() {
+                    while fresh.is_none() && respawns_left > 0 {
+                        respawns_left -= 1;
+                        // A recipe that itself panics or errors burns a
+                        // respawn and tries again (or falls through to
+                        // quarantine).
+                        if let Ok(Ok(rebuilt)) =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| recipe()))
+                        {
+                            fresh = Some(rebuilt);
+                        }
+                    }
+                }
+                match fresh {
+                    Some(rebuilt) => {
+                        backend = rebuilt;
+                        shared.lock_state().restarts += 1;
+                        shared.work.notify_all();
+                    }
+                    None => {
+                        // Crash through the budget: quarantine via the
+                        // exit guard (`quarantine` is still true).
+                        return;
+                    }
                 }
             }
         }
-        guard.tickets.clear();
     }
 }
 
@@ -804,6 +1312,7 @@ mod tests {
     use crate::backend::BackendKind;
     use maddpipe_core::config::MacroConfig;
     use maddpipe_core::macro_rtl::MacroProgram;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// A pool of `replicas` functional backends over a tiny 2×2 macro.
     fn functional_pool(replicas: usize, policy: ServePolicy) -> (ReplicaPool, MacroProgram) {
@@ -873,6 +1382,11 @@ mod tests {
             matches!(err, BackendError::QueueUnavailable { .. }),
             "{err}"
         );
+        let err = ReplicaPool::from_recipes(ServePolicy::default(), 2, Vec::new()).unwrap_err();
+        assert!(
+            matches!(err, BackendError::QueueUnavailable { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -918,5 +1432,152 @@ mod tests {
         });
         let stats = pool.shutdown();
         assert_eq!(stats.tokens(), 45);
+    }
+
+    /// A backend that fails its first `flaky` calls with a transient
+    /// error, then serves correctly forever.
+    struct TransientlyFlaky {
+        inner: Box<dyn MacroBackend>,
+        failures_left: Arc<AtomicUsize>,
+    }
+
+    impl MacroBackend for TransientlyFlaky {
+        fn name(&self) -> &'static str {
+            "transiently-flaky"
+        }
+
+        fn run_batch(&mut self, batch: &TokenBatch) -> Result<BatchResult, BackendError> {
+            if self
+                .failures_left
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                return Err(BackendError::Transient {
+                    reason: "injected flake".into(),
+                });
+            }
+            self.inner.run_batch(batch)
+        }
+    }
+
+    /// A 1-replica pool whose backend flakes transiently `failures`
+    /// times before serving.
+    fn flaky_pool(failures: usize, recovery: RecoveryPolicy) -> (ReplicaPool, MacroProgram) {
+        let cfg = MacroConfig::new(2, 2);
+        let program = MacroProgram::random(2, 2, 11);
+        let failures = Arc::new(AtomicUsize::new(failures));
+        let factory: BackendFactory = Box::new({
+            let cfg = cfg.clone();
+            let program = program.clone();
+            let failures = Arc::clone(&failures);
+            move || {
+                Ok(Box::new(TransientlyFlaky {
+                    inner: BackendKind::Functional { workers: 1 }.build(&cfg, program)?,
+                    failures_left: failures,
+                }))
+            }
+        });
+        let policy = ServePolicy::default()
+            .with_recovery(recovery)
+            .with_queue(QueuePolicy::default().with_max_linger(Duration::ZERO));
+        let pool = ReplicaPool::from_factories(policy, 2, vec![factory]).expect("pool builds");
+        (pool, program)
+    }
+
+    #[test]
+    fn transient_failures_retry_to_success_within_budget() {
+        let recovery = RecoveryPolicy::default()
+            .with_max_retries(3)
+            .with_backoff(Duration::from_micros(50));
+        let (pool, program) = flaky_pool(2, recovery);
+        let batch = TokenBatch::random(2, 4, 5);
+        let reply = pool
+            .submit(batch.clone())
+            .unwrap()
+            .wait()
+            .expect("retried to success");
+        for (t, token) in batch.tokens().iter().enumerate() {
+            assert_eq!(
+                reply.result.tokens[t].outputs,
+                program.reference_output(token)
+            );
+        }
+        assert_eq!(pool.health().quarantined, 0);
+        let stats = pool.shutdown();
+        assert_eq!(stats.retries(), 2, "two flakes, two re-queues");
+        assert_eq!(stats.tokens(), 4, "the batch counts once despite retries");
+    }
+
+    #[test]
+    fn exhausted_retry_budgets_surface_the_typed_transient_error() {
+        // More injected failures than the budget allows: the ticket must
+        // resolve with the typed transient error, not hang or close.
+        let recovery = RecoveryPolicy::default()
+            .with_max_retries(1)
+            .with_backoff(Duration::from_micros(50));
+        let (pool, _) = flaky_pool(100, recovery);
+        let err = pool
+            .submit(TokenBatch::random(2, 4, 5))
+            .unwrap()
+            .wait()
+            .expect_err("budget exhausts");
+        assert!(
+            matches!(err, BackendError::Transient { .. }),
+            "exhausted retries surface the last typed error, got {err}"
+        );
+        // The pool is degraded-free and still serving: transient errors
+        // never quarantine a replica.
+        assert_eq!(pool.health().healthy, 1);
+        let stats = pool.shutdown();
+        assert_eq!(stats.retries(), 1);
+    }
+
+    #[test]
+    fn recovery_none_fails_fast_on_the_first_transient_error() {
+        let (pool, _) = flaky_pool(1, RecoveryPolicy::none());
+        let err = pool
+            .submit(TokenBatch::random(2, 4, 5))
+            .unwrap()
+            .wait()
+            .expect_err("no budget, no retry");
+        assert!(matches!(err, BackendError::Transient { .. }), "{err}");
+        let stats = pool.shutdown();
+        assert_eq!(stats.retries(), 0);
+    }
+
+    #[test]
+    fn concurrent_close_shutdown_and_drop_are_idempotent() {
+        let (pool, _) = functional_pool(2, ServePolicy::default());
+        // Accept a backlog, then race close() from many threads while
+        // submitters are still pushing: no panic, no leaked ticket.
+        let tickets: Vec<BatchTicket> = (0..8)
+            .map(|seed| pool.submit(TokenBatch::random(2, 2, seed)).unwrap())
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = &pool;
+                s.spawn(move || pool.close());
+            }
+            for seed in 0..4 {
+                let pool = &pool;
+                s.spawn(move || {
+                    // Racing submissions either get served or see the
+                    // closed queue — never a panic or a hang.
+                    match pool.submit(TokenBatch::random(2, 2, 100 + seed)) {
+                        Ok(ticket) => {
+                            let _ = ticket.wait();
+                        }
+                        Err(e) => assert_eq!(e, BackendError::QueueClosed),
+                    }
+                });
+            }
+        });
+        pool.close(); // close-after-close is a no-op
+        for ticket in tickets {
+            // Everything accepted before the close drains to a result.
+            ticket.wait().expect("accepted work drains");
+        }
+        let stats = pool.shutdown();
+        assert!(stats.tokens() >= 16);
     }
 }

@@ -35,8 +35,11 @@
 //! * **Coalescing.** The dispatcher packs whole requests, FIFO, into a
 //!   micro-batch of up to [`QueuePolicy::max_batch`] tokens, lingering up
 //!   to [`QueuePolicy::max_linger`] past the oldest submission to let a
-//!   fuller batch form. A backend failure resolves *every* ticket that
-//!   rode in the failed micro-batch with a clone of the typed error.
+//!   fuller batch form. A *fatal* backend failure resolves every ticket
+//!   that rode in the failed micro-batch with a clone of the typed
+//!   error; a *transient* one (see [`BackendError::is_transient`]) is
+//!   first retried with backoff under the underlying pool's default
+//!   [`RecoveryPolicy`](crate::pool::RecoveryPolicy), riders intact.
 //! * **Clean shutdown.** [`close`](ServeQueue::close) stops intake while
 //!   the dispatcher drains what was already accepted;
 //!   [`shutdown`](ServeQueue::shutdown) (and `Drop`) additionally joins
@@ -362,6 +365,15 @@ impl ServeQueue {
     /// checked against at `submit` time, so one malformed request is
     /// rejected at its own call site instead of poisoning a coalesced
     /// micro-batch.
+    ///
+    /// The queue runs the default
+    /// [`RecoveryPolicy`](crate::pool::RecoveryPolicy): transiently
+    /// failed micro-batches are retried with backoff before any ticket
+    /// sees the error. Being factory-built (one-shot, possibly
+    /// non-`Send`), the single replica cannot be respawned — a panic
+    /// retires it and closes the queue. Use
+    /// [`ReplicaPool::from_recipes`](crate::pool::ReplicaPool::from_recipes)
+    /// when crash-respawn matters.
     ///
     /// # Errors
     ///

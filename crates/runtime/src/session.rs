@@ -12,12 +12,13 @@
 use crate::backend::{validate_program, BackendFactory, BackendKind, MacroBackend};
 use crate::batch::{BatchResult, TokenBatch};
 use crate::error::BackendError;
-use crate::pool::{ReplicaPool, ServePolicy};
+use crate::pool::{PoolHealth, ReplicaFactory, ReplicaPool, ServePolicy};
 use crate::queue::{QueuePolicy, ServeQueue};
 use core::fmt;
 use maddpipe_core::config::MacroConfig;
 use maddpipe_core::macro_rtl::{AcceleratorRtl, MacroProgram};
 use maddpipe_tech::units::{Joules, Seconds};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Builder for a [`Session`]; see [`Session::builder`].
@@ -92,10 +93,13 @@ impl SessionBuilder {
 
     /// Builds straight into a [`ReplicaPool`]: the program is validated
     /// here (fail fast, on the caller's thread) and the `(program,
-    /// kind)` recipe is cloned into [`ServePolicy::replicas`] factories,
-    /// each constructing its backend on its own replica thread. Prefer
-    /// this over `build()?.into_pool(policy)` when the session is only
-    /// ever used through the pool.
+    /// kind)` recipe is cloned into [`ServePolicy::replicas`] rebuildable
+    /// recipes, each constructing its backend on its own replica thread.
+    /// Because the recipe stays callable, the pool can respawn a replica
+    /// whose backend panicked, up to the
+    /// [`RecoveryPolicy`](crate::pool::RecoveryPolicy) restart budget.
+    /// Prefer this over `build()?.into_pool(policy)` when the session is
+    /// only ever used through the pool.
     ///
     /// # Errors
     ///
@@ -108,15 +112,15 @@ impl SessionBuilder {
         let cfg = self.cfg;
         let ns = cfg.ns;
         let kind = self.kind;
-        let factories = (0..policy.replicas.max(1))
+        let recipes = (0..policy.replicas.max(1))
             .map(|_| {
                 let cfg = cfg.clone();
                 let program = program.clone();
-                let factory: BackendFactory = Box::new(move || kind.build(&cfg, program));
-                factory
+                let recipe: ReplicaFactory = Arc::new(move || kind.build(&cfg, program.clone()));
+                recipe
             })
             .collect();
-        ReplicaPool::from_factories(policy, ns, factories)
+        ReplicaPool::from_recipes(policy, ns, recipes)
     }
 }
 
@@ -202,8 +206,11 @@ impl Session {
     /// Converts this session into a [`ReplicaPool`] of
     /// [`ServePolicy::replicas`] backends, each rebuilt from the
     /// session's `(program, backend kind)` recipe on its own replica
-    /// thread. The statistics accumulated so far carry over and keep
-    /// growing as the pool serves.
+    /// thread. The recipe stays callable, so the pool can respawn a
+    /// replica whose backend panicked (up to the
+    /// [`RecoveryPolicy`](crate::pool::RecoveryPolicy) restart budget).
+    /// The statistics accumulated so far carry over and keep growing as
+    /// the pool serves.
     ///
     /// # Errors
     ///
@@ -220,15 +227,15 @@ impl Session {
         })?;
         let cfg = self.cfg;
         let ns = cfg.ns;
-        let factories = (0..policy.replicas.max(1))
+        let recipes = (0..policy.replicas.max(1))
             .map(|_| {
                 let cfg = cfg.clone();
                 let program = program.clone();
-                let factory: BackendFactory = Box::new(move || kind.build(&cfg, program));
-                factory
+                let recipe: ReplicaFactory = Arc::new(move || kind.build(&cfg, program.clone()));
+                recipe
             })
             .collect();
-        let pool = ReplicaPool::from_factories(policy, ns, factories)?;
+        let pool = ReplicaPool::from_recipes(policy, ns, recipes)?;
         pool.seed_stats(self.stats);
         Ok(pool)
     }
@@ -317,6 +324,10 @@ pub struct SessionStats {
     replica_busy: Vec<Duration>,
     /// How long the pool has been open — the utilisation denominator.
     pool_uptime: Duration,
+    /// Riders re-queued after a transient failure or replica panic.
+    retries: u64,
+    /// The pool's degradation snapshot at stats time.
+    pool_health: PoolHealth,
 }
 
 impl SessionStats {
@@ -398,6 +409,17 @@ impl SessionStats {
             self.replica_busy.resize(replicas, Duration::ZERO);
         }
         self.pool_uptime = self.pool_uptime.max(uptime);
+    }
+
+    /// Counts riders re-queued for retry after a transient failure or a
+    /// replica panic.
+    pub(crate) fn record_retries(&mut self, retried: u64) {
+        self.retries += retried;
+    }
+
+    /// Notes the pool's degradation snapshot at stats time.
+    pub(crate) fn note_pool_health(&mut self, health: PoolHealth) {
+        self.pool_health = health;
     }
 
     /// Tokens run so far.
@@ -508,6 +530,21 @@ impl SessionStats {
         self.pool_uptime
     }
 
+    /// Riders re-queued for retry after a transient failure or replica
+    /// panic. A request that eventually succeeds still counts its
+    /// tokens exactly once — retries measure recovery work, not served
+    /// traffic.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The pool's degradation snapshot when these stats were taken:
+    /// live replicas, quarantined replicas, successful respawns.
+    /// Default (all zeros) when the stats did not come from a pool.
+    pub fn pool_health(&self) -> PoolHealth {
+        self.pool_health
+    }
+
     /// Per-replica utilisation: the share of the pool's uptime each
     /// replica spent inside its backend. Empty when the uptime is below
     /// clock resolution (same discipline as
@@ -599,6 +636,16 @@ impl fmt::Display for SessionStats {
                 p99.as_secs_f64() * 1e6,
                 self.mean_coalesced_batch(),
                 self.max_queue_depth,
+            )?;
+        }
+        if self.retries > 0 || self.pool_health.quarantined > 0 || self.pool_health.restarts > 0 {
+            write!(
+                f,
+                ", recovery: {} retries, {} respawns, {}/{} replicas healthy",
+                self.retries,
+                self.pool_health.restarts,
+                self.pool_health.healthy,
+                self.pool_health.healthy + self.pool_health.quarantined,
             )?;
         }
         Ok(())

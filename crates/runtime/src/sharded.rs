@@ -15,14 +15,18 @@
 //!
 //! Inner backends never cross threads: each is constructed *on* its
 //! worker, so backends that are not `Send` (the event-driven netlist)
-//! shard exactly like the pure-math ones. A failure in any shard rejects
-//! the whole batch with a typed [`BackendError::Shard`] — no partial
-//! output ever escapes.
+//! shard exactly like the pure-math ones. A *transient* shard failure
+//! (see [`BackendError::is_transient`]) is retried on that shard alone
+//! under the backend's [`RecoveryPolicy`] — the other shards' results
+//! are kept, not recomputed; only a fatal error, a dead worker, or an
+//! exhausted retry budget rejects the whole batch with a typed
+//! [`BackendError::Shard`]. No partial output ever escapes.
 
 use crate::backend::{validate_program, BackendFactory, MacroBackend, ShardKind};
 use crate::batch::{BatchResult, TokenBatch, TokenObservation};
 use crate::error::BackendError;
 use crate::plan::ShardPlan;
+use crate::pool::RecoveryPolicy;
 use maddpipe_core::config::MacroConfig;
 use maddpipe_core::macro_rtl::MacroProgram;
 use maddpipe_tech::units::{Joules, Seconds};
@@ -87,6 +91,7 @@ pub struct ShardedBackend {
     plan: ShardPlan,
     ns: usize,
     workers: Vec<Worker>,
+    recovery: RecoveryPolicy,
 }
 
 impl ShardedBackend {
@@ -230,7 +235,25 @@ impl ShardedBackend {
                 Err(_) => return Err(BackendError::ShardLost { shard }),
             }
         }
-        Ok(ShardedBackend { plan, ns, workers })
+        Ok(ShardedBackend {
+            plan,
+            ns,
+            workers,
+            recovery: RecoveryPolicy::default(),
+        })
+    }
+
+    /// Sets the per-shard retry policy: a shard whose batch fails with a
+    /// transient error is re-asked up to `recovery.max_retries` times
+    /// with exponential backoff before the whole batch is rejected. The
+    /// `respawn` budget is not used here — shard workers own non-`Send`
+    /// backends built from one-shot factories, so a dead worker cannot
+    /// be rebuilt; replica-level respawn lives in
+    /// [`ReplicaPool`](crate::pool::ReplicaPool).
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> ShardedBackend {
+        self.recovery = recovery;
+        self
     }
 
     /// The partition this backend serves.
@@ -243,58 +266,101 @@ impl ShardedBackend {
         self.ns
     }
 
+    /// Sends `shared` to shard `shard` and returns the reply channel.
+    fn dispatch(
+        &self,
+        shard: usize,
+        shared: &Arc<TokenBatch>,
+    ) -> Result<mpsc::Receiver<Result<BatchResult, BackendError>>, BackendError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let jobs = self.workers[shard]
+            .jobs
+            .as_ref()
+            .expect("sender lives as long as self");
+        jobs.send(Job {
+            batch: Arc::clone(shared),
+            reply: reply_tx,
+        })
+        .map_err(|_| BackendError::ShardLost { shard })?;
+        Ok(reply_rx)
+    }
+
+    /// Receives shard `shard`'s result and enforces its slice of the
+    /// contract: one observation per token, each `plan.widths()[shard]`
+    /// wide.
+    fn collect(
+        &self,
+        shard: usize,
+        reply: mpsc::Receiver<Result<BatchResult, BackendError>>,
+        batch: &TokenBatch,
+    ) -> Result<BatchResult, BackendError> {
+        let result = reply
+            .recv()
+            .map_err(|_| BackendError::ShardLost { shard })?
+            .map_err(|e| BackendError::Shard {
+                shard,
+                source: Box::new(e),
+            })?;
+        if result.tokens.len() != batch.len() {
+            return Err(BackendError::Shard {
+                shard,
+                source: Box::new(BackendError::InvalidShardPlan {
+                    reason: format!(
+                        "shard returned {} observations for a {}-token batch",
+                        result.tokens.len(),
+                        batch.len()
+                    ),
+                }),
+            });
+        }
+        let width = self.plan.widths()[shard];
+        if let Some(obs) = result.tokens.iter().find(|o| o.outputs.len() != width) {
+            return Err(BackendError::Shard {
+                shard,
+                source: Box::new(BackendError::InvalidShardPlan {
+                    reason: format!(
+                        "shard produced {}-wide outputs but its plan range is {} chains",
+                        obs.outputs.len(),
+                        width
+                    ),
+                }),
+            });
+        }
+        Ok(result)
+    }
+
     /// Fans `batch` out to every shard and collects the per-shard results
-    /// in plan order. First failure wins (lowest shard index); the rest
-    /// are discarded. The batch is cloned once and shared by `Arc` — the
+    /// in plan order. A shard that fails *transiently* is re-asked under
+    /// the [`RecoveryPolicy`] — on its own, while its siblings' results
+    /// are kept — so one flaky shard no longer rejects work the others
+    /// finished. Fatal errors and dead workers ([`BackendError::ShardLost`]
+    /// — the job channel is gone, a resend cannot land) fail the batch;
+    /// first such failure wins (lowest shard index) and the rest are
+    /// discarded. The batch is cloned once and shared by `Arc` — the
     /// fan-out itself copies no token data.
     fn scatter_gather(&self, batch: &TokenBatch) -> Result<Vec<BatchResult>, BackendError> {
         let shared = Arc::new(batch.clone());
         let mut replies = Vec::with_capacity(self.workers.len());
-        for (shard, worker) in self.workers.iter().enumerate() {
-            let (reply_tx, reply_rx) = mpsc::channel();
-            let jobs = worker.jobs.as_ref().expect("sender lives as long as self");
-            jobs.send(Job {
-                batch: Arc::clone(&shared),
-                reply: reply_tx,
-            })
-            .map_err(|_| BackendError::ShardLost { shard })?;
-            replies.push(reply_rx);
+        for shard in 0..self.workers.len() {
+            replies.push(self.dispatch(shard, &shared)?);
         }
         let mut results = Vec::with_capacity(replies.len());
         for (shard, reply) in replies.into_iter().enumerate() {
-            let result = reply
-                .recv()
-                .map_err(|_| BackendError::ShardLost { shard })?
-                .map_err(|e| BackendError::Shard {
-                    shard,
-                    source: Box::new(e),
-                })?;
-            if result.tokens.len() != batch.len() {
-                return Err(BackendError::Shard {
-                    shard,
-                    source: Box::new(BackendError::InvalidShardPlan {
-                        reason: format!(
-                            "shard returned {} observations for a {}-token batch",
-                            result.tokens.len(),
-                            batch.len()
-                        ),
-                    }),
-                });
+            let mut attempts = 0u32;
+            let mut outcome = self.collect(shard, reply, batch);
+            while let Err(error) = &outcome {
+                let retryable =
+                    error.is_transient() && !matches!(error, BackendError::ShardLost { .. });
+                if !retryable || attempts >= self.recovery.max_retries {
+                    break;
+                }
+                std::thread::sleep(self.recovery.backoff_for(attempts));
+                attempts += 1;
+                outcome = self
+                    .dispatch(shard, &shared)
+                    .and_then(|retry| self.collect(shard, retry, batch));
             }
-            let width = self.plan.widths()[shard];
-            if let Some(obs) = result.tokens.iter().find(|o| o.outputs.len() != width) {
-                return Err(BackendError::Shard {
-                    shard,
-                    source: Box::new(BackendError::InvalidShardPlan {
-                        reason: format!(
-                            "shard produced {}-wide outputs but its plan range is {} chains",
-                            obs.outputs.len(),
-                            width
-                        ),
-                    }),
-                });
-            }
-            results.push(result);
+            results.push(outcome?);
         }
         Ok(results)
     }
@@ -539,6 +605,121 @@ mod tests {
             self.served += 1;
             self.inner.run_batch(batch)
         }
+    }
+
+    /// An inner backend whose next `failures_left` batches fail
+    /// transiently, then recovers for good — the flaky-but-alive shard.
+    struct RecoveringBackend {
+        inner: FunctionalBackend,
+        failures_left: usize,
+        attempts: usize,
+    }
+
+    impl MacroBackend for RecoveringBackend {
+        fn name(&self) -> &'static str {
+            "recovering"
+        }
+        fn run_batch(&mut self, batch: &TokenBatch) -> Result<BatchResult, BackendError> {
+            self.attempts += 1;
+            if self.failures_left > 0 {
+                self.failures_left -= 1;
+                return Err(BackendError::Transient {
+                    reason: format!("flaky shard, failure {}", self.attempts),
+                });
+            }
+            self.inner.run_batch(batch)
+        }
+    }
+
+    #[test]
+    fn a_transiently_failing_shard_is_retried_alone_and_the_batch_succeeds() {
+        let (_, program, batch) = wide_setup(4, 2);
+        let plan = ShardPlan::even(4, 2).unwrap();
+        let subs = plan.split(&program).unwrap();
+        let wide_expect = FunctionalBackend::new(program.clone())
+            .run_batch(&batch)
+            .unwrap();
+        let mut factories: Vec<ShardFactory> = Vec::new();
+        for (s, sub) in subs.into_iter().enumerate() {
+            factories.push(Box::new(move || {
+                Ok(if s == 1 {
+                    Box::new(RecoveringBackend {
+                        inner: FunctionalBackend::new(sub),
+                        failures_left: 2,
+                        attempts: 0,
+                    })
+                } else {
+                    Box::new(FunctionalBackend::new(sub)) as Box<dyn MacroBackend>
+                })
+            }));
+        }
+        let mut sharded = ShardedBackend::from_factories(plan, 2, factories)
+            .unwrap()
+            .with_recovery(
+                RecoveryPolicy::default()
+                    .with_max_retries(2)
+                    .with_backoff(std::time::Duration::from_micros(50)),
+            );
+        // Shard 1 fails twice and succeeds on its third attempt — inside
+        // the budget, so the whole batch comes back bit-identical to the
+        // wide macro with no caller-visible error.
+        let got = sharded.run_batch(&batch).unwrap();
+        assert_eq!(got.outputs(), wide_expect.outputs());
+        // A second batch serves first-try: the shard has recovered.
+        assert_eq!(
+            sharded.run_batch(&batch).unwrap().outputs(),
+            wide_expect.outputs()
+        );
+    }
+
+    #[test]
+    fn an_exhausted_shard_retry_budget_surfaces_the_typed_error() {
+        let (_, program, batch) = wide_setup(4, 2);
+        let plan = ShardPlan::even(4, 2).unwrap();
+        let subs = plan.split(&program).unwrap();
+        let mut factories: Vec<ShardFactory> = Vec::new();
+        for (s, sub) in subs.into_iter().enumerate() {
+            factories.push(Box::new(move || {
+                Ok(if s == 0 {
+                    Box::new(RecoveringBackend {
+                        inner: FunctionalBackend::new(sub),
+                        failures_left: 5, // more than 1 + 2 retries
+                        attempts: 0,
+                    })
+                } else {
+                    Box::new(FunctionalBackend::new(sub)) as Box<dyn MacroBackend>
+                })
+            }));
+        }
+        let mut sharded = ShardedBackend::from_factories(plan, 2, factories)
+            .unwrap()
+            .with_recovery(
+                RecoveryPolicy::default()
+                    .with_max_retries(2)
+                    .with_backoff(std::time::Duration::from_micros(50)),
+            );
+        match sharded.run_batch(&batch).unwrap_err() {
+            BackendError::Shard { shard, source } => {
+                assert_eq!(shard, 0);
+                // The third and final attempt's error is the one surfaced.
+                assert_eq!(
+                    *source,
+                    BackendError::Transient {
+                        reason: "flaky shard, failure 3".into()
+                    }
+                );
+            }
+            other => panic!("expected a Shard error, got {other:?}"),
+        }
+        // Two more failures were budgeted away above; the shard now
+        // recovers and the next batch succeeds end to end.
+        let wide_expect = FunctionalBackend::new(program).run_batch(&batch).unwrap();
+        // 5 failures - 3 attempts = 2 left; one more run burns both
+        // (first try + first retry) and lands on attempt 6: success.
+        assert_eq!(
+            sharded.run_batch(&batch).unwrap().outputs(),
+            wide_expect.outputs()
+        );
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! Fault-injection tests for the self-healing serving stack.
+//!
+//! The recovery contract under test: with a `ChaosBackend` injecting
+//! seeded transient failures and a forced replica crash, a multi-client
+//! workload through a `ReplicaPool` still completes **bit-identical** to
+//! direct `run_batch` — retries, requeues and respawns must be invisible
+//! in every request's own results. No ticket is ever leaked, the pool
+//! never closes while at least one replica is healthy, and `PoolHealth`
+//! accounts for every crash (respawned or quarantined).
+//!
+//! The chaos seed is `MADDPIPE_CHAOS_SEED` when set (CI sweeps several),
+//! 7 otherwise; every fault schedule is a pure function of it.
+
+use maddpipe::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 12;
+const TOKENS_PER_REQUEST: usize = 4;
+
+/// The chaos seed under test: `MADDPIPE_CHAOS_SEED` when set (the CI
+/// stress job sweeps a few), 7 otherwise.
+fn chaos_seed() -> u64 {
+    std::env::var("MADDPIPE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+/// The deterministic batch client `c` submits as its `r`-th request.
+fn client_batch(ns: usize, c: usize, r: usize) -> TokenBatch {
+    TokenBatch::random(ns, TOKENS_PER_REQUEST, 1 + (c as u64) * 1000 + r as u64)
+}
+
+/// A rebuildable functional-replica recipe for `program` — what a
+/// respawning pool rebuilds crashed replicas from.
+fn functional_recipe(cfg: &MacroConfig, program: &MacroProgram) -> ReplicaFactory {
+    let cfg = cfg.clone();
+    let program = program.clone();
+    Arc::new(move || BackendKind::Functional { workers: 1 }.build(&cfg, program.clone()))
+}
+
+#[test]
+fn an_eight_client_workload_survives_faults_bit_identical() {
+    let cfg = MacroConfig::new(3, 2);
+    let program = MacroProgram::random(cfg.ndec, cfg.ns, 77);
+    let ns = cfg.ns;
+
+    // Golden: one direct session, batches run one at a time.
+    let mut direct = Session::builder(cfg.clone())
+        .program(program.clone())
+        .backend(BackendKind::Functional { workers: 1 })
+        .build()
+        .expect("program fits");
+    let mut expected: Vec<Vec<Vec<Vec<i16>>>> = Vec::with_capacity(CLIENTS);
+    for c in 0..CLIENTS {
+        let mut per_client = Vec::with_capacity(REQUESTS_PER_CLIENT);
+        for r in 0..REQUESTS_PER_CLIENT {
+            let result = direct.run(&client_batch(ns, c, r)).expect("direct run");
+            per_client.push(result.tokens.into_iter().map(|t| t.outputs).collect());
+        }
+        expected.push(per_client);
+    }
+
+    // Chaos pool: three respawnable replicas drawing ≥10% transient
+    // failures and one forced crash from a single seeded schedule.
+    let state = ChaosState::new();
+    let chaos = ChaosConfig::default()
+        .with_seed(chaos_seed())
+        .with_transient_rate(0.15)
+        .with_panic_on_call(6);
+    let recipes = (0..3)
+        .map(|_| wrap_recipe(functional_recipe(&cfg, &program), chaos, Arc::clone(&state)))
+        .collect();
+    let pool = ReplicaPool::from_recipes(
+        ServePolicy::default()
+            .with_fairness(Fairness::RoundRobin)
+            .with_queue(
+                QueuePolicy::default()
+                    .with_max_batch(32)
+                    .with_max_linger(Duration::from_micros(200))
+                    .with_max_depth(4096),
+            )
+            .with_recovery(
+                RecoveryPolicy::default()
+                    .with_max_retries(8)
+                    .with_backoff(Duration::from_micros(50))
+                    .with_respawn(2),
+            ),
+        ns,
+        recipes,
+    )
+    .expect("pool comes up");
+
+    std::thread::scope(|scope| {
+        for (c, expected) in expected.iter().enumerate() {
+            let pool = &pool;
+            scope.spawn(move || {
+                let opts = SubmitOptions::default().with_client(c as u64);
+                // Submit everything first, then wait — all clients'
+                // requests really are in flight while faults land.
+                let tickets: Vec<BatchTicket> = (0..REQUESTS_PER_CLIENT)
+                    .map(|r| {
+                        pool.submit_with(client_batch(ns, c, r), opts)
+                            .expect("accepted")
+                    })
+                    .collect();
+                // Zero leaked tickets: every single one resolves, and
+                // with results — the recovery machinery absorbed every
+                // injected fault before any client saw it.
+                for (r, ticket) in tickets.into_iter().enumerate() {
+                    let reply = ticket.wait().expect("served through faults");
+                    let got: Vec<Vec<i16>> =
+                        reply.result.tokens.into_iter().map(|t| t.outputs).collect();
+                    assert_eq!(got, expected[r], "client {c} request {r}");
+                }
+            });
+        }
+    });
+
+    // The workload outran the chaos: faults actually fired (the 15%
+    // rate over dozens of calls cannot silently round to zero) and the
+    // forced crash was respawned, not quarantined.
+    let health = pool.health();
+    assert_eq!(health.healthy, 3, "the crashed replica is back");
+    assert_eq!(health.quarantined, 0);
+    assert!(
+        health.restarts >= 1,
+        "the forced crash respawned: {health:?}"
+    );
+
+    // The pool never closed: it still serves after the storm.
+    let after = pool
+        .submit(client_batch(ns, 0, 0))
+        .expect("a healthy pool keeps accepting")
+        .wait()
+        .expect("and keeps serving");
+    assert_eq!(
+        after.result.tokens[0].outputs,
+        program.reference_output(&client_batch(ns, 0, 0).tokens()[0]),
+    );
+
+    let total = (CLIENTS * REQUESTS_PER_CLIENT * TOKENS_PER_REQUEST + TOKENS_PER_REQUEST) as u64;
+    let stats = pool.shutdown();
+    assert_eq!(stats.tokens(), total, "every token served exactly once");
+    assert!(stats.retries() >= 1, "transient faults were retried");
+    assert_eq!(stats.pool_health().quarantined, 0);
+    assert!(stats.pool_health().restarts >= 1);
+}
+
+#[test]
+fn a_mid_service_panic_leaves_survivors_draining_the_backlog() {
+    // Satellite: a replica crashes *mid-service* while other riders are
+    // queued behind it. The crash must cost nothing but a retry — the
+    // surviving replica drains the whole backlog, the dead one is
+    // quarantined (factory pools cannot respawn), and the pool stays
+    // open on the survivor.
+    let cfg = MacroConfig::new(2, 2);
+    let program = MacroProgram::random(cfg.ndec, cfg.ns, 31);
+    let ns = cfg.ns;
+    let state = ChaosState::new();
+    // The very first backend call panics — deterministically exactly
+    // one crash, on whichever replica dispatches first.
+    let chaos = ChaosConfig::default()
+        .with_seed(chaos_seed())
+        .with_panic_on_call(0);
+    let factories = (0..2)
+        .map(|_| {
+            let program = program.clone();
+            let inner: BackendFactory = Box::new(move || {
+                BackendKind::Functional { workers: 1 }.build(&MacroConfig::new(2, 2), program)
+            });
+            wrap_factory(inner, chaos, Arc::clone(&state))
+        })
+        .collect();
+    let pool = ReplicaPool::from_factories(
+        ServePolicy::default()
+            .with_replicas(2)
+            .with_queue(
+                QueuePolicy::default()
+                    .with_max_batch(8)
+                    .with_max_linger(Duration::from_micros(100))
+                    .with_max_depth(1024),
+            )
+            .with_recovery(
+                RecoveryPolicy::default()
+                    .with_max_retries(3)
+                    .with_backoff(Duration::from_micros(50)),
+            ),
+        ns,
+        factories,
+    )
+    .expect("pool comes up");
+
+    // A backlog of 12 requests, submitted before any wait: the panicked
+    // micro-batch's riders requeue and everything behind them drains.
+    let batches: Vec<TokenBatch> = (0..12).map(|r| client_batch(ns, 1, r)).collect();
+    let tickets: Vec<BatchTicket> = batches
+        .iter()
+        .map(|b| pool.submit(b.clone()).expect("accepted"))
+        .collect();
+    for (ticket, batch) in tickets.into_iter().zip(&batches) {
+        let reply = ticket.wait().expect("the survivor drains the backlog");
+        for (t, token) in batch.tokens().iter().enumerate() {
+            assert_eq!(
+                reply.result.tokens[t].outputs,
+                program.reference_output(token),
+                "bit-identical through the crash"
+            );
+        }
+    }
+
+    // Exactly one replica died and was quarantined; the pool degrades
+    // to the survivor instead of closing.
+    let health = pool.health();
+    assert_eq!(health.healthy, 1, "{health:?}");
+    assert_eq!(health.quarantined, 1, "{health:?}");
+    assert_eq!(health.restarts, 0, "factory replicas cannot respawn");
+    pool.submit(client_batch(ns, 1, 99))
+        .expect("one healthy replica keeps the pool open")
+        .wait()
+        .expect("and serving");
+    let stats = pool.shutdown();
+    assert!(stats.retries() >= 1, "the crashed micro-batch was retried");
+    assert_eq!(stats.pool_health().quarantined, 1);
+}
+
+#[test]
+fn wrong_width_outputs_are_a_typed_fatal_error_not_corruption() {
+    // A chaos fault that breaks the one-observation-per-token contract
+    // must surface as a typed fatal error to exactly the riders of the
+    // broken micro-batch — never as silently mis-sliced outputs, and
+    // never as a retry loop (the fault is in the payload, not timing).
+    let cfg = MacroConfig::new(2, 2);
+    let program = MacroProgram::random(cfg.ndec, cfg.ns, 13);
+    let state = ChaosState::new();
+    let chaos = ChaosConfig::default()
+        .with_seed(chaos_seed())
+        .with_wrong_width_rate(1.0);
+    let recipes = vec![wrap_recipe(
+        functional_recipe(&cfg, &program),
+        chaos,
+        Arc::clone(&state),
+    )];
+    let pool = ReplicaPool::from_recipes(
+        ServePolicy::default().with_queue(QueuePolicy::default().with_max_linger(Duration::ZERO)),
+        cfg.ns,
+        recipes,
+    )
+    .expect("pool comes up");
+    let err = pool
+        .submit(TokenBatch::random(2, 3, 1))
+        .expect("accepted")
+        .wait()
+        .expect_err("a truncated result is an error, not data");
+    assert!(
+        matches!(err, BackendError::MalformedProgram { .. }),
+        "{err:?}"
+    );
+    assert!(!err.is_transient(), "payload corruption must not retry");
+    // The replica survives its backend's bad answer: the pool is still
+    // open and healthy (the next batch fails the same way — the rate is
+    // 1.0 — but it is *served* and typed, not dropped).
+    assert_eq!(pool.health().healthy, 1);
+    let again = pool
+        .submit(TokenBatch::random(2, 2, 2))
+        .expect("still accepting")
+        .wait();
+    assert!(again.is_err());
+    pool.shutdown();
+}
+
+#[test]
+fn latency_spikes_delay_but_never_change_results() {
+    let cfg = MacroConfig::new(2, 2);
+    let program = MacroProgram::random(cfg.ndec, cfg.ns, 5);
+    let spike = Duration::from_millis(2);
+    let state = ChaosState::new();
+    let chaos = ChaosConfig::default()
+        .with_seed(chaos_seed())
+        .with_latency_spikes(1.0, spike);
+    let recipes = vec![wrap_recipe(
+        functional_recipe(&cfg, &program),
+        chaos,
+        Arc::clone(&state),
+    )];
+    let pool = ReplicaPool::from_recipes(
+        ServePolicy::default().with_queue(QueuePolicy::default().with_max_linger(Duration::ZERO)),
+        cfg.ns,
+        recipes,
+    )
+    .expect("pool comes up");
+    let batch = TokenBatch::random(2, 4, 9);
+    let reply = pool
+        .submit(batch.clone())
+        .expect("accepted")
+        .wait()
+        .expect("served, just late");
+    assert!(
+        reply.service >= spike,
+        "the spike shows up in the measured service time: {:?}",
+        reply.service
+    );
+    for (t, token) in batch.tokens().iter().enumerate() {
+        assert_eq!(
+            reply.result.tokens[t].outputs,
+            program.reference_output(token)
+        );
+    }
+    let stats = pool.shutdown();
+    assert_eq!(stats.retries(), 0, "latency is not an error");
+    assert_eq!(
+        stats.pool_health(),
+        PoolHealth {
+            healthy: 0, // snapshotted after shutdown drained the replica
+            quarantined: 0,
+            restarts: 0,
+        }
+    );
+}

@@ -305,7 +305,7 @@ fn a_deadline_ships_a_partial_micro_batch_before_the_policy_linger() {
 }
 
 #[test]
-fn a_panicking_replica_closes_the_whole_pool_with_typed_errors() {
+fn a_pool_whose_every_replica_panics_closes_with_typed_errors() {
     struct PanickingBackend;
     impl MacroBackend for PanickingBackend {
         fn name(&self) -> &'static str {
@@ -324,8 +324,11 @@ fn a_panicking_replica_closes_the_whole_pool_with_typed_errors() {
     let pool = ReplicaPool::from_factories(ServePolicy::default().with_replicas(2), 2, factories)
         .expect("comes up");
     let ticket = pool.submit(TokenBatch::random(2, 2, 1)).expect("accepted");
-    // The serving replica unwinds; the ticket must resolve (typed),
-    // never hang — and the pool closes rather than serving degraded.
+    // Factory-built replicas have no rebuild recipe, so each panic
+    // quarantines for good; when *both* replicas are gone the pool
+    // closes and every unresolved ticket answers typed — never hangs.
+    // (A single panic among healthy siblings no longer closes anything;
+    // that path is pinned in tests/serving_faults.rs.)
     assert_eq!(ticket.wait().unwrap_err(), BackendError::QueueClosed);
     let err = loop {
         match pool.submit(TokenBatch::random(2, 2, 2)) {

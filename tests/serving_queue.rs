@@ -296,6 +296,55 @@ fn a_token_bound_rejects_before_request_count_backpressure_kicks_in() {
 }
 
 #[test]
+fn a_batch_exactly_filling_the_token_bound_admits() {
+    // Off-by-one regression for the `QueueFull { limit: Tokens }`
+    // boundary: admission must compare `pending + batch > bound`, not
+    // `>=` — a batch whose token count exactly equals the *remaining*
+    // token budget is within bounds and must be accepted.
+    let policy = QueuePolicy::default()
+        .with_max_linger(Duration::ZERO)
+        .with_max_depth(1024)
+        .with_max_pending_tokens(6);
+    let (queue, started, gate, _) = gated_queue(2, policy, usize::MAX);
+
+    // Park the dispatcher so subsequent submissions stay queued.
+    let warmup = queue.submit(TokenBatch::random(2, 1, 1)).expect("accepted");
+    assert_eq!(started.recv().expect("backend alive"), 1);
+
+    // 2 of 6 tokens queued; a 4-token batch exactly fills the rest.
+    let a = queue.submit(TokenBatch::random(2, 2, 2)).expect("accepted");
+    let exact = queue
+        .submit(TokenBatch::random(2, 4, 3))
+        .expect("a batch exactly filling the remaining token budget admits");
+    // The bound is now saturated: one more token is over, and the typed
+    // limit reports the exact saturation point.
+    assert_eq!(
+        queue.submit(TokenBatch::random(2, 1, 4)).unwrap_err(),
+        BackendError::QueueFull {
+            limit: QueueLimit::Tokens {
+                pending_tokens: 6,
+                max_pending_tokens: 6,
+            }
+        }
+    );
+
+    // Into an *empty* waiting room the same exact-fill rule holds from
+    // zero: a bound-sized batch admits.
+    gate.send(()).expect("release warm-up");
+    warmup.wait().expect("served");
+    assert_eq!(started.recv().expect("backend alive"), 6);
+    gate.send(()).expect("release the queued pair");
+    a.wait().expect("served");
+    exact.wait().expect("served");
+    let full = queue
+        .submit(TokenBatch::random(2, 6, 5))
+        .expect("a bound-sized batch admits into an empty room");
+    assert_eq!(started.recv().expect("backend alive"), 6);
+    gate.send(()).expect("release");
+    assert_eq!(full.wait().expect("served").result.tokens.len(), 6);
+}
+
+#[test]
 fn an_oversized_request_dispatches_alone_instead_of_stalling() {
     // A single request larger than `max_batch` can never fill a
     // micro-batch; it must ride alone, not park forever behind an
