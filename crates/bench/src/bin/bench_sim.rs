@@ -17,6 +17,7 @@ use maddpipe_bench::kernel_workloads::{
 use maddpipe_bench::load_gen::{drive, LoadMode, LoadScenario};
 use maddpipe_core::config::MacroConfig;
 use maddpipe_core::macro_rtl::MacroProgram;
+use maddpipe_nn::network::Network;
 use maddpipe_runtime::prelude::*;
 use maddpipe_sim::prelude::*;
 use std::fmt::Write as _;
@@ -358,6 +359,53 @@ fn replica_pool_saturation(capacity_tokens_per_sec: f64) -> (f64, f64, f64, f64)
     )
 }
 
+/// One full demo-CNN pipeline run: `images` submissions streamed
+/// through the lowered `Network::demo` graph (functional conv stages,
+/// 2 replicas each), returning end-to-end images/s plus each stage's
+/// `(name, occupancy, p99 residence µs)` from the final stats.
+fn pipeline_snapshot(images: usize) -> (f64, Vec<(String, f64, f64)>) {
+    let net = Network::demo(42);
+    let spec = net
+        .to_pipeline_spec(
+            BackendKind::Functional { workers: 1 },
+            &StagePolicy::default().with_replicas(2),
+        )
+        .expect("the demo network lowers");
+    let graph = PipelineGraph::build(spec, PipelinePolicy::default().with_capacity(32))
+        .expect("graph deploys");
+    let inputs: Vec<Vec<f32>> = (0..images)
+        .map(|i| Network::demo_image(i as u64, net.input_len()))
+        .collect();
+    let mut pending = Vec::with_capacity(images);
+    for img in &inputs {
+        loop {
+            match graph.submit(img.clone()) {
+                Ok(t) => break pending.push(t),
+                Err(BackendError::QueueFull { .. }) => {
+                    // Closed-ish loop: drain the oldest under backpressure.
+                    let _ = pending.remove(0).wait();
+                }
+                Err(e) => panic!("pipeline submit failed: {e}"),
+            }
+        }
+    }
+    for ticket in pending {
+        ticket.wait().expect("pipeline serves");
+    }
+    let stats = graph.shutdown();
+    let occupancy = stats.stage_occupancy();
+    let profiles = stats
+        .stage_profiles()
+        .iter()
+        .zip(occupancy)
+        .map(|(p, occ)| {
+            let p99 = p.p99_residence().map_or(0.0, |d| d.as_secs_f64() * 1e6);
+            (p.name().to_string(), occ, p99)
+        })
+        .collect();
+    (stats.images_per_sec().unwrap_or(0.0), profiles)
+}
+
 /// The `--smoke` path: a tiny closed-loop and open-loop run through a
 /// 2-replica pool, printed but never written to `results/` — enough
 /// for CI to prove the serving path moves tokens.
@@ -447,6 +495,42 @@ fn smoke() {
         chaos_stats.retries(),
         chaos_stats.pool_health().restarts
     );
+    // Pipeline pass: a handful of images through the lowered demo CNN,
+    // checked bit-identical to the host forward — proof the dataflow
+    // serving path moves whole images, not just tokens.
+    let net = Network::demo(42);
+    let spec = net
+        .to_pipeline_spec(
+            BackendKind::Functional { workers: 1 },
+            &StagePolicy::default(),
+        )
+        .expect("the demo network lowers");
+    let stages = spec.len();
+    let graph = PipelineGraph::build(spec, PipelinePolicy::default().with_capacity(16))
+        .expect("graph deploys");
+    let smoke_images: Vec<Vec<f32>> = (0..8)
+        .map(|i| Network::demo_image(i as u64, net.input_len()))
+        .collect();
+    let tickets: Vec<PipelineTicket> = smoke_images
+        .iter()
+        .map(|img| graph.submit(img.clone()).expect("within capacity"))
+        .collect();
+    for (img, ticket) in smoke_images.iter().zip(tickets) {
+        let reply = ticket.wait().expect("pipeline serves");
+        assert_eq!(
+            reply.outputs,
+            net.forward(img).expect("host forward"),
+            "pipeline logits must be bit-identical to Network::forward"
+        );
+    }
+    let pipe_stats = graph.shutdown();
+    assert_eq!(pipe_stats.images(), 8);
+    assert_eq!(pipe_stats.stage_profiles().len(), stages);
+    println!(
+        "smoke pipeline: {} images through {} stages, bit-identical logits",
+        pipe_stats.images(),
+        stages
+    );
 }
 
 /// RTL-backend throughput on the small reference macro, per fidelity.
@@ -490,6 +574,7 @@ fn main() {
     let rp_r4 = replica_pool_tokens_per_sec(4);
     let (rp_offered, rp_goodput, rp_p99, rp_rejected) = replica_pool_saturation(rp_r2);
     let (ch_goodput, ch_failed, ch_retries, ch_restarts) = chaos_goodput(42);
+    let (pipe_rate, pipe_stages) = pipeline_snapshot(2048);
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema\": \"maddpipe-bench-sim/v1\",");
@@ -563,6 +648,23 @@ fn main() {
     let _ = writeln!(json, "    \"failed_share\": {ch_failed:.3},");
     let _ = writeln!(json, "    \"retries\": {ch_retries},");
     let _ = writeln!(json, "    \"respawns\": {ch_restarts}");
+    let _ = writeln!(json, "  }},");
+    // The demo CNN served end to end through a PipelineGraph (functional
+    // conv stages, 2 replicas each): whole-image throughput plus each
+    // stage's occupancy and p99 residence — where the dataflow's time
+    // actually goes.
+    let _ = writeln!(json, "  \"pipeline\": {{");
+    let _ = writeln!(json, "    \"demo_cnn_images_per_sec\": {pipe_rate:.0},");
+    let _ = writeln!(json, "    \"stages\": {{");
+    let last = pipe_stages.len().saturating_sub(1);
+    for (i, (name, occupancy, p99_us)) in pipe_stages.iter().enumerate() {
+        let comma = if i == last { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "      \"{name}\": {{ \"occupancy\": {occupancy:.3}, \"p99_residence_us\": {p99_us:.1} }}{comma}"
+        );
+    }
+    let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 

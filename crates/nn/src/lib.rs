@@ -28,12 +28,14 @@ pub mod amm_layer;
 pub mod data;
 pub mod layers;
 pub mod net;
+pub mod network;
 pub mod tensor;
 pub mod train;
 
 pub use amm_layer::{restore_float, substitute_analog, substitute_digital, AnalogAmm};
 pub use data::{synthetic_cifar, Dataset};
 pub use net::ResNet9;
+pub use network::{LayerActivation, Network};
 pub use tensor::Tensor4;
 pub use train::{evaluate, train, TrainConfig, TrainStats};
 
@@ -43,6 +45,7 @@ pub mod prelude {
     pub use crate::data::{synthetic_cifar, Dataset};
     pub use crate::layers::{Conv2d, ConvExec};
     pub use crate::net::ResNet9;
+    pub use crate::network::{LayerActivation, Network};
     pub use crate::tensor::Tensor4;
     pub use crate::train::{evaluate, train, TrainConfig, TrainStats};
 }

@@ -98,6 +98,17 @@ pub enum BackendError {
         /// Index of the lost shard within the plan.
         shard: usize,
     },
+    /// One stage of a [`PipelineGraph`](crate::pipeline::PipelineGraph)
+    /// failed the request; the stage's own typed failure is wrapped so a
+    /// submitter can tell *where* in the dataflow the request died, just
+    /// as [`BackendError::Shard`] names the failing shard of a width
+    /// split.
+    Stage {
+        /// Index of the failing stage within the pipeline.
+        stage: usize,
+        /// The stage's own typed failure.
+        source: Box<BackendError>,
+    },
     /// A transient fault: the computation itself is sound, but this
     /// attempt failed for a reason that is expected to clear on retry
     /// (a soft error, an injected chaos fault, a resource hiccup).
@@ -162,8 +173,10 @@ impl BackendError {
             | BackendError::Oscillation(_)
             | BackendError::ShardLost { .. }
             | BackendError::QueueFull { .. } => true,
-            // A shard failure is as transient as what the shard hit.
-            BackendError::Shard { source, .. } => source.is_transient(),
+            // A shard or stage failure is as transient as what it hit.
+            BackendError::Shard { source, .. } | BackendError::Stage { source, .. } => {
+                source.is_transient()
+            }
             BackendError::EmptyBatch
             | BackendError::ShapeMismatch { .. }
             | BackendError::ProgramMismatch { .. }
@@ -211,6 +224,9 @@ impl fmt::Display for BackendError {
             BackendError::Shard { shard, source } => {
                 write!(f, "shard {shard} failed: {source}")
             }
+            BackendError::Stage { stage, source } => {
+                write!(f, "pipeline stage {stage} failed: {source}")
+            }
             BackendError::ShardLost { shard } => {
                 write!(f, "shard {shard} worker is gone (panicked or shut down)")
             }
@@ -252,7 +268,9 @@ impl std::error::Error for BackendError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             BackendError::Oscillation(e) => Some(e),
-            BackendError::Shard { source, .. } => Some(source.as_ref()),
+            BackendError::Shard { source, .. } | BackendError::Stage { source, .. } => {
+                Some(source.as_ref())
+            }
             _ => None,
         }
     }
@@ -321,6 +339,26 @@ mod tests {
             reason: "0 shards".into(),
         };
         assert!(p.to_string().contains("0 shards"));
+    }
+
+    #[test]
+    fn stage_errors_name_the_stage_and_inherit_transience() {
+        let fatal = BackendError::Stage {
+            stage: 2,
+            source: Box::new(BackendError::MalformedProgram {
+                reason: "wrong width".into(),
+            }),
+        };
+        assert!(fatal.to_string().contains("pipeline stage 2"), "{fatal}");
+        assert!(fatal.to_string().contains("wrong width"), "{fatal}");
+        assert!(!fatal.is_transient(), "payload faults stay fatal");
+        use std::error::Error as _;
+        assert!(fatal.source().unwrap().to_string().contains("wrong width"));
+        let transient = BackendError::Stage {
+            stage: 0,
+            source: Box::new(BackendError::ReplicaPanicked),
+        };
+        assert!(transient.is_transient(), "a stage panic is retryable");
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod batch;
 pub mod chaos;
 pub mod error;
 pub mod functional;
+pub mod pipeline;
 pub mod plan;
 pub mod pool;
 pub mod queue;
@@ -74,13 +75,17 @@ pub use batch::{BatchResult, Token, TokenBatch, TokenObservation};
 pub use chaos::{wrap_factory, wrap_recipe, ChaosBackend, ChaosConfig, ChaosState};
 pub use error::{BackendError, QueueLimit};
 pub use functional::FunctionalBackend;
+pub use pipeline::{
+    HostStage, MacroStage, PipelineGraph, PipelinePolicy, PipelineReply, PipelineSpec,
+    PipelineTicket, StagePolicy, StageSpec, TicketState,
+};
 pub use plan::ShardPlan;
 pub use pool::{
     Fairness, PoolHealth, RecoveryPolicy, ReplicaFactory, ReplicaPool, ServePolicy, SubmitOptions,
 };
 pub use queue::{BatchTicket, QueuePolicy, QueueReply, ServeQueue};
 pub use rtl::RtlBackend;
-pub use session::{Session, SessionBuilder, SessionStats};
+pub use session::{Session, SessionBuilder, SessionStats, StageProfile};
 pub use sharded::{ShardFactory, ShardedBackend};
 
 /// Common imports.
@@ -91,6 +96,10 @@ pub mod prelude {
     pub use crate::chaos::{wrap_factory, wrap_recipe, ChaosBackend, ChaosConfig, ChaosState};
     pub use crate::error::{BackendError, QueueLimit};
     pub use crate::functional::FunctionalBackend;
+    pub use crate::pipeline::{
+        HostStage, MacroStage, PipelineGraph, PipelinePolicy, PipelineReply, PipelineSpec,
+        PipelineTicket, StagePolicy, StageSpec, TicketState,
+    };
     pub use crate::plan::ShardPlan;
     pub use crate::pool::{
         Fairness, PoolHealth, RecoveryPolicy, ReplicaFactory, ReplicaPool, ServePolicy,
@@ -98,6 +107,6 @@ pub mod prelude {
     };
     pub use crate::queue::{BatchTicket, QueuePolicy, QueueReply, ServeQueue};
     pub use crate::rtl::RtlBackend;
-    pub use crate::session::{Session, SessionBuilder, SessionStats};
+    pub use crate::session::{Session, SessionBuilder, SessionStats, StageProfile};
     pub use crate::sharded::ShardedBackend;
 }

@@ -328,6 +328,89 @@ pub struct SessionStats {
     retries: u64,
     /// The pool's degradation snapshot at stats time.
     pool_health: PoolHealth,
+    /// Per-stage serving profiles, populated only by a
+    /// [`PipelineGraph`](crate::pipeline::PipelineGraph).
+    stage_profiles: Vec<StageProfile>,
+    /// Requests that travelled the whole pipeline successfully.
+    images: u64,
+    /// End-to-end pipeline latencies in seconds, sampled like `latencies`.
+    image_latencies: SampleSet,
+    /// How long the pipeline has been open — the occupancy denominator.
+    pipeline_uptime: Duration,
+}
+
+/// One pipeline stage's serving profile inside [`SessionStats`]: how many
+/// items it completed, how long it was busy doing real work (host apply
+/// time, or backend service time for macro stages), how long items
+/// resided in the stage (queue wait + service — the per-stage latency the
+/// end-to-end number decomposes into), and its recovery/backpressure
+/// counters.
+#[derive(Debug, Clone, Default)]
+pub struct StageProfile {
+    name: String,
+    items: u64,
+    busy: Duration,
+    retries: u64,
+    restarts: u64,
+    queue_high_water: u64,
+    /// Per-item residence times (seconds) in this stage.
+    residence: SampleSet,
+}
+
+impl StageProfile {
+    /// The stage's name (layer name for lowered networks).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Items this stage completed (forwarded or resolved).
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Time the stage spent doing real work: host apply time, or the
+    /// backend service time its pool reported.
+    pub fn busy(&self) -> Duration {
+        self.busy
+    }
+
+    /// Riders the stage's replica pool re-queued for retry (0 for host
+    /// stages — host closures are not retried).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Successful replica respawns inside this stage's pool.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Deepest backlog the stage's inter-stage queue reached — how hard
+    /// backpressure squeezed at this point of the graph.
+    pub fn queue_high_water(&self) -> u64 {
+        self.queue_high_water
+    }
+
+    /// Median per-item residence (queue wait + service) in this stage.
+    pub fn p50_residence(&self) -> Option<Duration> {
+        self.residence.percentile(50.0).map(Duration::from_secs_f64)
+    }
+
+    /// 99th-percentile per-item residence in this stage.
+    pub fn p99_residence(&self) -> Option<Duration> {
+        self.residence.percentile(99.0).map(Duration::from_secs_f64)
+    }
+
+    /// The share of `uptime` this stage spent busy — the per-stage
+    /// occupancy of the acceptance criteria. 0 when the uptime is below
+    /// clock resolution.
+    pub fn occupancy(&self, uptime: Duration) -> f64 {
+        let denom = uptime.as_secs_f64();
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / denom
+    }
 }
 
 impl SessionStats {
@@ -420,6 +503,59 @@ impl SessionStats {
     /// Notes the pool's degradation snapshot at stats time.
     pub(crate) fn note_pool_health(&mut self, health: PoolHealth) {
         self.pool_health = health;
+    }
+
+    /// Grows the stage-profile table to cover `stage`, leaving untouched
+    /// entries as they are.
+    fn ensure_stage(&mut self, stage: usize) -> &mut StageProfile {
+        if self.stage_profiles.len() <= stage {
+            self.stage_profiles
+                .resize_with(stage + 1, StageProfile::default);
+        }
+        &mut self.stage_profiles[stage]
+    }
+
+    /// Registers pipeline stage `stage` under `name` (idempotent).
+    pub(crate) fn init_stage(&mut self, stage: usize, name: &str) {
+        let profile = self.ensure_stage(stage);
+        if profile.name.is_empty() {
+            profile.name = name.to_string();
+        }
+    }
+
+    /// Records one item completing pipeline stage `stage`: `busy` is the
+    /// real work time, `residence` the item's whole stay in the stage.
+    pub(crate) fn record_stage_item(&mut self, stage: usize, busy: Duration, residence: Duration) {
+        let profile = self.ensure_stage(stage);
+        profile.items += 1;
+        profile.busy += busy;
+        profile.residence.push(residence.as_secs_f64());
+    }
+
+    /// Folds a stage pool's recovery counters into its profile (snapshot
+    /// semantics: the pool reports totals, not deltas).
+    pub(crate) fn set_stage_recovery(&mut self, stage: usize, retries: u64, restarts: u64) {
+        let profile = self.ensure_stage(stage);
+        profile.retries = profile.retries.max(retries);
+        profile.restarts = profile.restarts.max(restarts);
+    }
+
+    /// Folds a stage queue's deepest observed backlog into its profile.
+    pub(crate) fn set_stage_queue_high_water(&mut self, stage: usize, high_water: u64) {
+        let profile = self.ensure_stage(stage);
+        profile.queue_high_water = profile.queue_high_water.max(high_water);
+    }
+
+    /// Notes the pipeline shape at snapshot time; the uptime denominator
+    /// only ever grows.
+    pub(crate) fn note_pipeline(&mut self, uptime: Duration) {
+        self.pipeline_uptime = self.pipeline_uptime.max(uptime);
+    }
+
+    /// Records one request completing the whole pipeline.
+    pub(crate) fn record_pipeline_reply(&mut self, latency: Duration) {
+        self.images += 1;
+        self.image_latencies.push(latency.as_secs_f64());
     }
 
     /// Tokens run so far.
@@ -545,6 +681,57 @@ impl SessionStats {
         self.pool_health
     }
 
+    /// Per-stage serving profiles, in stage order. Empty unless the
+    /// stats came from a [`PipelineGraph`](crate::pipeline::PipelineGraph).
+    pub fn stage_profiles(&self) -> &[StageProfile] {
+        &self.stage_profiles
+    }
+
+    /// Requests that travelled the whole pipeline successfully.
+    pub fn images(&self) -> u64 {
+        self.images
+    }
+
+    /// How long the pipeline behind these stats has been open.
+    pub fn pipeline_uptime(&self) -> Duration {
+        self.pipeline_uptime
+    }
+
+    /// End-to-end pipeline throughput: completed requests per second of
+    /// pipeline uptime. `None` when the uptime is below clock
+    /// resolution (same discipline as
+    /// [`tokens_per_sec`](SessionStats::tokens_per_sec)).
+    pub fn images_per_sec(&self) -> Option<f64> {
+        let secs = self.pipeline_uptime.as_secs_f64();
+        (secs > 0.0 && self.images > 0).then(|| self.images as f64 / secs)
+    }
+
+    /// Median end-to-end pipeline latency, once the pipeline has served.
+    pub fn p50_image_latency(&self) -> Option<Duration> {
+        self.image_latencies
+            .percentile(50.0)
+            .map(Duration::from_secs_f64)
+    }
+
+    /// 99th-percentile end-to-end pipeline latency.
+    pub fn p99_image_latency(&self) -> Option<Duration> {
+        self.image_latencies
+            .percentile(99.0)
+            .map(Duration::from_secs_f64)
+    }
+
+    /// Per-stage occupancy against the pipeline uptime, in stage order.
+    /// Empty when the uptime is below clock resolution.
+    pub fn stage_occupancy(&self) -> Vec<f64> {
+        if self.pipeline_uptime.as_secs_f64() <= 0.0 {
+            return Vec::new();
+        }
+        self.stage_profiles
+            .iter()
+            .map(|p| p.occupancy(self.pipeline_uptime))
+            .collect()
+    }
+
     /// Per-replica utilisation: the share of the pool's uptime each
     /// replica spent inside its backend. Empty when the uptime is below
     /// clock resolution (same discipline as
@@ -637,6 +824,23 @@ impl fmt::Display for SessionStats {
                 self.mean_coalesced_batch(),
                 self.max_queue_depth,
             )?;
+        }
+        if !self.stage_profiles.is_empty() {
+            write!(f, ", pipeline: {} images", self.images)?;
+            if let Some(rate) = self.images_per_sec() {
+                write!(f, " ({rate:.0} images/s)")?;
+            }
+            if let (Some(p50), Some(p99)) = (self.p50_image_latency(), self.p99_image_latency()) {
+                write!(
+                    f,
+                    ", e2e p50 {:.1}us / p99 {:.1}us",
+                    p50.as_secs_f64() * 1e6,
+                    p99.as_secs_f64() * 1e6,
+                )?;
+            }
+            for profile in &self.stage_profiles {
+                write!(f, ", [{}] {} items", profile.name, profile.items)?;
+            }
         }
         if self.retries > 0 || self.pool_health.quarantined > 0 || self.pool_health.restarts > 0 {
             write!(
@@ -957,6 +1161,47 @@ mod tests {
         assert_eq!(stats.pool_uptime(), Duration::from_millis(100));
         // Stats that never saw a pool make no utilisation claims.
         assert!(SessionStats::default().replica_utilisation().is_empty());
+    }
+
+    #[test]
+    fn stage_profiles_accumulate_and_report_occupancy() {
+        let mut stats = SessionStats::default();
+        stats.init_stage(0, "conv");
+        stats.init_stage(1, "relu");
+        stats.record_stage_item(0, Duration::from_millis(40), Duration::from_millis(50));
+        stats.record_stage_item(0, Duration::from_millis(10), Duration::from_millis(90));
+        stats.record_stage_item(1, Duration::from_millis(5), Duration::from_millis(5));
+        stats.set_stage_recovery(0, 3, 1);
+        stats.set_stage_queue_high_water(1, 7);
+        stats.note_pipeline(Duration::from_millis(100));
+        stats.record_pipeline_reply(Duration::from_millis(95));
+        let profiles = stats.stage_profiles();
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].name(), "conv");
+        assert_eq!(profiles[0].items(), 2);
+        assert_eq!(profiles[0].busy(), Duration::from_millis(50));
+        assert_eq!(profiles[0].retries(), 3);
+        assert_eq!(profiles[0].restarts(), 1);
+        assert_eq!(profiles[1].queue_high_water(), 7);
+        assert_eq!(profiles[0].p99_residence(), Some(Duration::from_millis(90)));
+        let occupancy = stats.stage_occupancy();
+        assert!((occupancy[0] - 0.5).abs() < 1e-9, "{occupancy:?}");
+        assert!((occupancy[1] - 0.05).abs() < 1e-9, "{occupancy:?}");
+        assert_eq!(stats.images(), 1);
+        assert!(stats.images_per_sec().is_some_and(|r| r > 0.0));
+        assert_eq!(stats.p50_image_latency(), Some(Duration::from_millis(95)));
+        // Snapshot semantics: recovery counters never regress, the
+        // uptime denominator only grows.
+        stats.set_stage_recovery(0, 2, 0);
+        assert_eq!(stats.stage_profiles()[0].retries(), 3);
+        stats.note_pipeline(Duration::from_millis(60));
+        assert_eq!(stats.pipeline_uptime(), Duration::from_millis(100));
+        let text = stats.to_string();
+        assert!(text.contains("pipeline: 1 images"), "{text}");
+        assert!(text.contains("[conv] 2 items"), "{text}");
+        // Stats that never saw a pipeline stay silent about one.
+        assert!(SessionStats::default().stage_profiles().is_empty());
+        assert_eq!(SessionStats::default().images_per_sec(), None);
     }
 
     #[test]

@@ -1,0 +1,480 @@
+//! End-to-end tests for `PipelineGraph` streaming dataflow serving: a
+//! whole multi-layer `Network` deployed as one chained pipeline of host
+//! and macro stages.
+//!
+//! The contract under test:
+//!
+//! - **Bit-identicality** — the deployed pipeline's logits equal
+//!   `Network::forward` bit for bit, for any image, under any number of
+//!   concurrent submitters, through transient chaos faults and replica
+//!   crashes (the recovery machinery must be invisible in the data).
+//! - **Backpressure** — bounded inter-stage queues: a slow stage makes
+//!   intake answer typed `QueueFull`, never unbounded memory.
+//! - **Zero leaked tickets** — every accepted submission resolves, with
+//!   a reply or a typed `BackendError::Stage` naming the failing stage,
+//!   including when a whole stage dies and in-flight work is drained.
+//!
+//! The chaos seed is `MADDPIPE_CHAOS_SEED` when set (CI sweeps several),
+//! 7 otherwise; every fault schedule is a pure function of it.
+
+use maddpipe::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The chaos seed under test: `MADDPIPE_CHAOS_SEED` when set (the CI
+/// stress job sweeps a few), 7 otherwise.
+fn chaos_seed() -> u64 {
+    std::env::var("MADDPIPE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+/// The demo CNN every test deploys: `(2, 8, 8)` images → two macro conv
+/// stages interleaved with host ReLU/pool/affine → 10 logits.
+fn demo_network() -> Network {
+    Network::demo(42)
+}
+
+/// Lowers `net` onto functional backends with `replicas` replicas per
+/// conv stage and a generous retry budget.
+fn demo_spec(net: &Network, replicas: usize) -> PipelineSpec {
+    net.to_pipeline_spec(
+        BackendKind::Functional { workers: 1 },
+        &StagePolicy::default()
+            .with_replicas(replicas)
+            .with_recovery(
+                RecoveryPolicy::default()
+                    .with_max_retries(8)
+                    .with_backoff(Duration::from_micros(50))
+                    .with_respawn(2),
+            ),
+    )
+    .expect("the demo network lowers")
+}
+
+/// Submits through intake backpressure: a full queue is a retry, not a
+/// failure — exactly what a well-behaved client does with `QueueFull`.
+fn submit_retrying(graph: &PipelineGraph, img: &[f32]) -> PipelineTicket {
+    loop {
+        match graph.submit(img.to_vec()) {
+            Ok(t) => return t,
+            Err(BackendError::QueueFull { .. }) => std::thread::yield_now(),
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+}
+
+/// Rewrites conv stage `target` (index into the spec) through `wrap` —
+/// the hook that injects a `ChaosBackend` into the middle of a deployed
+/// pipeline while every other stage stays pristine.
+fn wrap_stage(
+    spec: &PipelineSpec,
+    target: usize,
+    wrap: impl Fn(ReplicaFactory) -> ReplicaFactory,
+) -> PipelineSpec {
+    let mut out = PipelineSpec::new();
+    for (i, stage) in spec.stages().iter().enumerate() {
+        match stage {
+            StageSpec::Macro(m) if i == target => {
+                out.push(StageSpec::Macro(m.clone().map_recipe(&wrap)));
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+#[test]
+fn concurrent_submitters_get_logits_bit_identical_to_forward() {
+    const CLIENTS: usize = 6;
+    const IMAGES_PER_CLIENT: usize = 8;
+
+    let net = demo_network();
+    let graph = PipelineGraph::build(
+        demo_spec(&net, 2),
+        PipelinePolicy::default().with_capacity(16),
+    )
+    .expect("graph deploys");
+
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let graph = &graph;
+            let net = &net;
+            scope.spawn(move || {
+                // Submit everything first, then wait — all clients'
+                // images really stream through the stages together.
+                let images: Vec<Vec<f32>> = (0..IMAGES_PER_CLIENT)
+                    .map(|r| Network::demo_image(1 + (c as u64) * 1000 + r as u64, net.input_len()))
+                    .collect();
+                let tickets: Vec<PipelineTicket> = images
+                    .iter()
+                    .map(|img| submit_retrying(graph, img))
+                    .collect();
+                for (img, ticket) in images.iter().zip(tickets) {
+                    let reply = ticket.wait().expect("served");
+                    let expected = net.forward(img).expect("host forward");
+                    assert_eq!(reply.outputs, expected, "bit-identical logits");
+                }
+            });
+        }
+    });
+
+    // Per-stage accounting: every image passed through every stage.
+    let total = (CLIENTS * IMAGES_PER_CLIENT) as u64;
+    let stats = graph.shutdown();
+    assert_eq!(stats.images(), total);
+    assert_eq!(stats.stage_profiles().len(), net.len());
+    assert_eq!(stats.stage_occupancy().len(), net.len());
+    for (profile, name) in stats.stage_profiles().iter().zip(net.layer_names()) {
+        assert_eq!(profile.name(), name);
+        assert_eq!(profile.items(), total, "stage {name} saw every image");
+        assert!(profile.p99_residence().is_some(), "stage {name} measured");
+    }
+    assert!(stats.images_per_sec().is_some());
+    assert!(stats.p99_image_latency().is_some());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        .. ProptestConfig::default()
+    })]
+
+    /// The tentpole acceptance property: for random images, a deployed
+    /// pipeline is bit-identical to the host `Network::forward`, with
+    /// several images in flight at once.
+    #[test]
+    fn prop_pipeline_logits_match_forward(
+        images in proptest::collection::vec(
+            proptest::collection::vec(-1.0f32..1.0, 2 * 8 * 8),
+            1..5,
+        )
+    ) {
+        let net = demo_network();
+        let graph = PipelineGraph::build(demo_spec(&net, 1), PipelinePolicy::default())
+            .expect("graph deploys");
+        let tickets: Vec<PipelineTicket> = images
+            .iter()
+            .map(|img| graph.submit(img.clone()).expect("capacity covers the burst"))
+            .collect();
+        for (img, ticket) in images.iter().zip(tickets) {
+            let reply = ticket.wait().expect("served");
+            let expected = net.forward(img).expect("host forward");
+            prop_assert_eq!(&reply.outputs, &expected);
+        }
+        graph.shutdown();
+    }
+}
+
+#[test]
+fn a_slow_stage_exerts_backpressure_at_intake_with_bounded_memory() {
+    // A two-stage pipeline whose first stage is deliberately slow:
+    // submissions beyond the bounded queues must answer QueueFull at
+    // intake — backpressure as a typed signal, not unbounded buffering.
+    let spec = PipelineSpec::new()
+        .host("slow", |x: Vec<f32>| {
+            std::thread::sleep(Duration::from_millis(5));
+            Ok(x)
+        })
+        .host("identity", Ok);
+    let capacity = 2;
+    let graph = PipelineGraph::build(spec, PipelinePolicy::default().with_capacity(capacity))
+        .expect("graph deploys");
+
+    // Hammer the intake: far more submissions than the queues hold.
+    let mut accepted = Vec::new();
+    let mut rejected = 0u32;
+    for i in 0..64 {
+        match graph.submit(vec![i as f32]) {
+            Ok(t) => accepted.push(t),
+            Err(BackendError::QueueFull { limit }) => {
+                assert!(
+                    matches!(limit, QueueLimit::Requests { max_depth } if max_depth == capacity),
+                    "the refusal names the intake bound: {limit:?}"
+                );
+                rejected += 1;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+        // In-flight work is bounded by the queues plus the stages'
+        // own hands — never proportional to the submission count.
+        assert!(
+            graph.depth() <= 2 * capacity + 2,
+            "depth {} outgrew the bounded queues",
+            graph.depth()
+        );
+    }
+    assert!(rejected > 0, "the slow stage never pushed back");
+    assert!(!accepted.is_empty(), "some of the burst was admitted");
+
+    // Backpressure is flow control, not loss: everything accepted is
+    // served, in submission order.
+    let mut last = f32::NEG_INFINITY;
+    for ticket in accepted {
+        let reply = ticket.wait().expect("accepted work is served");
+        assert!(reply.outputs[0] > last, "FIFO across the pipeline");
+        last = reply.outputs[0];
+    }
+    assert_eq!(graph.depth(), 0, "zero leaked tickets");
+    graph.shutdown();
+}
+
+#[test]
+fn chaos_transient_faults_are_invisible_in_the_logits() {
+    // A ChaosBackend wrapped around the *second* conv stage injects
+    // seeded transient failures mid-pipeline; the stage's pool retries
+    // them invisibly — every reply stays bit-identical to forward.
+    let net = demo_network();
+    let target = 3; // "3-conv", the middle macro stage
+    let state = ChaosState::new();
+    let chaos = ChaosConfig::default()
+        .with_seed(chaos_seed())
+        .with_transient_rate(0.25);
+    let spec = wrap_stage(&demo_spec(&net, 2), target, |recipe| {
+        wrap_recipe(recipe, chaos, Arc::clone(&state))
+    });
+    let graph =
+        PipelineGraph::build(spec, PipelinePolicy::default().with_capacity(16)).expect("deploys");
+
+    let images: Vec<Vec<f32>> = (0..24)
+        .map(|r| Network::demo_image(9000 + r as u64, net.input_len()))
+        .collect();
+    let tickets: Vec<PipelineTicket> = images
+        .iter()
+        .map(|img| submit_retrying(&graph, img))
+        .collect();
+    for (img, ticket) in images.iter().zip(tickets) {
+        let reply = ticket.wait().expect("served through transient chaos");
+        assert_eq!(
+            reply.outputs,
+            net.forward(img).expect("host forward"),
+            "retries are invisible in the data"
+        );
+    }
+
+    let stats = graph.shutdown();
+    assert_eq!(stats.images(), 24);
+    assert!(
+        stats.stage_profiles()[target].retries() >= 1,
+        "a 25% transient rate over 24 images cannot round to zero retries"
+    );
+}
+
+#[test]
+fn a_forced_replica_crash_respawns_and_the_stream_survives() {
+    // The middle conv stage's only replica panics mid-stream; the
+    // stage's RecoveryPolicy respawns it from the recipe and the
+    // survivors' replies stay bit-identical. Zero leaked tickets.
+    let net = demo_network();
+    let target = 3;
+    let state = ChaosState::new();
+    let chaos = ChaosConfig::default()
+        .with_seed(chaos_seed())
+        .with_panic_on_call(5);
+    let spec = wrap_stage(&demo_spec(&net, 1), target, |recipe| {
+        wrap_recipe(recipe, chaos, Arc::clone(&state))
+    });
+    let graph =
+        PipelineGraph::build(spec, PipelinePolicy::default().with_capacity(16)).expect("deploys");
+
+    let images: Vec<Vec<f32>> = (0..16)
+        .map(|r| Network::demo_image(7000 + r as u64, net.input_len()))
+        .collect();
+    let tickets: Vec<PipelineTicket> = images
+        .iter()
+        .map(|img| submit_retrying(&graph, img))
+        .collect();
+    for (img, ticket) in images.iter().zip(tickets) {
+        let reply = ticket.wait().expect("served through the crash");
+        assert_eq!(
+            reply.outputs,
+            net.forward(img).expect("host forward"),
+            "the respawn is invisible in the data"
+        );
+    }
+    assert_eq!(graph.depth(), 0, "zero leaked tickets");
+
+    let stats = graph.shutdown();
+    assert_eq!(stats.images(), 16);
+    assert!(
+        stats.stage_profiles()[target].restarts() >= 1,
+        "the forced crash respawned: {:?}",
+        stats.stage_profiles()[target]
+    );
+    assert_eq!(stats.pool_health().quarantined, 0);
+}
+
+#[test]
+fn wrong_width_replies_are_typed_stage_errors_and_the_pipeline_survives() {
+    // A chaos fault breaking the one-observation-per-token contract in
+    // the middle stage must cost exactly the affected submissions — as
+    // a typed Stage error naming stage and cause — while the pipeline
+    // itself stays up and later, clean work still serves.
+    let net = demo_network();
+    let target = 3;
+    let state = ChaosState::new();
+    let chaos = ChaosConfig::default()
+        .with_seed(chaos_seed())
+        .with_wrong_width_rate(1.0);
+    let spec = wrap_stage(&demo_spec(&net, 1), target, |recipe| {
+        wrap_recipe(recipe, chaos, Arc::clone(&state))
+    });
+    let graph =
+        PipelineGraph::build(spec, PipelinePolicy::default().with_capacity(8)).expect("deploys");
+
+    let image = Network::demo_image(1, net.input_len());
+    let tickets: Vec<PipelineTicket> = (0..4)
+        .map(|_| graph.submit(image.clone()).expect("accepted"))
+        .collect();
+    for ticket in tickets {
+        let err = ticket.wait().expect_err("truncated data is an error");
+        assert!(!err.is_transient(), "a payload fault is fatal, not a retry");
+        match err {
+            BackendError::Stage { stage, source } => {
+                assert_eq!(stage, target, "the error names the broken stage");
+                assert!(
+                    matches!(*source, BackendError::MalformedProgram { .. }),
+                    "and the payload fault: {source:?}"
+                );
+            }
+            other => panic!("expected a Stage error, got {other:?}"),
+        }
+    }
+    assert_eq!(graph.depth(), 0, "zero leaked tickets");
+
+    // The stage itself survived (the fault is per-payload, not fatal to
+    // the replica): the pipeline still *accepts* work — intake after a
+    // stage death would be refused with the stored failure instead.
+    let ticket = graph.submit(image).expect("the pipeline is still open");
+    let err = ticket.wait().expect_err("the chaos is still armed");
+    assert!(matches!(err, BackendError::Stage { .. }), "{err:?}");
+    // The pool coalesces riders into micro-batches, so 5 submissions
+    // can be fewer backend calls — but never zero.
+    assert!(state.calls() >= 1, "the chaos schedule really fired");
+    graph.shutdown();
+}
+
+#[test]
+fn a_dead_stage_drains_in_flight_work_with_typed_errors_no_leaks() {
+    // Exhaust a stage's recovery budget (single replica, a forced
+    // crash, zero respawns): the stage dies. Every in-flight ticket
+    // must resolve with a typed Stage error — drained, not leaked — and
+    // subsequent submissions are refused with the same stored error.
+    let net = demo_network();
+    let target = 0; // kill the *first* conv so everything in flight drains
+    let state = ChaosState::new();
+    let chaos = ChaosConfig::default()
+        .with_seed(chaos_seed())
+        .with_panic_on_call(0); // the stage's only replica dies immediately
+    let spec = net
+        .to_pipeline_spec(
+            BackendKind::Functional { workers: 1 },
+            &StagePolicy::default().with_recovery(
+                RecoveryPolicy::default()
+                    .with_max_retries(1)
+                    .with_backoff(Duration::from_micros(10))
+                    .with_respawn(0), // quarantine kills the one-replica pool
+            ),
+        )
+        .expect("lowers");
+    let spec = wrap_stage(&spec, target, |recipe| {
+        wrap_recipe(recipe, chaos, Arc::clone(&state))
+    });
+    let graph =
+        PipelineGraph::build(spec, PipelinePolicy::default().with_capacity(8)).expect("deploys");
+
+    let image = Network::demo_image(2, net.input_len());
+    let tickets: Vec<PipelineTicket> = (0..6)
+        .map(|_| graph.submit(image.clone()).expect("accepted while alive"))
+        .collect();
+    let mut stage_errors = 0;
+    for ticket in tickets {
+        // Every ticket resolves — the zero-leak invariant under stage
+        // death — each with a typed error naming a stage.
+        let err = ticket.wait().expect_err("the stage is beyond recovery");
+        match err {
+            BackendError::Stage { .. } => stage_errors += 1,
+            other => panic!("expected a typed Stage error, got {other:?}"),
+        }
+    }
+    assert_eq!(stage_errors, 6);
+    assert_eq!(graph.depth(), 0, "zero leaked tickets after stage death");
+
+    // New work is refused with the stored failure, not silently queued.
+    let err = graph
+        .submit(image)
+        .expect_err("a dead pipeline refuses intake");
+    assert!(matches!(err, BackendError::Stage { .. }), "{err:?}");
+    graph.shutdown();
+}
+
+#[test]
+fn a_timed_out_wait_names_the_stage_the_request_is_blocked_at() {
+    // The stage-position probe: when a wait times out, the ticket can
+    // say *where* the request is stuck instead of timing out opaquely.
+    let spec = PipelineSpec::new()
+        .host("fast", Ok)
+        .host("glacial", |x: Vec<f32>| {
+            std::thread::sleep(Duration::from_millis(150));
+            Ok(x)
+        });
+    let graph = PipelineGraph::build(spec, PipelinePolicy::default().with_capacity(4))
+        .expect("graph deploys");
+
+    let tickets: Vec<PipelineTicket> = (0..3)
+        .map(|i| graph.submit(vec![i as f32]).expect("accepted"))
+        .collect();
+    let mut blocked_at = Vec::new();
+    for ticket in tickets {
+        match ticket.wait_timeout(Duration::from_millis(5)) {
+            Ok(resolved) => {
+                resolved.expect("a resolved ticket carries its reply");
+            }
+            Err(ticket) => {
+                // The probe names the blocking stage.
+                let state = ticket.state();
+                let stage = state.stage().expect("unresolved means positioned");
+                assert!(stage < graph.stage_names().len());
+                blocked_at.push(graph.stage_names()[stage].clone());
+                // And the handed-back ticket still resolves normally.
+                let reply = ticket.wait().expect("served after the wait resumes");
+                assert!(!reply.outputs.is_empty());
+            }
+        }
+    }
+    assert!(
+        blocked_at
+            .iter()
+            .any(|name| name == "glacial" || name == "fast"),
+        "at least one wait timed out against the glacial stage: {blocked_at:?}"
+    );
+    assert_eq!(graph.depth(), 0);
+    graph.shutdown();
+}
+
+#[test]
+fn forward_trace_matches_the_lowered_specs_reference_trace() {
+    // The per-layer golden contract: the network's host-side activation
+    // trace and the lowered spec's synchronous reference trace agree
+    // bit for bit, layer by layer — the foundation the streaming
+    // bit-identicality tests stand on.
+    let net = demo_network();
+    let spec = demo_spec(&net, 1);
+    assert_eq!(spec.stage_names(), net.layer_names());
+    for seed in [1u64, 2, 3] {
+        let image = Network::demo_image(seed, net.input_len());
+        let host = net.forward_trace(&image).expect("host trace");
+        let lowered = spec.reference_trace(&image).expect("lowered trace");
+        assert_eq!(host.len(), lowered.len());
+        for (h, l) in host.iter().zip(&lowered) {
+            assert_eq!(&h.output, l, "layer {} diverged", h.name);
+        }
+        assert_eq!(
+            host.last().expect("nonempty").output,
+            net.forward(&image).expect("forward"),
+            "the trace ends at the logits"
+        );
+    }
+}
