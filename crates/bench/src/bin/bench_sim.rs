@@ -154,6 +154,52 @@ fn sharded_tokens_per_sec(shards: usize) -> f64 {
     })
 }
 
+/// The content-addressed result cache on a repeated-patch workload: a
+/// 1024-token batch drawn from a 32-token alphabet (flat image regions
+/// re-emitting the same im2col windows) at the flagship shape. Cold is
+/// the plain functional backend on that batch; warm is a `CachedBackend`
+/// replaying it after one fill pass. Returns the cold and warm median
+/// rates plus the measured hit-rate and intra-batch dedup count — the
+/// proof the warm number comes from real cache traffic.
+fn cache_snapshot() -> (f64, f64, f64, u64) {
+    let cfg = MacroConfig::paper_flagship();
+    let program = MacroProgram::random(cfg.ndec, cfg.ns, 7);
+    let alphabet = TokenBatch::random(cfg.ns, 32, 11).into_tokens();
+    let tokens: Vec<Token> = (0..1024)
+        .map(|i| alphabet[(i * 7) % alphabet.len()].clone())
+        .collect();
+    let batch = TokenBatch::new(tokens).expect("non-empty");
+    let mut cold = Session::builder(cfg.clone())
+        .program(program.clone())
+        .backend(BackendKind::Functional { workers: 1 })
+        .build()
+        .expect("random program fits its own shape");
+    let cold_rate = median_rate(7, || {
+        cold.run(&batch).expect("batch completes");
+        batch.len() as u64
+    });
+    let mut cached = Session::builder(cfg)
+        .program(program)
+        .backend(BackendKind::Cached {
+            cache: CacheConfig::default(),
+            inner: CachedKind::Functional { workers: 1 },
+        })
+        .build()
+        .expect("random program fits its own shape");
+    cached.run(&batch).expect("fill pass completes");
+    let warm_rate = median_rate(7, || {
+        cached.run(&batch).expect("batch completes");
+        batch.len() as u64
+    });
+    let cache = cached.stats().cache();
+    (
+        cold_rate,
+        warm_rate,
+        cache.hit_rate().unwrap_or(0.0),
+        cache.dedup,
+    )
+}
+
 /// Serving-queue throughput and latency at the flagship shape:
 /// `clients` submitter threads push bursts through one `ServeQueue` over
 /// a single-worker functional backend. Returns the median tokens/s plus
@@ -495,6 +541,48 @@ fn smoke() {
         chaos_stats.retries(),
         chaos_stats.pool_health().restarts
     );
+    // Cache pass: a duplicate-heavy batch twice through a cached
+    // 2-replica pool — the counters must show real hits and dedup, or
+    // the cache tier stopped doing anything while staying correct.
+    let cfg = MacroConfig::paper_flagship();
+    let program = MacroProgram::random(cfg.ndec, cfg.ns, 7);
+    let alphabet = TokenBatch::random(cfg.ns, 8, 11).into_tokens();
+    let dup_batch = TokenBatch::new(
+        (0..64)
+            .map(|i| alphabet[(i * 3) % alphabet.len()].clone())
+            .collect(),
+    )
+    .expect("non-empty");
+    let cached_pool = Session::builder(cfg)
+        .program(program)
+        .backend(BackendKind::Cached {
+            cache: CacheConfig::default(),
+            inner: CachedKind::Functional { workers: 1 },
+        })
+        .into_pool(ServePolicy::default().with_replicas(2))
+        .expect("cached pool comes up");
+    // Four rounds: every replica's private store sees the batch at
+    // least twice, so warm hits show up alongside the dedup.
+    for _ in 0..4 {
+        cached_pool
+            .submit(dup_batch.clone())
+            .expect("accepted")
+            .wait()
+            .expect("served");
+    }
+    let cache_stats = cached_pool.shutdown();
+    assert!(
+        cache_stats.cache_hits() + cache_stats.cache_dedup() > 0,
+        "a duplicate-heavy batch produced no cache traffic"
+    );
+    assert!(cache_stats.cache_misses() > 0);
+    println!(
+        "smoke cache:  {} hits, {} misses, {} deduped over {} tokens",
+        cache_stats.cache_hits(),
+        cache_stats.cache_misses(),
+        cache_stats.cache_dedup(),
+        cache_stats.tokens()
+    );
     // Pipeline pass: a handful of images through the lowered demo CNN,
     // checked bit-identical to the host forward — proof the dataflow
     // serving path moves whole images, not just tokens.
@@ -567,6 +655,7 @@ fn main() {
     let shd_s4 = sharded_tokens_per_sec(4);
     let rtl_seq = rtl_tokens_per_sec(Fidelity::Sequential);
     let rtl_pip = rtl_tokens_per_sec(Fidelity::Pipelined);
+    let (cache_cold, cache_warm, cache_hit_rate, cache_dedup) = cache_snapshot();
     let (sq_c1, _, _, _) = serving_queue_snapshot(1);
     let (sq_c4, sq_p50, sq_p99, sq_coalesced) = serving_queue_snapshot(4);
     let rp_r1 = replica_pool_tokens_per_sec(1);
@@ -605,6 +694,21 @@ fn main() {
     let _ = writeln!(json, "    \"sharded_wide64_s4\": {shd_s4:.0},");
     let _ = writeln!(json, "    \"rtl_ndec2_ns2_sequential\": {rtl_seq:.1},");
     let _ = writeln!(json, "    \"rtl_ndec2_ns2_pipelined\": {rtl_pip:.1}");
+    let _ = writeln!(json, "  }},");
+    // The result cache tier on the repeated-patch workload: warm replay
+    // rate against the uncached cold rate, with the measured hit-rate
+    // and intra-batch dedup count proving the speedup is cache traffic.
+    let _ = writeln!(json, "  \"cache\": {{");
+    let _ = writeln!(
+        json,
+        "    \"repeated_patch_cold_tokens_per_sec\": {cache_cold:.0},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"repeated_patch_warm_tokens_per_sec\": {cache_warm:.0},"
+    );
+    let _ = writeln!(json, "    \"warm_hit_rate\": {cache_hit_rate:.4},");
+    let _ = writeln!(json, "    \"intra_batch_dedup_tokens\": {cache_dedup}");
     let _ = writeln!(json, "  }},");
     // The async serving queue in front of the flagship functional
     // backend: throughput at 1/4 submitter threads plus the queue-side

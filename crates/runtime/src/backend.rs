@@ -62,6 +62,17 @@ pub enum BackendKind {
         /// The backend kind every shard executes on.
         inner: ShardKind,
     },
+    /// `inner` behind a content-addressed
+    /// [`CachedBackend`](crate::cache::CachedBackend) result tier:
+    /// repeated tokens are served from a bounded store instead of
+    /// recomputed, and identical tokens within one batch are computed
+    /// once (see [`crate::cache`] for the purity contract).
+    Cached {
+        /// Capacity bounds of the result store.
+        cache: crate::cache::CacheConfig,
+        /// The backend the cache fronts on a miss.
+        inner: CachedKind,
+    },
 }
 
 impl Default for BackendKind {
@@ -99,13 +110,75 @@ impl BackendKind {
             BackendKind::Sharded { shards, inner } => Box::new(
                 crate::sharded::ShardedBackend::uniform(cfg, &program, shards, inner)?,
             ),
+            BackendKind::Cached { cache, inner } => {
+                let inner_backend = BackendKind::from(inner).build(cfg, program.clone())?;
+                Box::new(crate::cache::CachedBackend::new(
+                    inner_backend,
+                    &program,
+                    cache,
+                ))
+            }
         })
+    }
+}
+
+/// What a [`BackendKind::Cached`] tier fronts — every [`BackendKind`]
+/// except another cache (cache tiers do not nest; a sharded inner may
+/// still carry per-shard caches via [`ShardKind::Cached`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachedKind {
+    /// Pure LUT math on `workers` threads.
+    Functional {
+        /// Worker threads (1 = the owning thread).
+        workers: usize,
+    },
+    /// The event-driven netlist.
+    Rtl {
+        /// Sequential handshaking or pipelined streaming.
+        fidelity: Fidelity,
+    },
+    /// The closed-form PPA model.
+    Analytic,
+    /// A sharded composition behind the cache.
+    Sharded {
+        /// Macro instances the decoder chains are partitioned across.
+        shards: usize,
+        /// The backend kind every shard executes on.
+        inner: ShardKind,
+    },
+}
+
+impl Default for CachedKind {
+    fn default() -> CachedKind {
+        CachedKind::Functional { workers: 1 }
+    }
+}
+
+impl From<CachedKind> for BackendKind {
+    fn from(kind: CachedKind) -> BackendKind {
+        match kind {
+            CachedKind::Functional { workers } => BackendKind::Functional { workers },
+            CachedKind::Rtl { fidelity } => BackendKind::Rtl { fidelity },
+            CachedKind::Analytic => BackendKind::Analytic,
+            CachedKind::Sharded { shards, inner } => BackendKind::Sharded { shards, inner },
+        }
+    }
+}
+
+impl From<LeafKind> for CachedKind {
+    fn from(kind: LeafKind) -> CachedKind {
+        match kind {
+            LeafKind::Functional { workers } => CachedKind::Functional { workers },
+            LeafKind::Rtl { fidelity } => CachedKind::Rtl { fidelity },
+            LeafKind::Analytic => CachedKind::Analytic,
+        }
     }
 }
 
 /// The backend one shard of a
 /// [`ShardedBackend`](crate::sharded::ShardedBackend) executes on — the
-/// three *leaf* kinds of [`BackendKind`] (shards do not nest).
+/// leaf kinds of [`BackendKind`] (shards do not nest), optionally behind
+/// a per-shard result cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShardKind {
     /// Pure LUT math on `workers` threads per shard.
@@ -120,6 +193,16 @@ pub enum ShardKind {
     },
     /// The closed-form PPA model, one per shard.
     Analytic,
+    /// A leaf kind behind a per-shard
+    /// [`CachedBackend`](crate::cache::CachedBackend): each shard caches
+    /// its own sub-program's results, keyed on the sub-program's
+    /// fingerprint, and the sharded backend aggregates the counters.
+    Cached {
+        /// Capacity bounds of each shard's result store.
+        cache: crate::cache::CacheConfig,
+        /// The leaf kind the shard executes on a miss.
+        inner: LeafKind,
+    },
 }
 
 impl Default for ShardKind {
@@ -134,6 +217,45 @@ impl From<ShardKind> for BackendKind {
             ShardKind::Functional { workers } => BackendKind::Functional { workers },
             ShardKind::Rtl { fidelity } => BackendKind::Rtl { fidelity },
             ShardKind::Analytic => BackendKind::Analytic,
+            ShardKind::Cached { cache, inner } => BackendKind::Cached {
+                cache,
+                inner: inner.into(),
+            },
+        }
+    }
+}
+
+/// The three uncached leaf executors — what sits at the very bottom of
+/// every composition ([`ShardKind::Cached`] shards run one of these on
+/// a miss).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeafKind {
+    /// Pure LUT math on `workers` threads.
+    Functional {
+        /// Worker threads (1 = the owning thread).
+        workers: usize,
+    },
+    /// The event-driven netlist.
+    Rtl {
+        /// Sequential handshaking or pipelined streaming.
+        fidelity: Fidelity,
+    },
+    /// The closed-form PPA model.
+    Analytic,
+}
+
+impl Default for LeafKind {
+    fn default() -> LeafKind {
+        LeafKind::Functional { workers: 1 }
+    }
+}
+
+impl From<LeafKind> for ShardKind {
+    fn from(kind: LeafKind) -> ShardKind {
+        match kind {
+            LeafKind::Functional { workers } => ShardKind::Functional { workers },
+            LeafKind::Rtl { fidelity } => ShardKind::Rtl { fidelity },
+            LeafKind::Analytic => ShardKind::Analytic,
         }
     }
 }
@@ -170,6 +292,16 @@ pub trait MacroBackend {
     /// Mutable access to the underlying netlist, when this backend drives
     /// one (energy-counter resets, waveform tracing, event caps).
     fn rtl_mut(&mut self) -> Option<&mut AcceleratorRtl> {
+        None
+    }
+
+    /// A cumulative [`CacheStats`](crate::cache::CacheStats) snapshot,
+    /// when this backend carries a result-cache tier (a
+    /// [`CachedBackend`](crate::cache::CachedBackend) directly, or a
+    /// composition aggregating one — sharded backends sum their shard
+    /// stores, wrappers delegate). Uncached backends return `None`, and
+    /// serving layers skip the harvest entirely.
+    fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
         None
     }
 }

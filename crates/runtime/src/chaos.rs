@@ -237,6 +237,12 @@ impl MacroBackend for ChaosBackend {
         }
         Ok(result)
     }
+
+    /// Chaos is transparent to cache accounting: a wrapped cached tier
+    /// keeps reporting its counters through the faults.
+    fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        self.inner.cache_stats()
+    }
 }
 
 /// Wraps a one-shot [`BackendFactory`] so the backend it builds comes

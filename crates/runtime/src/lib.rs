@@ -56,6 +56,7 @@
 pub mod analytic;
 pub mod backend;
 pub mod batch;
+pub mod cache;
 pub mod chaos;
 pub mod error;
 pub mod functional;
@@ -69,9 +70,14 @@ pub mod sharded;
 
 pub use analytic::AnalyticBackend;
 pub use backend::{
-    validate_program, BackendFactory, BackendKind, Fidelity, MacroBackend, ShardKind,
+    validate_program, BackendFactory, BackendKind, CachedKind, Fidelity, LeafKind, MacroBackend,
+    ShardKind,
 };
 pub use batch::{BatchResult, Token, TokenBatch, TokenObservation};
+pub use cache::{
+    CacheConfig, CacheKey, CacheStats, CacheStore, CachedBackend, ProgramFingerprint,
+    SharedCacheStore,
+};
 pub use chaos::{wrap_factory, wrap_recipe, ChaosBackend, ChaosConfig, ChaosState};
 pub use error::{BackendError, QueueLimit};
 pub use functional::FunctionalBackend;
@@ -91,8 +97,14 @@ pub use sharded::{ShardFactory, ShardedBackend};
 /// Common imports.
 pub mod prelude {
     pub use crate::analytic::AnalyticBackend;
-    pub use crate::backend::{BackendFactory, BackendKind, Fidelity, MacroBackend, ShardKind};
+    pub use crate::backend::{
+        BackendFactory, BackendKind, CachedKind, Fidelity, LeafKind, MacroBackend, ShardKind,
+    };
     pub use crate::batch::{BatchResult, Token, TokenBatch, TokenObservation};
+    pub use crate::cache::{
+        CacheConfig, CacheKey, CacheStats, CacheStore, CachedBackend, ProgramFingerprint,
+        SharedCacheStore,
+    };
     pub use crate::chaos::{wrap_factory, wrap_recipe, ChaosBackend, ChaosConfig, ChaosState};
     pub use crate::error::{BackendError, QueueLimit};
     pub use crate::functional::FunctionalBackend;

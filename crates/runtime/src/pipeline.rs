@@ -1205,6 +1205,15 @@ impl PipelineGraph {
                 let pool_stats = pool.stats();
                 let pool_health = pool.health();
                 stats.set_stage_recovery(i, pool_stats.retries(), pool_health.restarts);
+                let cache = pool_stats.cache();
+                if cache != crate::cache::CacheStats::default() {
+                    // The stage pool's aggregate cache view, both on the
+                    // stage profile and as a top-level source slot (the
+                    // base snapshot never carries cache counters, so the
+                    // per-call fold stays cumulative, not double-counted).
+                    stats.set_stage_cache(i, cache);
+                    stats.note_cache(i, cache);
+                }
                 health.healthy += pool_health.healthy;
                 health.quarantined += pool_health.quarantined;
                 health.restarts += pool_health.restarts;

@@ -734,7 +734,11 @@ impl ReplicaPool {
     /// Seeds the statistics (used by
     /// [`Session::into_pool`](crate::session::Session::into_pool) to
     /// carry a session's accumulated measurements into the pool).
-    pub(crate) fn seed_stats(&self, stats: SessionStats) {
+    pub(crate) fn seed_stats(&self, mut stats: SessionStats) {
+        // The seeding session's backend (and any cache store it owned)
+        // is gone — fold its live cache snapshots into the carried
+        // baseline so this pool's replicas can reuse the slot indices.
+        stats.rebase_cache();
         *self.shared.stats.lock().expect("stats lock") = stats;
     }
 
@@ -1174,6 +1178,21 @@ fn replica_loop(
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| backend.run_batch(&micro)));
         let service = dispatched.elapsed();
         let waits: Vec<Duration> = riders.iter().map(|r| r.queue_wait).collect();
+
+        // Harvest this replica's cache counters after every non-panic
+        // attempt — failed ones included: a transient fault still
+        // counted its misses, and skipping it would understate lookups.
+        // After a panic the backend is about to be discarded, so its
+        // last snapshot is simply lost with it.
+        if outcome.is_ok() {
+            if let Some(cache) = backend.cache_stats() {
+                shared
+                    .stats
+                    .lock()
+                    .expect("stats lock")
+                    .note_cache(replica, cache);
+            }
+        }
 
         // ── Split and resolve: each ticket gets its own token slice ──
         match outcome {

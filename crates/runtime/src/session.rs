@@ -11,6 +11,7 @@
 
 use crate::backend::{validate_program, BackendFactory, BackendKind, MacroBackend};
 use crate::batch::{BatchResult, TokenBatch};
+use crate::cache::CacheStats;
 use crate::error::BackendError;
 use crate::pool::{PoolHealth, ReplicaFactory, ReplicaPool, ServePolicy};
 use crate::queue::{QueuePolicy, ServeQueue};
@@ -250,6 +251,9 @@ impl Session {
         let t0 = Instant::now();
         let result = self.backend.run_batch(batch)?;
         self.stats.absorb(&result, t0.elapsed());
+        if let Some(cache) = self.backend.cache_stats() {
+            self.stats.note_cache(0, cache);
+        }
         Ok(result)
     }
 
@@ -337,6 +341,14 @@ pub struct SessionStats {
     image_latencies: SampleSet,
     /// How long the pipeline has been open — the occupancy denominator.
     pipeline_uptime: Duration,
+    /// Result-cache counters carried over from stores that no longer
+    /// exist (a session converted into a pool/queue) — history only,
+    /// residency gauges zeroed.
+    cache_baseline: CacheStats,
+    /// Latest cumulative cache snapshot per live source (replica index
+    /// for pools/queues/sessions, stage index for pipelines). Each slot
+    /// is one distinct store's view; the aggregate sums them.
+    cache_slots: Vec<CacheStats>,
 }
 
 /// One pipeline stage's serving profile inside [`SessionStats`]: how many
@@ -355,6 +367,9 @@ pub struct StageProfile {
     queue_high_water: u64,
     /// Per-item residence times (seconds) in this stage.
     residence: SampleSet,
+    /// The stage pool's aggregate result-cache snapshot, when its
+    /// replicas run a cached tier.
+    cache: CacheStats,
 }
 
 impl StageProfile {
@@ -399,6 +414,13 @@ impl StageProfile {
     /// 99th-percentile per-item residence in this stage.
     pub fn p99_residence(&self) -> Option<Duration> {
         self.residence.percentile(99.0).map(Duration::from_secs_f64)
+    }
+
+    /// The stage's aggregate result-cache snapshot — all zeros unless
+    /// its replicas run a [`CachedBackend`](crate::cache::CachedBackend)
+    /// tier.
+    pub fn cache(&self) -> CacheStats {
+        self.cache
     }
 
     /// The share of `uptime` this stage spent busy — the per-stage
@@ -546,6 +568,42 @@ impl SessionStats {
         profile.queue_high_water = profile.queue_high_water.max(high_water);
     }
 
+    /// Folds a stage pool's aggregate cache snapshot into its profile
+    /// (snapshot semantics, like the recovery counters).
+    pub(crate) fn set_stage_cache(&mut self, stage: usize, snapshot: CacheStats) {
+        self.ensure_stage(stage).cache.absorb_snapshot(snapshot);
+    }
+
+    /// Folds one source's cumulative cache snapshot into the statistics.
+    /// A source is one distinct store's owner — the replica index for
+    /// pools and queues (and a plain session, which is source 0), the
+    /// stage index for pipelines. Successive snapshots of one source are
+    /// max-merged so repeated harvests never double-count; distinct
+    /// sources sum in [`SessionStats::cache`].
+    pub(crate) fn note_cache(&mut self, source: usize, snapshot: CacheStats) {
+        if self.cache_slots.len() <= source {
+            self.cache_slots.resize(source + 1, CacheStats::default());
+        }
+        self.cache_slots[source].absorb_snapshot(snapshot);
+    }
+
+    /// Retires the live cache slots into the baseline — called when the
+    /// stores that produced them are going away (a session converting
+    /// into a pool or queue rebuilds its backend from the recipe): the
+    /// event counters are history worth carrying, but the residency
+    /// gauges die with the stores.
+    pub(crate) fn rebase_cache(&mut self) {
+        let folded = self
+            .cache_slots
+            .drain(..)
+            .fold(CacheStats::default(), |acc, s| acc.merged(s));
+        self.cache_baseline = self.cache_baseline.merged(CacheStats {
+            resident_entries: 0,
+            resident_bytes: 0,
+            ..folded
+        });
+    }
+
     /// Notes the pipeline shape at snapshot time; the uptime denominator
     /// only ever grows.
     pub(crate) fn note_pipeline(&mut self, uptime: Duration) {
@@ -679,6 +737,53 @@ impl SessionStats {
     /// Default (all zeros) when the stats did not come from a pool.
     pub fn pool_health(&self) -> PoolHealth {
         self.pool_health
+    }
+
+    /// The aggregate result-cache view: counters carried over from
+    /// retired stores plus the live per-source snapshots (each source —
+    /// a replica, or a pipeline stage — owns a distinct store, so they
+    /// sum). All zeros unless a
+    /// [`CachedBackend`](crate::cache::CachedBackend) tier is deployed
+    /// somewhere behind these stats.
+    pub fn cache(&self) -> CacheStats {
+        self.cache_slots
+            .iter()
+            .fold(self.cache_baseline, |acc, s| acc.merged(*s))
+    }
+
+    /// Cache lookups answered from a result store.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache().hits
+    }
+
+    /// Cache lookups that fell through to an inner backend.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache().misses
+    }
+
+    /// Hits over lookups, `None` before the first lookup.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        self.cache().hit_rate()
+    }
+
+    /// Tokens elided by intra-batch deduplication.
+    pub fn cache_dedup(&self) -> u64 {
+        self.cache().dedup
+    }
+
+    /// Entries evicted to keep the configured cache bounds.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache().evictions
+    }
+
+    /// Entries currently resident across every live store.
+    pub fn cache_resident_entries(&self) -> usize {
+        self.cache().resident_entries
+    }
+
+    /// Bytes currently resident across every live store.
+    pub fn cache_resident_bytes(&self) -> usize {
+        self.cache().resident_bytes
     }
 
     /// Per-stage serving profiles, in stage order. Empty unless the
@@ -850,6 +955,20 @@ impl fmt::Display for SessionStats {
                 self.pool_health.restarts,
                 self.pool_health.healthy,
                 self.pool_health.healthy + self.pool_health.quarantined,
+            )?;
+        }
+        let cache = self.cache();
+        if cache.hits + cache.misses + cache.dedup > 0 {
+            write!(
+                f,
+                ", cache: {} hits / {} misses ({:.0}% hit rate), {} deduped, {} evicted, {} resident ({} B)",
+                cache.hits,
+                cache.misses,
+                cache.hit_rate().unwrap_or(0.0) * 100.0,
+                cache.dedup,
+                cache.evictions,
+                cache.resident_entries,
+                cache.resident_bytes,
             )?;
         }
         Ok(())
@@ -1219,5 +1338,107 @@ mod tests {
         assert_eq!(s.backend_name(), "rtl-sequential");
         let rate = s.stats().tokens_per_sec();
         assert!(rate.is_some_and(|r| r > 0.0), "{rate:?}");
+    }
+
+    #[test]
+    fn cached_sessions_report_hits_and_dedup_in_stats() {
+        let cfg = MacroConfig::new(2, 2);
+        let program = MacroProgram::random(2, 2, 17);
+        let mut s = Session::builder(cfg)
+            .program(program)
+            .backend(BackendKind::Cached {
+                cache: crate::cache::CacheConfig::default(),
+                inner: crate::backend::CachedKind::Functional { workers: 1 },
+            })
+            .build()
+            .unwrap();
+        assert_eq!(s.backend_name(), "cached");
+        let repeated = TokenBatch::random(2, 1, 9).tokens()[0].clone();
+        let batch = TokenBatch::new(vec![repeated.clone(), repeated]).unwrap();
+        s.run(&batch).unwrap();
+        s.run(&batch).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.cache_misses(), 1, "one unique token computed once");
+        assert_eq!(stats.cache_dedup(), 1, "in-batch duplicate elided");
+        assert_eq!(stats.cache_hits(), 2, "second batch fully served");
+        assert!(stats.cache_hit_rate().unwrap() > 0.5);
+        assert!(stats.cache_resident_entries() == 1 && stats.cache_resident_bytes() > 0);
+        let text = stats.to_string();
+        assert!(text.contains("cache: 2 hits"), "{text}");
+        // Uncached sessions stay silent about a cache.
+        assert!(!SessionStats::default().to_string().contains("cache:"));
+    }
+
+    /// The PR-9 stats-gap satellite: percentile reservoirs *and* the
+    /// cache counters survive `Session::into_pool` carry-over (only the
+    /// queue-wait fields were covered before).
+    #[test]
+    fn reservoirs_and_cache_counters_survive_into_pool_carry_over() {
+        let cfg = MacroConfig::new(2, 2);
+        let program = MacroProgram::random(2, 2, 23);
+        let mut s = Session::builder(cfg)
+            .program(program.clone())
+            .backend(BackendKind::Cached {
+                cache: crate::cache::CacheConfig::default(),
+                inner: crate::backend::CachedKind::Rtl {
+                    fidelity: Fidelity::Sequential,
+                },
+            })
+            .build()
+            .unwrap();
+        let batch = TokenBatch::random(2, 2, 31);
+        s.run(&batch).unwrap(); // cold: measured latencies, 2 misses
+        s.run(&batch).unwrap(); // warm: 2 hits
+        let p50_before = s.stats().p50_token_latency().expect("RTL measured");
+        let hits_before = s.stats().cache_hits();
+        let misses_before = s.stats().cache_misses();
+        assert!(hits_before > 0 && misses_before > 0);
+
+        let pool = s.into_pool(crate::pool::ServePolicy::default()).unwrap();
+        // Carried over before any pool traffic…
+        let carried = pool.stats();
+        assert_eq!(carried.p50_token_latency(), Some(p50_before));
+        assert_eq!(carried.cache_hits(), hits_before);
+        assert_eq!(carried.cache_misses(), misses_before);
+        // …and still growing: the pool's replica builds a fresh (cold)
+        // store from the same recipe, so the same batch misses again —
+        // on top of the carried counters, never instead of them.
+        pool.submit(batch.clone()).unwrap().wait().unwrap();
+        pool.submit(batch).unwrap().wait().unwrap();
+        let after = pool.shutdown();
+        assert_eq!(after.cache_misses(), misses_before + 2);
+        assert_eq!(after.cache_hits(), hits_before + 2);
+        assert!(after.p50_token_latency().is_some());
+    }
+
+    /// As above for `Session::into_serving` (the one-replica queue).
+    #[test]
+    fn reservoirs_and_cache_counters_survive_into_serving_carry_over() {
+        let cfg = MacroConfig::new(2, 2);
+        let program = MacroProgram::random(2, 2, 29);
+        let mut s = Session::builder(cfg)
+            .program(program)
+            .backend(BackendKind::Cached {
+                cache: crate::cache::CacheConfig::default(),
+                inner: crate::backend::CachedKind::Rtl {
+                    fidelity: Fidelity::Sequential,
+                },
+            })
+            .build()
+            .unwrap();
+        let batch = TokenBatch::random(2, 3, 37);
+        s.run(&batch).unwrap();
+        s.run(&batch).unwrap();
+        let p50_before = s.stats().p50_token_latency().expect("RTL measured");
+        let hits_before = s.stats().cache_hits();
+        let misses_before = s.stats().cache_misses();
+
+        let queue = s.into_serving(QueuePolicy::default()).unwrap();
+        queue.submit(batch.clone()).unwrap().wait().unwrap();
+        queue.submit(batch).unwrap().wait().unwrap();
+        let after = queue.shutdown();
+        assert_eq!(after.p50_token_latency(), Some(p50_before));
+        assert_eq!(after.cache_misses(), misses_before + 3);
+        assert_eq!(after.cache_hits(), hits_before + 3);
     }
 }

@@ -12,7 +12,7 @@
 //! 7 otherwise; every fault schedule is a pure function of it.
 
 use maddpipe::prelude::*;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 const CLIENTS: usize = 8;
@@ -269,6 +269,212 @@ fn wrong_width_outputs_are_a_typed_fatal_error_not_corruption() {
         .wait();
     assert!(again.is_err());
     pool.shutdown();
+}
+
+#[test]
+fn transient_inner_faults_never_poison_the_cached_tier() {
+    // Cache *outside* chaos: the cached tier watches its own inner
+    // backend fail transiently mid-miss. The pinned purity semantic: a
+    // failed micro-batch inserts nothing (no negative caching), the
+    // pool's retry re-executes the misses, and once a token is finally
+    // computed the cached bytes are the true ones — every later hit is
+    // bit-identical, under every CI chaos seed.
+    let cfg = MacroConfig::new(2, 2);
+    let program = MacroProgram::random(cfg.ndec, cfg.ns, 53);
+    let ns = cfg.ns;
+    let alphabet: Vec<Token> = TokenBatch::random(ns, 6, 4242).into_tokens();
+    // max_entries = 3 against a 6-token alphabet: constant churn keeps
+    // the flaky inner in play instead of everything hitting warm.
+    let store: SharedCacheStore = Arc::new(Mutex::new(CacheStore::new(
+        CacheConfig::default().with_max_entries(3),
+    )));
+    let state = ChaosState::new();
+    let chaos = ChaosConfig::default()
+        .with_seed(chaos_seed())
+        .with_transient_rate(0.3);
+    let recipe: ReplicaFactory = {
+        let cfg = cfg.clone();
+        let program = program.clone();
+        let store = Arc::clone(&store);
+        let state = Arc::clone(&state);
+        Arc::new(move || {
+            let inner = BackendKind::Functional { workers: 1 }.build(&cfg, program.clone())?;
+            let flaky = Box::new(ChaosBackend::with_state(inner, chaos, Arc::clone(&state)));
+            Ok(Box::new(CachedBackend::with_store(
+                flaky,
+                &program,
+                Arc::clone(&store),
+            )) as Box<dyn MacroBackend>)
+        })
+    };
+    let pool = ReplicaPool::from_recipes(
+        ServePolicy::default()
+            .with_queue(QueuePolicy::default().with_max_linger(Duration::ZERO))
+            .with_recovery(
+                RecoveryPolicy::default()
+                    .with_max_retries(8)
+                    .with_backoff(Duration::from_micros(50)),
+            ),
+        ns,
+        vec![recipe],
+    )
+    .expect("pool comes up");
+
+    // Sequential submit/wait: each request is its own micro-batch, and
+    // each holds 4 distinct tokens against a 3-entry store — every
+    // single one reaches the flaky inner, so the 30% rate draws dozens
+    // of times under every CI seed.
+    for r in 0..24 {
+        let tokens: Vec<Token> = (0..TOKENS_PER_REQUEST)
+            .map(|t| alphabet[(r * 5 + t) % alphabet.len()].clone())
+            .collect();
+        let batch = TokenBatch::new(tokens).expect("non-empty");
+        let reply = pool
+            .submit(batch.clone())
+            .expect("accepted")
+            .wait()
+            .expect("served through the flaky inner");
+        for (obs, token) in reply.result.tokens.iter().zip(batch.tokens()) {
+            assert_eq!(
+                obs.outputs,
+                program.reference_output(token),
+                "a retried miss must land the true bytes"
+            );
+        }
+    }
+    let stats = pool.shutdown();
+    assert!(stats.retries() >= 1, "the 30% transient rate fired");
+    assert!(
+        stats.cache_misses() > 0 && stats.cache_hits() > 0,
+        "{stats}"
+    );
+
+    // The store itself stayed coherent through every aborted insert.
+    {
+        let guard = store.lock().expect("no poisoned lock");
+        let s = guard.stats();
+        assert_eq!(
+            s.insertions,
+            s.evictions + s.resident_entries as u64,
+            "aborted micro-batches never leaked a phantom entry"
+        );
+        assert!(s.resident_entries <= 3);
+    }
+
+    // Scrub pass with a *clean* inner over the whole alphabet: whatever
+    // survived the storm resident must serve the true bytes.
+    let mut scrub = CachedBackend::with_store(
+        BackendKind::Functional { workers: 1 }
+            .build(&cfg, program.clone())
+            .expect("clean inner builds"),
+        &program,
+        Arc::clone(&store),
+    );
+    let sweep = TokenBatch::new(alphabet.clone()).expect("non-empty");
+    let result = scrub.run_batch(&sweep).expect("clean inner never fails");
+    for (obs, token) in result.tokens.iter().zip(&alphabet) {
+        assert_eq!(
+            obs.outputs,
+            program.reference_output(token),
+            "no poisoned entry survived the storm"
+        );
+    }
+}
+
+#[test]
+fn a_forced_crash_respawns_onto_the_same_warm_store() {
+    // Chaos *outside* the cache this time: a seeded panic kills a
+    // replica mid-service, and the respawned replica re-attaches to the
+    // same shared store. The crash must cost a retry, never the cache —
+    // post-recovery replies stay bit-identical, the warm entries keep
+    // hitting, and the store's accounting balances.
+    let cfg = MacroConfig::new(2, 2);
+    let program = MacroProgram::random(cfg.ndec, cfg.ns, 61);
+    let ns = cfg.ns;
+    let alphabet: Vec<Token> = TokenBatch::random(ns, 5, 777).into_tokens();
+    let store: SharedCacheStore = Arc::new(Mutex::new(CacheStore::new(CacheConfig::default())));
+    let state = ChaosState::new();
+    let chaos = ChaosConfig::default()
+        .with_seed(chaos_seed())
+        .with_panic_on_call(5);
+    let cached_recipe: ReplicaFactory = {
+        let cfg = cfg.clone();
+        let program = program.clone();
+        let store = Arc::clone(&store);
+        Arc::new(move || {
+            let inner = BackendKind::Functional { workers: 1 }.build(&cfg, program.clone())?;
+            Ok(Box::new(CachedBackend::with_store(
+                inner,
+                &program,
+                Arc::clone(&store),
+            )) as Box<dyn MacroBackend>)
+        })
+    };
+    let recipes = (0..2)
+        .map(|_| wrap_recipe(Arc::clone(&cached_recipe), chaos, Arc::clone(&state)))
+        .collect();
+    let pool = ReplicaPool::from_recipes(
+        ServePolicy::default()
+            .with_fairness(Fairness::RoundRobin)
+            .with_queue(QueuePolicy::default().with_max_linger(Duration::ZERO))
+            .with_recovery(
+                RecoveryPolicy::default()
+                    .with_max_retries(8)
+                    .with_backoff(Duration::from_micros(50))
+                    .with_respawn(2),
+            ),
+        ns,
+        recipes,
+    )
+    .expect("pool comes up");
+
+    // Sequential submit/wait: every request is its own micro-batch, so
+    // the shared call counter deterministically reaches the seeded
+    // crash at call 5 — mid-stream, with warm entries already resident.
+    for r in 0..20 {
+        let tokens: Vec<Token> = (0..TOKENS_PER_REQUEST)
+            .map(|t| alphabet[(r * 3 + t) % alphabet.len()].clone())
+            .collect();
+        let batch = TokenBatch::new(tokens).expect("non-empty");
+        let reply = pool
+            .submit(batch.clone())
+            .expect("accepted")
+            .wait()
+            .expect("served through the crash");
+        for (obs, token) in reply.result.tokens.iter().zip(batch.tokens()) {
+            assert_eq!(
+                obs.outputs,
+                program.reference_output(token),
+                "bit-identical across the respawn"
+            );
+        }
+    }
+
+    // The crashed replica's riders were already re-served, but the
+    // respawn itself may still be in flight — give it a bounded moment.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut health = pool.health();
+    while (health.healthy < 2 || health.restarts < 1) && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+        health = pool.health();
+    }
+    assert_eq!(health.healthy, 2, "the crashed replica is back: {health:?}");
+    assert_eq!(health.quarantined, 0);
+    assert!(health.restarts >= 1, "the forced crash respawned");
+
+    let stats = pool.shutdown();
+    assert!(stats.pool_health().restarts >= 1);
+    assert!(
+        stats.cache_hits() > 0 && stats.cache_misses() > 0,
+        "the store stayed warm across the respawn: {stats}"
+    );
+    // With 5 distinct tokens ever submitted, the store computed each at
+    // most once per racing micro-batch — it never ballooned past the
+    // alphabet, crash or not.
+    let guard = store.lock().expect("no poisoned lock");
+    let s = guard.stats();
+    assert!(s.resident_entries <= alphabet.len(), "{s:?}");
+    assert_eq!(s.insertions, s.evictions + s.resident_entries as u64);
 }
 
 #[test]
