@@ -15,6 +15,7 @@ use maddpipe_bench::kernel_workloads::{
     bus_fanout_sim, completion_tree_sim, inverter_chain, macro_testbench,
 };
 use maddpipe_bench::load_gen::{drive, LoadMode, LoadScenario};
+use maddpipe_core::batched::LaneKernel;
 use maddpipe_core::config::MacroConfig;
 use maddpipe_core::macro_rtl::MacroProgram;
 use maddpipe_nn::network::Network;
@@ -116,18 +117,17 @@ fn macro_tokens_per_sec() -> (f64, f64) {
 }
 
 /// Functional-backend throughput at the paper's flagship shape, for the
-/// given worker count — the thread-scaling row of the snapshot.
-fn functional_tokens_per_sec(workers: usize) -> f64 {
+/// given worker count and kernel — the thread-scaling rows of the
+/// snapshot. The `Scalar` rows keep the historical
+/// `backend_tokens_per_sec` baseline comparable across PRs; the batched
+/// lane kernels are reported in the `functional_simd` section against it.
+fn functional_tokens_per_sec(workers: usize, kernel: FunctionalKernel) -> f64 {
     let cfg = MacroConfig::paper_flagship();
     let program = MacroProgram::random(cfg.ndec, cfg.ns, 7);
     let batch = TokenBatch::random(cfg.ns, 1024, 11);
-    let mut session = Session::builder(cfg)
-        .program(program)
-        .backend(BackendKind::Functional { workers })
-        .build()
-        .expect("random program fits its own shape");
+    let mut backend = FunctionalBackend::with_kernel(program, workers, kernel);
     median_rate(7, || {
-        session.run(&batch).expect("batch completes");
+        backend.run_batch(&batch).expect("batch completes");
         batch.len() as u64
     })
 }
@@ -456,6 +456,32 @@ fn pipeline_snapshot(images: usize) -> (f64, Vec<(String, f64, f64)>) {
 /// 2-replica pool, printed but never written to `results/` — enough
 /// for CI to prove the serving path moves tokens.
 fn smoke() {
+    // Batched-kernel pass: both lane kernels bit-identical to the scalar
+    // spec on a ragged (non-lane-multiple) flagship batch — the contract
+    // behind the `functional_simd` rows of the full snapshot.
+    {
+        let cfg = MacroConfig::paper_flagship();
+        let program = MacroProgram::random(cfg.ndec, cfg.ns, 7);
+        let batch = TokenBatch::random(cfg.ns, 130, 3);
+        let golden: Vec<Vec<i16>> = batch
+            .tokens()
+            .iter()
+            .map(|t| program.reference_output(t))
+            .collect();
+        let view = program.batched();
+        for kernel in [LaneKernel::Portable, LaneKernel::BitSliced] {
+            assert_eq!(
+                view.evaluate_with(batch.tokens(), kernel),
+                golden,
+                "{kernel:?} diverged from the scalar spec"
+            );
+        }
+        println!(
+            "smoke batched: both lane kernels bit-identical to the scalar spec on {} tokens (default: {:?})",
+            batch.len(),
+            FunctionalKernel::default()
+        );
+    }
     let pool = flagship_pool(2, 64);
     let closed = drive(
         &pool,
@@ -647,9 +673,19 @@ fn main() {
     let tree = tree_events_per_sec();
     let bus = bus_fanout_events_per_sec();
     let (macro_tokens, macro_events) = macro_tokens_per_sec();
-    let fun_w1 = functional_tokens_per_sec(1);
-    let fun_w2 = functional_tokens_per_sec(2);
-    let fun_w4 = functional_tokens_per_sec(4);
+    // Functional-backend thread scaling is only meaningful relative to
+    // the host's core count, so record it alongside the rates.
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let fun_w1 = functional_tokens_per_sec(1, FunctionalKernel::Scalar);
+    let fun_w2 = functional_tokens_per_sec(2, FunctionalKernel::Scalar);
+    let fun_w4 = functional_tokens_per_sec(4, FunctionalKernel::Scalar);
+    let simd_portable_w1 = functional_tokens_per_sec(1, FunctionalKernel::Portable);
+    let simd_bitsliced_w1 = functional_tokens_per_sec(1, FunctionalKernel::BitSliced);
+    let (default_kernel_name, simd_w1) = match FunctionalKernel::default() {
+        FunctionalKernel::BitSliced => ("bitsliced", simd_bitsliced_w1),
+        _ => ("portable", simd_portable_w1),
+    };
+    let simd_host = functional_tokens_per_sec(cpus, FunctionalKernel::default());
     let shd_s1 = sharded_tokens_per_sec(1);
     let shd_s2 = sharded_tokens_per_sec(2);
     let shd_s4 = sharded_tokens_per_sec(4);
@@ -671,9 +707,6 @@ fn main() {
         json,
         "  \"note\": \"median rates from cargo run -p maddpipe-bench --bin bench_sim --release\","
     );
-    // Functional-backend thread scaling is only meaningful relative to
-    // the host's core count, so record it alongside the rates.
-    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let _ = writeln!(json, "  \"host_cpus\": {cpus},");
     let _ = writeln!(json, "  \"events_per_sec\": {{");
     let _ = writeln!(json, "    \"inverter_chain_64\": {chain64:.0},");
@@ -694,6 +727,28 @@ fn main() {
     let _ = writeln!(json, "    \"sharded_wide64_s4\": {shd_s4:.0},");
     let _ = writeln!(json, "    \"rtl_ndec2_ns2_sequential\": {rtl_seq:.1},");
     let _ = writeln!(json, "    \"rtl_ndec2_ns2_pipelined\": {rtl_pip:.1}");
+    let _ = writeln!(json, "  }},");
+    // The batched lane kernels of the functional backend, against the
+    // scalar `functional_flagship_w1` baseline above (which deliberately
+    // still measures the one-token-at-a-time executable spec). `w1` is
+    // the kernel the `simd` cargo feature selects as the default.
+    let _ = writeln!(json, "  \"functional_simd\": {{");
+    let _ = writeln!(json, "    \"default_kernel\": \"{default_kernel_name}\",");
+    let _ = writeln!(
+        json,
+        "    \"portable_w1_tokens_per_sec\": {simd_portable_w1:.0},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"bitsliced_w1_tokens_per_sec\": {simd_bitsliced_w1:.0},"
+    );
+    let _ = writeln!(json, "    \"w1_tokens_per_sec\": {simd_w1:.0},");
+    let _ = writeln!(json, "    \"host_cpus_tokens_per_sec\": {simd_host:.0},");
+    let _ = writeln!(
+        json,
+        "    \"speedup_w1_vs_scalar\": {:.2}",
+        simd_w1 / fun_w1
+    );
     let _ = writeln!(json, "  }},");
     // The result cache tier on the repeated-patch workload: warm replay
     // rate against the uncached cold rate, with the measured hit-rate

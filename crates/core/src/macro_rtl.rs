@@ -139,6 +139,35 @@ impl MacroProgram {
         }
         out
     }
+
+    /// Builds the struct-of-arrays batched view of this program (see
+    /// [`crate::batched::BatchedProgram`]). Build it once and reuse it:
+    /// the view precomputes the widened LUT rows and transposed bit-planes
+    /// that the lane kernels gather from.
+    pub fn batched(&self) -> crate::batched::BatchedProgram {
+        crate::batched::BatchedProgram::new(self)
+    }
+
+    /// Batched counterpart of [`MacroProgram::reference_output`]: one
+    /// output vector per token, bit-identical to mapping the scalar
+    /// reference over `tokens`, evaluated a [`crate::batched::LANE`] of
+    /// tokens at a time (bit-sliced when the `simd` feature is on,
+    /// portable otherwise).
+    ///
+    /// Callers with a long-lived program should prefer building
+    /// [`MacroProgram::batched`] once and calling
+    /// [`crate::batched::BatchedProgram::evaluate`]; this convenience
+    /// rebuilds the view per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a token does not provide one subvector per stage.
+    pub fn reference_output_batch<T: AsRef<[[i8; SUBVECTOR_LEN]]>>(
+        &self,
+        tokens: &[T],
+    ) -> Vec<Vec<i16>> {
+        self.batched().evaluate(tokens)
+    }
 }
 
 /// Per-token measurement from the RTL testbench.

@@ -80,7 +80,7 @@ pub use cache::{
 };
 pub use chaos::{wrap_factory, wrap_recipe, ChaosBackend, ChaosConfig, ChaosState};
 pub use error::{BackendError, QueueLimit};
-pub use functional::FunctionalBackend;
+pub use functional::{FunctionalBackend, FunctionalKernel};
 pub use pipeline::{
     HostStage, MacroStage, PipelineGraph, PipelinePolicy, PipelineReply, PipelineSpec,
     PipelineTicket, StagePolicy, StageSpec, TicketState,
@@ -107,7 +107,7 @@ pub mod prelude {
     };
     pub use crate::chaos::{wrap_factory, wrap_recipe, ChaosBackend, ChaosConfig, ChaosState};
     pub use crate::error::{BackendError, QueueLimit};
-    pub use crate::functional::FunctionalBackend;
+    pub use crate::functional::{FunctionalBackend, FunctionalKernel};
     pub use crate::pipeline::{
         HostStage, MacroStage, PipelineGraph, PipelinePolicy, PipelineReply, PipelineSpec,
         PipelineTicket, StagePolicy, StageSpec, TicketState,

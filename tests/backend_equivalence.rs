@@ -105,6 +105,112 @@ proptest! {
         );
         prop_assert_eq!(&sharded, &single, "{} shards over {} chains", shards, ndec);
     }
+
+    /// The batched-kernel contract: both lane kernels (portable and
+    /// bit-sliced), at every worker count, are bit-identical to the scalar
+    /// executable spec — across token counts that are not a multiple of
+    /// the 64-token lane width, single tokens, and full-range `i8` inputs
+    /// whose accumulations wrap the `i16` extremes.
+    #[test]
+    fn batched_kernels_match_the_scalar_spec(
+        ndec in 1usize..=17,
+        ns in 1usize..=4,
+        count in 1usize..=130,
+        program_seed in 0u64..1000,
+        token_seed in 0u64..1000,
+    ) {
+        let program = MacroProgram::random(ndec, ns, program_seed);
+        let batch = TokenBatch::random(ns, count, token_seed);
+        let golden: Vec<Vec<i16>> = batch
+            .tokens()
+            .iter()
+            .map(|t| program.reference_output(t))
+            .collect();
+        // Straight through the struct-of-arrays view…
+        let view = program.batched();
+        for kernel in [LaneKernel::Portable, LaneKernel::BitSliced] {
+            prop_assert_eq!(
+                &view.evaluate_with(batch.tokens(), kernel),
+                &golden,
+                "core {:?} with {} tokens",
+                kernel,
+                count
+            );
+        }
+        prop_assert_eq!(&program.reference_output_batch(batch.tokens()), &golden);
+        // …and through the threaded backend, which shards lane blocks.
+        for kernel in [
+            FunctionalKernel::Scalar,
+            FunctionalKernel::Portable,
+            FunctionalKernel::BitSliced,
+        ] {
+            for workers in [1usize, 3] {
+                let mut backend =
+                    FunctionalBackend::with_kernel(program.clone(), workers, kernel);
+                let got = backend.run_batch(&batch).expect("batch completes");
+                let got: Vec<Vec<i16>> = got.tokens.into_iter().map(|t| t.outputs).collect();
+                prop_assert_eq!(
+                    &got,
+                    &golden,
+                    "backend {:?} with {} workers, {} tokens",
+                    kernel,
+                    workers,
+                    count
+                );
+            }
+        }
+    }
+}
+
+/// Batched evaluation handles the degenerate shapes the serving stack can
+/// produce: an empty token list (a `TokenBatch` cannot even be built
+/// empty, but the core view must not mind), a single token, and wrapping
+/// past both `i16` extremes on a deep hand-built program.
+#[test]
+fn batched_edge_cases_match_the_scalar_spec() {
+    let program = MacroProgram::random(3, 2, 5);
+    let view = program.batched();
+    // Empty input: no outputs, no panic, on both kernels.
+    let empty: Vec<Token> = Vec::new();
+    assert!(view.evaluate(&empty).is_empty());
+    for kernel in [LaneKernel::Portable, LaneKernel::BitSliced] {
+        assert!(view.evaluate_with(&empty, kernel).is_empty());
+    }
+    // One token is a 1-wide lane.
+    let one = TokenBatch::random(2, 1, 8);
+    let golden = program.reference_output(&one.tokens()[0]);
+    for kernel in [LaneKernel::Portable, LaneKernel::BitSliced] {
+        assert_eq!(
+            view.evaluate_with(one.tokens(), kernel),
+            vec![golden.clone()]
+        );
+    }
+    // Max-magnitude accumulation: 600 stages of ±extreme LUT bytes wrap
+    // the 16-bit accumulators several times over; the batched kernels
+    // must wrap identically to the scalar walk.
+    let ns = 600;
+    let tree = maddpipe::amm::bdt::BdtEncoder::from_parts(vec![0, 1, 2, 3], vec![0.0; 15])
+        .expect("valid tree shape")
+        .quantize(maddpipe::amm::quant::QuantScale::UNIT);
+    let deep = MacroProgram {
+        trees: vec![tree; ns],
+        luts: vec![vec![[-128i8; K], [127i8; K]]; ns],
+    };
+    let batch = TokenBatch::random(ns, 70, 21);
+    let golden: Vec<Vec<i16>> = batch
+        .tokens()
+        .iter()
+        .map(|t| deep.reference_output(t))
+        .collect();
+    assert_eq!(golden[0][0], (-128i32 * ns as i32) as i16); // wrapped
+    let deep_view = deep.batched();
+    for kernel in [LaneKernel::Portable, LaneKernel::BitSliced] {
+        assert_eq!(
+            deep_view.evaluate_with(batch.tokens(), kernel),
+            golden,
+            "{kernel:?}"
+        );
+    }
 }
 
 /// Latency observations are backend-appropriate: absent on functional,
